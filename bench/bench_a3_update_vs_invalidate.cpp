@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Experiment A3: update vs invalidate coherence (section 2.3.6).
+ *
+ * "Telegraphos leaves such decisions entirely to software": the eager
+ * update protocol suits producer/consumer sharing; invalidation suits
+ * migratory data.  We run both sharing patterns under both protocols
+ * and report runtimes — the crossover is the point of the section.
+ */
+
+#include <cstdio>
+
+#include "api/cluster.hpp"
+#include "api/context.hpp"
+#include "api/measure.hpp"
+#include "api/segment.hpp"
+
+using namespace tg;
+using coherence::ProtocolKind;
+
+namespace {
+
+/** Producer updates a block each round; consumers read it locally. */
+double
+producerConsumerUs(ProtocolKind kind, int rounds, std::size_t words)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 3;
+    Cluster cluster(spec);
+    Segment &data = cluster.allocShared("data", 8192, 0);
+    data.replicate(1, kind);
+    data.replicate(2, kind);
+    Segment &flag = cluster.allocShared("flag", 8192, 0);
+
+    cluster.spawn(0, [&, rounds, words](Ctx &ctx) -> Task<void> {
+        for (int k = 1; k <= rounds; ++k) {
+            for (std::size_t i = 0; i < words; ++i)
+                co_await ctx.write(data.word(i), Word(k) * 100 + i);
+            co_await ctx.fence();
+            co_await ctx.write(flag.word(0), Word(k));
+        }
+        co_await ctx.fence();
+    });
+    for (NodeId n = 1; n <= 2; ++n) {
+        cluster.spawn(n, [&, rounds, words](Ctx &ctx) -> Task<void> {
+            for (int k = 1; k <= rounds; ++k) {
+                while (co_await ctx.read(flag.word(0)) < Word(k))
+                    co_await ctx.compute(2000);
+                Word sum = 0;
+                for (std::size_t i = 0; i < words; ++i)
+                    sum += co_await ctx.read(data.word(i));
+                (void)sum;
+            }
+        });
+    }
+    const Tick end = cluster.run(40'000'000'000'000ULL);
+    return cluster.allDone() ? toUs(end) : -1;
+}
+
+/** Migratory: one node at a time owns the data, updates it heavily. */
+double
+migratoryUs(ProtocolKind kind, int rounds, std::size_t words)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 3;
+    Cluster cluster(spec);
+    Segment &data = cluster.allocShared("data", 8192, 0);
+    data.replicate(1, kind);
+    data.replicate(2, kind);
+    Segment &token = cluster.allocShared("token", 8192, 0);
+
+    for (NodeId n = 0; n < 3; ++n) {
+        cluster.spawn(n, [&, n, rounds, words](Ctx &ctx) -> Task<void> {
+            for (int k = 0; k < rounds; ++k) {
+                const Word my_turn = Word(k) * 3 + n;
+                while (co_await ctx.read(token.word(0)) != my_turn)
+                    co_await ctx.compute(2500);
+                // Our phase: many local updates, nobody else reads.
+                for (std::size_t i = 0; i < words; ++i)
+                    co_await ctx.write(data.word(i), my_turn * 100 + i);
+                co_await ctx.fence();
+                co_await ctx.write(token.word(0), my_turn + 1);
+            }
+        });
+    }
+    const Tick end = cluster.run(40'000'000'000'000ULL);
+    return cluster.allDone() ? toUs(end) : -1;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== A3: update vs invalidate coherence "
+                "(section 2.3.6) ===\n\n");
+
+    constexpr int kRounds = 12;
+    ResultTable table({"sharing pattern", "words/round",
+                       "eager update (us)", "invalidate (us)", "winner"});
+    for (std::size_t words : {8u, 32u}) {
+        const double pc_u =
+            producerConsumerUs(ProtocolKind::OwnerCounter, kRounds, words);
+        const double pc_i =
+            producerConsumerUs(ProtocolKind::Invalidate, kRounds, words);
+        table.addRow({"producer/consumer", std::to_string(words),
+                      ResultTable::num(pc_u, 0), ResultTable::num(pc_i, 0),
+                      pc_u < pc_i ? "update" : "invalidate"});
+
+        const double mig_u =
+            migratoryUs(ProtocolKind::OwnerCounter, kRounds, words);
+        const double mig_i =
+            migratoryUs(ProtocolKind::Invalidate, kRounds, words);
+        table.addRow({"migratory", std::to_string(words),
+                      ResultTable::num(mig_u, 0), ResultTable::num(mig_i, 0),
+                      mig_u < mig_i ? "update" : "invalidate"});
+    }
+    table.print();
+
+    std::printf("\nshape check: update wins producer/consumer (readers "
+                "hit warm local copies); invalidate wins migratory "
+                "(updates to data nobody reads are wasted traffic)\n");
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Experiment P1: the paper's section 3.2 latency table.
+ *
+ *   | Operation    | Elapsed Time (usec) |   (paper, DEC 3000/300 pair)
+ *   | Remote Read  | 7.2                 |
+ *   | Remote Write | 0.70                |
+ *
+ * Methodology mirrors the paper: one application on one workstation
+ * performs 10000 remote operations against the other workstation's HIB
+ * through ordinary load/store instructions; we report the mean latency.
+ * Also reported: remote atomic and fence costs, and per-prototype
+ * variants — the paper measured Telegraphos I.
+ */
+
+#include <cstdio>
+
+#include "api/cluster.hpp"
+#include "api/context.hpp"
+#include "api/measure.hpp"
+#include "api/segment.hpp"
+
+using namespace tg;
+
+namespace {
+
+struct Latencies
+{
+    double writeUs = 0;
+    double readUs = 0;
+    double atomicUs = 0;
+    double fenceUs = 0;
+};
+
+Latencies
+measure(Prototype proto, int ops)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 2;
+    spec.config.prototype = proto;
+    Cluster cluster(spec);
+    Segment &seg = cluster.allocShared("target", 8192, /*owner=*/0);
+
+    Latencies out;
+    cluster.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        // -- remote writes ------------------------------------------------
+        // Exactly the paper's methodology: a stream of `ops` stores,
+        // total elapsed time divided by the count.  The long stream runs
+        // at the network transfer rate (section 3.2).
+        const Tick w0 = ctx.now();
+        for (int i = 0; i < ops; ++i)
+            co_await ctx.write(seg.word(i % 64), Word(i));
+        co_await ctx.fence();
+        out.writeUs = toUs(ctx.now() - w0) / ops;
+
+        // -- remote reads -------------------------------------------------
+        Tick acc = 0;
+        for (int i = 0; i < ops; ++i) {
+            const Tick t0 = ctx.now();
+            (void)co_await ctx.read(seg.word(i % 64));
+            acc += ctx.now() - t0;
+        }
+        out.readUs = toUs(acc) / ops;
+
+        // -- remote atomic (fetch&inc) -------------------------------------
+        acc = 0;
+        for (int i = 0; i < ops / 10; ++i) {
+            const Tick t0 = ctx.now();
+            (void)co_await ctx.fetchAdd(seg.word(64), 1);
+            acc += ctx.now() - t0;
+        }
+        out.atomicUs = toUs(acc) / (ops / 10);
+
+        // -- fence after one write ----------------------------------------
+        acc = 0;
+        for (int i = 0; i < ops / 10; ++i) {
+            co_await ctx.write(seg.word(0), Word(i));
+            const Tick t0 = ctx.now();
+            co_await ctx.fence();
+            acc += ctx.now() - t0;
+        }
+        out.fenceUs = toUs(acc) / (ops / 10);
+    });
+
+    cluster.run(2'000'000'000'000ULL);
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr int kOps = 10000; // as in the paper
+
+    std::printf("=== P1: basic operation latency (section 3.2) ===\n");
+    std::printf("methodology: %d operations node1 -> node0, "
+                "DEC 3000/300 + TurboChannel calibration\n\n", kOps);
+
+    const Latencies t1 = measure(Prototype::TelegraphosI, kOps);
+    const Latencies t2 = measure(Prototype::TelegraphosII, kOps);
+
+    ResultTable table({"Operation", "Telegraphos I (us)",
+                       "Telegraphos II (us)", "paper (us)"});
+    table.addRow({"Remote Write", ResultTable::num(t1.writeUs),
+                  ResultTable::num(t2.writeUs), "0.70"});
+    table.addRow({"Remote Read", ResultTable::num(t1.readUs, 1),
+                  ResultTable::num(t2.readUs, 1), "7.2"});
+    table.addRow({"Remote Fetch&Inc", ResultTable::num(t1.atomicUs, 1),
+                  ResultTable::num(t2.atomicUs, 1), "-"});
+    table.addRow({"Fence (1 write)", ResultTable::num(t1.fenceUs, 1),
+                  ResultTable::num(t2.fenceUs, 1), "-"});
+    table.print();
+
+    std::printf("\nshape check: write ~10x cheaper than read "
+                "(paper: 0.70 vs 7.2)\n");
+    return 0;
+}

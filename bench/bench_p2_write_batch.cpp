@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Experiment P2: batched remote writes (paper section 3.2).
+ *
+ * "A stream of 100 remote write operations takes less than 50 usec, thus
+ * each of the remote write operations takes less than 0.5 usec ... short
+ * batches of write operations may take advantage of Telegraphos
+ * queueing", while "long batches are eventually performed at the network
+ * transfer rate" (~0.70 us/write).
+ *
+ * Sweep the batch size and report per-write cost as seen by the
+ * programmer (time from first store to last store completing, no fence).
+ * Expected shape: small batches at write-buffer/TurboChannel speed,
+ * crossing over to the network rate as the HIB queue fills.
+ */
+
+#include <cstdio>
+
+#include "api/cluster.hpp"
+#include "api/context.hpp"
+#include "api/measure.hpp"
+#include "api/segment.hpp"
+
+using namespace tg;
+
+namespace {
+
+double
+batchPerWriteUs(int batch)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 2;
+    Cluster cluster(spec);
+    Segment &seg = cluster.allocShared("target", 8192, 0);
+
+    double out = 0;
+    cluster.spawn(1, [&, batch](Ctx &ctx) -> Task<void> {
+        // Warm the TLB so the measurement matches steady state.
+        co_await ctx.write(seg.word(0), 0);
+        co_await ctx.fence();
+
+        const Tick t0 = ctx.now();
+        for (int i = 0; i < batch; ++i)
+            co_await ctx.write(seg.word(i % 64), Word(i));
+        out = toUs(ctx.now() - t0) / batch;
+        co_await ctx.fence();
+    });
+    cluster.run(2'000'000'000'000ULL);
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== P2: remote-write batches (section 3.2) ===\n\n");
+
+    ResultTable table({"batch size", "us per write", "batch total (us)",
+                       "paper expectation"});
+    for (int batch : {1, 2, 5, 10, 50, 100, 200, 500, 1000, 5000}) {
+        const double us = batchPerWriteUs(batch);
+        const char *expect = batch == 100    ? "< 0.5 (100 in < 50 us)"
+                             : batch >= 1000 ? "-> 0.70 (network rate)"
+                                             : "";
+        table.addRow({std::to_string(batch), ResultTable::num(us),
+                      ResultTable::num(us * batch, 1), expect});
+    }
+    table.print();
+
+    const double b100 = batchPerWriteUs(100);
+    const double b5000 = batchPerWriteUs(5000);
+    std::printf("\nshape check: 100-write batch %.2f us/write (paper < 0.5); "
+                "long stream %.2f us/write (paper ~0.70)\n", b100, b5000);
+    return (b100 < 0.5 && b5000 > 0.6) ? 0 : 1;
+}

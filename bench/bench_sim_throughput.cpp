@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Simulator self-benchmark (google-benchmark driven).
+ *
+ * Not a paper experiment: measures the *wall-clock* throughput of the
+ * reproduction itself — event-queue rate, remote operations simulated
+ * per second, end-to-end cluster construction — so regressions in the
+ * model's own performance are visible.  Reports simulated-time /
+ * wall-time as a custom counter.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "api/cluster.hpp"
+#include "api/context.hpp"
+#include "api/segment.hpp"
+#include "sim/event_queue.hpp"
+
+namespace {
+
+using namespace tg;
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue q;
+        std::uint64_t fired = 0;
+        for (int i = 0; i < 10'000; ++i)
+            q.schedule(Tick(i % 97), [&fired] { ++fired; });
+        q.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_EventQueue);
+
+void
+BM_ClusterConstruction(benchmark::State &state)
+{
+    const std::size_t nodes = std::size_t(state.range(0));
+    for (auto _ : state) {
+        ClusterSpec spec;
+        spec.topology.nodes = nodes;
+        Cluster cluster(spec);
+        benchmark::DoNotOptimize(cluster.numNodes());
+    }
+}
+BENCHMARK(BM_ClusterConstruction)->Arg(2)->Arg(8)->Arg(16);
+
+void
+BM_RemoteWrites(benchmark::State &state)
+{
+    const int ops = int(state.range(0));
+    Tick simulated = 0;
+    for (auto _ : state) {
+        ClusterSpec spec;
+        spec.topology.nodes = 2;
+        Cluster cluster(spec);
+        Segment &seg = cluster.allocShared("s", 8192, 0);
+        cluster.spawn(1, [&, ops](Ctx &ctx) -> Task<void> {
+            for (int i = 0; i < ops; ++i)
+                co_await ctx.write(seg.word(i % 64), Word(i));
+            co_await ctx.fence();
+        });
+        simulated += cluster.run(2'000'000'000'000ULL);
+    }
+    state.SetItemsProcessed(state.iterations() * ops);
+    state.counters["sim_us_per_s"] = benchmark::Counter(
+        toUs(simulated), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RemoteWrites)->Arg(1000)->Arg(10000);
+
+void
+BM_CoherentWrites(benchmark::State &state)
+{
+    const int ops = int(state.range(0));
+    for (auto _ : state) {
+        ClusterSpec spec;
+        spec.topology.nodes = 3;
+        Cluster cluster(spec);
+        Segment &seg = cluster.allocShared("s", 8192, 0);
+        seg.replicate(1, coherence::ProtocolKind::OwnerCounter);
+        seg.replicate(2, coherence::ProtocolKind::OwnerCounter);
+        cluster.spawn(1, [&, ops](Ctx &ctx) -> Task<void> {
+            for (int i = 0; i < ops; ++i)
+                co_await ctx.write(seg.word(i % 64), Word(i));
+            co_await ctx.fence();
+        });
+        cluster.run(2'000'000'000'000ULL);
+    }
+    state.SetItemsProcessed(state.iterations() * ops);
+}
+BENCHMARK(BM_CoherentWrites)->Arg(1000);
+
+void
+BM_AtomicRoundTrips(benchmark::State &state)
+{
+    for (auto _ : state) {
+        ClusterSpec spec;
+        spec.topology.nodes = 2;
+        Cluster cluster(spec);
+        Segment &seg = cluster.allocShared("s", 8192, 0);
+        cluster.spawn(1, [&](Ctx &ctx) -> Task<void> {
+            for (int i = 0; i < 200; ++i)
+                co_await ctx.fetchAdd(seg.word(0), 1);
+        });
+        cluster.run(2'000'000'000'000ULL);
+    }
+    state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_AtomicRoundTrips);
+
+} // namespace
+
+BENCHMARK_MAIN();

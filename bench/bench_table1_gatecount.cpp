@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Experiment T1: reproduce Table 1 of the paper — "Gate Count for
+ * Telegraphos I HIB" — from the parametric hardware cost model.
+ *
+ * Also sweeps the sizing parameters (FIFO depth, multicast entries,
+ * counter coverage) as a design ablation; absolute numbers at the
+ * default configuration match the paper's rows exactly.
+ */
+
+#include <cstdio>
+
+#include "hwcost/directory_cost.hpp"
+#include "hwcost/gate_count.hpp"
+
+using namespace tg;
+
+int
+main()
+{
+    std::printf("=== T1: Table 1 — Gate Count for Telegraphos I HIB ===\n\n");
+    Config cfg; // defaults reproduce the paper's design point
+    auto rows = hwcost::hibGateCount(cfg);
+    std::printf("%s\n", hwcost::renderGateCountTable(rows).c_str());
+
+    std::printf("paper reference: message-related 3300 gates / 4.5 Kb, "
+                "shared-memory related 2700 gates / 2560 Kb\n\n");
+
+    std::printf("--- ablation: multicast list and counter coverage ---\n");
+    std::printf("%-34s %14s %16s\n", "configuration", "mcast SRAM(Kb)",
+                "counter SRAM(Kb)");
+    for (std::uint32_t mcast : {4u * 1024, 16u * 1024, 64u * 1024}) {
+        for (std::uint32_t pages : {16u * 1024, 64u * 1024}) {
+            Config c;
+            c.multicastEntries = mcast;
+            c.counterPages = pages;
+            auto r = hwcost::hibGateCount(c);
+            double mc = 0, pc = 0;
+            for (const auto &row : r) {
+                if (row.block == "Multicast (eager sharing)")
+                    mc = row.sramKbits;
+                if (row.block == "Page Access Counters")
+                    pc = row.sramKbits;
+            }
+            std::printf("mcast=%5uK pages=%3uK              %14.0f %16.0f\n",
+                        mcast / 1024, pages / 1024, mc, pc);
+        }
+    }
+
+    // Section 3.1: "If the ownership-counter-based protocol is
+    // implemented in future versions of Telegraphos, the directory size
+    // will be significantly reduced."
+    std::printf("\n--- directory SRAM per node: full map vs owner-based "
+                "(section 3.1) ---\n");
+    std::printf("%8s %14s %18s %10s\n", "nodes", "full map (Kb)",
+                "owner-based (Kb)", "reduction");
+    for (std::uint32_t nodes : {4u, 8u, 16u, 32u, 64u}) {
+        hwcost::DirectorySpec spec;
+        spec.nodes = nodes;
+        const double full = hwcost::fullMapDirectoryKbits(spec);
+        const double owner = hwcost::ownerBasedDirectoryKbits(spec);
+        std::printf("%8u %14.0f %18.0f %9.1fx\n", nodes, full, owner,
+                    full / owner);
+    }
+    return 0;
+}

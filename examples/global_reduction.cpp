@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Example: a distributed dot product with the collectives library.
+ *
+ * Each node holds a slice of two vectors in private (cacheable) memory,
+ * computes its partial dot product locally, and combines the partials
+ * with an all-reduce built on remote fetch&add + eager-update broadcast
+ * — the kind of kernel the paper's introduction targets ("high
+ * performance scientific computing").
+ */
+
+#include <cstdio>
+
+#include "api/cluster.hpp"
+#include "api/collectives.hpp"
+#include "api/context.hpp"
+#include "api/measure.hpp"
+
+using namespace tg;
+
+int
+main()
+{
+    constexpr std::size_t kNodes = 4;
+    constexpr std::size_t kSlice = 256; // elements per node
+
+    ClusterSpec spec;
+    spec.topology.nodes = kNodes;
+    Cluster cluster(spec);
+    Communicator comm(cluster, "comm", {0, 1, 2, 3});
+
+    std::vector<Word> results(kNodes, 0);
+    std::vector<Tick> done(kNodes, 0);
+
+    for (NodeId n = 0; n < kNodes; ++n) {
+        const VAddr x = cluster.allocPrivate(n, kSlice * 8);
+        const VAddr y = cluster.allocPrivate(n, kSlice * 8);
+        cluster.spawn(n, [&, n, x, y](Ctx &ctx) -> Task<void> {
+            // Fill the local slices: x[i] = i+1, y[i] = 2 (so the global
+            // dot product has a closed form we can verify).
+            for (std::size_t i = 0; i < kSlice; ++i) {
+                const Word gi = Word(n) * kSlice + i;
+                co_await ctx.write(x + i * 8, gi + 1);
+                co_await ctx.write(y + i * 8, 2);
+            }
+            co_await comm.barrier(ctx);
+
+            // Local partial: all cacheable accesses.
+            Word partial = 0;
+            for (std::size_t i = 0; i < kSlice; ++i) {
+                const Word xv = co_await ctx.read(x + i * 8);
+                const Word yv = co_await ctx.read(y + i * 8);
+                partial += xv * yv;
+                co_await ctx.compute(20); // multiply-accumulate
+            }
+
+            // Global combine: one all-reduce.
+            results[n] = co_await comm.allReduceSum(ctx, partial);
+            done[n] = ctx.now();
+        });
+    }
+    cluster.run(8'000'000'000'000ULL);
+
+    const Word total_elems = kNodes * kSlice;
+    const Word expected = total_elems * (total_elems + 1); // 2*sum(i+1)
+    std::printf("distributed dot product over %zu nodes x %zu elements\n",
+                kNodes, kSlice);
+    for (NodeId n = 0; n < kNodes; ++n)
+        std::printf("  node %u: result %llu at %.0f us\n", unsigned(n),
+                    (unsigned long long)results[n], toUs(done[n]));
+    std::printf("expected %llu -> %s\n", (unsigned long long)expected,
+                results[0] == expected ? "OK" : "MISMATCH");
+
+    for (NodeId n = 0; n < kNodes; ++n) {
+        if (results[n] != expected)
+            return 1;
+    }
+    return 0;
+}

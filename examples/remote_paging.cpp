@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Example: using remote memory as a fast backing store (paper section
+ * 2.2.6 and reference [21], "Using Remote Memory to avoid Disk
+ * Thrashing").
+ *
+ * An application whose working set exceeds local memory pages either to
+ * a 1995-era disk or to another workstation's idle memory via the HIB's
+ * non-blocking bulk copy engine.
+ */
+
+#include <cstdio>
+
+#include "api/cluster.hpp"
+#include "api/context.hpp"
+#include "api/measure.hpp"
+#include "api/segment.hpp"
+#include "workload/remote_paging.hpp"
+
+using namespace tg;
+
+namespace {
+
+struct Outcome
+{
+    double runtimeUs;
+    std::uint64_t misses;
+};
+
+Outcome
+run(bool remote_memory, double locality)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 2;
+    Cluster cluster(spec);
+    // Node 0 donates idle memory; node 1 runs the thrashing app.
+    Segment &backing = cluster.allocShared("backing", 24 * 8192, 0);
+    Segment &buf = cluster.allocShared("resident", 6 * 8192, 1);
+
+    workload::PagingConfig cfg;
+    cfg.pages = 24;
+    cfg.residentPages = 6;
+    cfg.accesses = 150;
+    cfg.locality = locality;
+    cfg.useRemoteMemory = remote_memory;
+    workload::PagingStats stats;
+    cluster.spawn(1, workload::pagingApp(backing, buf, cfg, &stats));
+    const Tick end = cluster.run(800'000'000'000'000ULL);
+    return Outcome{toUs(end), stats.misses};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("remote-memory paging vs disk paging "
+                "(24-page working set, 6 resident)\n\n");
+    ResultTable table({"locality", "misses", "disk paging (us)",
+                       "remote memory (us)", "speedup"});
+    for (double locality : {0.5, 0.7, 0.9}) {
+        const Outcome disk = run(false, locality);
+        const Outcome remote = run(true, locality);
+        table.addRow({ResultTable::num(locality, 1),
+                      std::to_string(remote.misses),
+                      ResultTable::num(disk.runtimeUs, 0),
+                      ResultTable::num(remote.runtimeUs, 0),
+                      ResultTable::num(disk.runtimeUs / remote.runtimeUs, 1) +
+                          "x"});
+    }
+    table.print();
+    std::printf("\n(each miss costs a 12 ms disk service vs a ~0.3 ms "
+                "8 KB HIB copy — the effect of reference [21])\n");
+    return 0;
+}

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Cluster: the top-level public API of the Telegraphos reproduction.
+ *
+ * A Cluster owns a complete simulated machine room: N workstations with
+ * HIBs, the switch network, the shared-page directory and the coherence
+ * protocols.  Users allocate shared segments, spawn coroutine programs on
+ * nodes, and run the simulation:
+ *
+ * @code
+ *   tg::ClusterSpec spec;
+ *   spec.topology.nodes = 2;
+ *   tg::Cluster cluster(spec);
+ *   auto &seg = cluster.allocShared("data", 4096, 0);
+ *   cluster.spawn(1, [&](tg::Ctx &ctx) -> tg::Task<void> {
+ *       co_await ctx.write(seg.word(0), 42);     // remote write
+ *       tg::Word v = co_await ctx.read(seg.word(0)); // remote read
+ *       co_await ctx.fence();
+ *   });
+ *   cluster.run();
+ * @endcode
+ */
+
+#ifndef TELEGRAPHOS_API_CLUSTER_HPP
+#define TELEGRAPHOS_API_CLUSTER_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coherence/directory.hpp"
+#include "coherence/protocol.hpp"
+#include "net/network.hpp"
+#include "node/workstation.hpp"
+#include "os/os_kernel.hpp"
+#include "sim/system.hpp"
+#include "sim/task.hpp"
+
+namespace tg {
+
+class Ctx;
+class Segment;
+
+/** Everything needed to build a cluster. */
+struct ClusterSpec
+{
+    Config config;
+    net::TopologySpec topology;
+};
+
+/** A simulated Telegraphos workstation cluster. */
+class Cluster : public coherence::Fabric
+{
+  public:
+    using Body = std::function<Task<void>(Ctx &)>;
+
+    explicit Cluster(const ClusterSpec &spec);
+    ~Cluster() override;
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    System &system() override { return *_sys; }
+    const Config &config() const { return _sys->config(); }
+    std::size_t numNodes() const { return _nodes.size(); }
+    node::Workstation &node(NodeId n) { return *_nodes.at(n); }
+    os::OsKernel &os(NodeId n) { return *_kernels.at(n); }
+    net::Network &network() { return *_net; }
+    Tick now() const { return _sys->now(); }
+
+    // coherence::Fabric
+    hib::Hib &hibOf(NodeId n) override { return _nodes.at(n)->hib(); }
+    node::MainMemory &memOf(NodeId n) override { return _nodes.at(n)->mem(); }
+    coherence::Directory &directory() override { return *_dir; }
+    void onCopyInvalidated(coherence::PageEntry &e, NodeId n,
+                           PAddr target_frame) override;
+
+    coherence::Protocol &protocol(coherence::ProtocolKind kind);
+
+    // ------------------------------------------------------------------
+    // Memory
+    // ------------------------------------------------------------------
+
+    /**
+     * Allocate a shared segment of @p bytes homed on @p owner and map it
+     * at the same virtual address into every node's default address
+     * space (remote nodes access it through the HIB).
+     */
+    Segment &allocShared(const std::string &name, std::size_t bytes,
+                         NodeId owner);
+
+    /** Allocate private (cacheable, node-local) memory on @p n. */
+    VAddr allocPrivate(NodeId n, std::size_t bytes);
+
+    /** Reserve @p pages of virtual address space (no mapping installed);
+     *  used by software layers like the VSM baseline. */
+    VAddr allocVaPages(std::size_t pages) { return allocVa(pages); }
+
+    /**
+     * Charged, runtime replication of one page (used by alarm policies):
+     * copies the page to @p n with the HIB's bulk-copy engine, registers
+     * the copy, remaps the virtual page and flushes the TLB.
+     */
+    void replicatePageLive(NodeId n, PAddr home_page,
+                           std::function<void()> done = nullptr);
+
+    // ------------------------------------------------------------------
+    // Programs
+    // ------------------------------------------------------------------
+
+    /** Spawn a program on node @p n; returns its thread id on that node. */
+    int spawn(NodeId n, Body body);
+
+    /**
+     * Spawn a program in a *fresh address space* on @p n: nothing is
+     * mapped except its own Telegraphos context page and the special
+     * register page.  Demonstrates the paper's protection model
+     * (section 2.1): without mappings, shared segments are simply
+     * unreachable — any access faults.
+     */
+    int spawnIsolated(NodeId n, Body body);
+
+    /**
+     * Model a FLASH-style modified operating system (section 2.2.5):
+     * install context-switch hooks that save/restore the HIB's PID
+     * register, charging the extra interrupt-handler work per switch.
+     * Without this, LaunchMode::FlashPid silently corrupts contexts
+     * under multiprogramming — exactly the paper's argument for keys.
+     */
+    void enableFlashOsSupport();
+
+    /**
+     * Run the simulation until every spawned program finished or
+     * @p limit ticks passed.  @return simulated end time.
+     */
+    Tick run(Tick limit = kMaxTick);
+
+    /** True when every spawned program has finished. */
+    bool allDone() const;
+
+    /** True when any program was killed (protection fault etc.). */
+    bool anyKilled() const;
+
+    /** Register a write-observation hook (tests/benches). */
+    void observeWrites(std::function<void(const coherence::ApplyEvent &)> cb);
+
+    /**
+     * Write a structured end-of-run statistics report: per-node CPU,
+     * cache, TLB, TurboChannel and HIB counters plus network totals.
+     */
+    void statsReport(std::ostream &os);
+
+    /** All segments allocated so far. */
+    const std::vector<std::unique_ptr<Segment>> &segments() const
+    {
+        return _segments;
+    }
+
+    /** Segment containing home page @p home_page (nullptr if none). */
+    Segment *segmentOfHome(PAddr home_page);
+
+  private:
+    friend class Segment;
+
+    VAddr allocVa(std::size_t pages);
+    int spawnIn(NodeId n, node::AddressSpace &as, Body body);
+
+    std::unique_ptr<System> _sys;
+    std::unique_ptr<coherence::Directory> _dir;
+    std::unique_ptr<net::Network> _net;
+    std::vector<std::unique_ptr<node::Workstation>> _nodes;
+    std::vector<std::unique_ptr<os::OsKernel>> _kernels;
+    std::vector<std::unique_ptr<coherence::Protocol>> _protocols;
+    std::vector<std::unique_ptr<Segment>> _segments;
+    std::vector<std::unique_ptr<Ctx>> _ctxs;
+
+    VAddr _vaNext = 0x2000'0000;
+    std::vector<std::uint32_t> _nextCtxIdx; // per node
+    /** Telegraphos context index of each thread, per node (PID hook). */
+    std::vector<std::vector<std::uint32_t>> _tidCtx;
+    bool _started = false;
+};
+
+} // namespace tg
+
+#endif // TELEGRAPHOS_API_CLUSTER_HPP

@@ -1,0 +1,125 @@
+#include "api/collectives.hpp"
+
+#include <algorithm>
+
+namespace tg {
+
+namespace {
+constexpr Tick kPoll = 600;
+} // namespace
+
+Communicator::Communicator(Cluster &cluster, const std::string &name,
+                           std::vector<NodeId> members,
+                           std::size_t max_words)
+    : _cluster(cluster), _members(std::move(members)), _maxWords(max_words)
+{
+    if (_members.size() < 2)
+        fatal("Communicator %s: needs at least 2 members", name.c_str());
+
+    for (std::size_t r = 0; r < _members.size(); ++r) {
+        Segment &seg = cluster.allocShared(
+            name + ".bcast" + std::to_string(r), (8 + max_words) * 8,
+            _members[r]);
+        for (NodeId m : _members) {
+            if (m != _members[r])
+                seg.eagerTo(m);
+        }
+        _bcast.push_back(&seg);
+    }
+    _scratch = &cluster.allocShared(name + ".scratch",
+                                    (2 * kRounds + 8) * 8, _members[0]);
+
+    for (NodeId m : _members) {
+        _bcastSeen[m].assign(_members.size(), 0);
+        _reduceRound[m] = 0;
+    }
+}
+
+std::size_t
+Communicator::rankOf(NodeId n) const
+{
+    auto it = std::find(_members.begin(), _members.end(), n);
+    if (it == _members.end())
+        fatal("Communicator: node %u is not a member", unsigned(n));
+    return std::size_t(it - _members.begin());
+}
+
+Task<void>
+Communicator::barrier(Ctx &ctx)
+{
+    co_await ctx.barrier(barCountVa(), barGenVa(), Word(_members.size()));
+}
+
+Task<void>
+Communicator::broadcast(Ctx &ctx, std::vector<Word> &io, NodeId root)
+{
+    const std::size_t root_rank = rankOf(root);
+    std::uint64_t &seen = _bcastSeen[ctx.self()][root_rank];
+    const std::uint64_t gen = ++seen;
+
+    if (ctx.self() == root) {
+        if (io.size() > _maxWords)
+            fatal("Communicator: broadcast of %zu words exceeds max %zu",
+                  io.size(), _maxWords);
+        // Local stores into the eagerly-mapped page: the HIB multicasts
+        // them to every member's receive copy (section 2.2.7).
+        for (std::size_t w = 0; w < io.size(); ++w)
+            co_await ctx.write(bcastWordVa(root_rank, w), io[w]);
+        co_await ctx.fence(); // payload before the generation bump
+        co_await ctx.write(bcastGenVa(root_rank), Word(gen));
+        co_await ctx.fence();
+        co_return;
+    }
+
+    // Members poll their *local* copy of the root's generation word.
+    while (co_await ctx.read(bcastGenVa(root_rank)) < Word(gen))
+        co_await ctx.compute(kPoll);
+    io.resize(_maxWords);
+    for (std::size_t w = 0; w < _maxWords; ++w)
+        io[w] = co_await ctx.read(bcastWordVa(root_rank, w));
+}
+
+Task<Word>
+Communicator::reduceSum(Ctx &ctx, Word contribution, NodeId root)
+{
+    const std::uint64_t round = _reduceRound[ctx.self()]++;
+    const std::size_t slot = round % kRounds;
+    const Word parties = Word(_members.size());
+
+    // Contribute, then signal arrival (both remote atomics at the
+    // scratch home; fetch&add returns make them race-free).
+    co_await ctx.fetchAdd(accVa(slot), contribution);
+    co_await ctx.fetchAdd(arrVa(slot), 1);
+
+    Word result = 0;
+    if (ctx.self() == root) {
+        while (co_await ctx.read(arrVa(slot)) < parties)
+            co_await ctx.compute(kPoll);
+        result = co_await ctx.read(accVa(slot));
+        // Reset the slot for its reuse kRounds from now; everyone has
+        // arrived, so no contribution can race the reset.
+        co_await ctx.write(accVa(slot), 0);
+        co_await ctx.write(arrVa(slot), 0);
+        co_await ctx.fence();
+    } else {
+        // Non-roots must not run ahead into the same slot before the
+        // root drained it: wait for the reset.
+        while (co_await ctx.read(arrVa(slot)) != 0)
+            co_await ctx.compute(kPoll);
+    }
+    co_return result;
+}
+
+Task<Word>
+Communicator::allReduceSum(Ctx &ctx, Word contribution)
+{
+    const NodeId root = _members[0];
+    const Word partial = co_await reduceSum(ctx, contribution, root);
+    std::vector<Word> io;
+    if (ctx.self() == root)
+        io.push_back(partial);
+    co_await broadcast(ctx, io, root);
+    co_return io[0];
+}
+
+} // namespace tg

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Collective operations over Telegraphos primitives.
+ *
+ * The paper's mechanisms compose directly into the collectives parallel
+ * programs need:
+ *
+ *  - broadcast: the root's data page is eagerly mapped out to every
+ *    member (section 2.2.7), so a broadcast is a few local stores plus
+ *    one fence — members read their local receive copies;
+ *  - reduce: members combine contributions with remote fetch&add at the
+ *    root (section 2.2.3);
+ *  - barrier: sense-reversing, over remote atomics (embedding the
+ *    MEMORY_BARRIER per section 2.3.5);
+ *  - all-reduce: reduce followed by broadcast of the result.
+ */
+
+#ifndef TELEGRAPHOS_API_COLLECTIVES_HPP
+#define TELEGRAPHOS_API_COLLECTIVES_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/cluster.hpp"
+#include "api/context.hpp"
+#include "api/segment.hpp"
+
+namespace tg {
+
+/** A group of nodes with preallocated collective scratch memory. */
+class Communicator
+{
+  public:
+    /**
+     * Build a communicator over @p members.  Allocates, per member, a
+     * broadcast segment eagerly mapped to all other members, plus a
+     * reduce/barrier scratch segment homed on the first member.
+     * @param max_words widest broadcast payload supported
+     */
+    Communicator(Cluster &cluster, const std::string &name,
+                 std::vector<NodeId> members, std::size_t max_words = 64);
+
+    std::size_t size() const { return _members.size(); }
+    const std::vector<NodeId> &members() const { return _members; }
+
+    /** Block until every member arrived (reusable). */
+    Task<void> barrier(Ctx &ctx);
+
+    /**
+     * Broadcast @p io from @p root: the root sends io's contents, every
+     * member (root included) returns with io holding them.
+     */
+    Task<void> broadcast(Ctx &ctx, std::vector<Word> &io, NodeId root);
+
+    /** Sum-reduce @p contribution at @p root; only the root's return
+     *  value holds the sum (others return 0). */
+    Task<Word> reduceSum(Ctx &ctx, Word contribution, NodeId root);
+
+    /** Sum-reduce and distribute: every member returns the sum. */
+    Task<Word> allReduceSum(Ctx &ctx, Word contribution);
+
+  private:
+    static constexpr std::size_t kRounds = 4; ///< rotation depth
+
+    std::size_t rankOf(NodeId n) const;
+
+    // Broadcast segment layout (per member m, homed at m, eager-mapped
+    // to all other members):
+    //   word 0:            generation counter
+    //   words 8..8+max:    payload
+    VAddr bcastGenVa(std::size_t rank) const
+    {
+        return _bcast[rank]->word(0);
+    }
+    VAddr bcastWordVa(std::size_t rank, std::size_t w) const
+    {
+        return _bcast[rank]->word(8 + w);
+    }
+
+    // Reduce scratch (homed at members[0]), rotated over kRounds slots:
+    //   slot s accumulator: word(s); slot s arrivals: word(kRounds + s)
+    VAddr accVa(std::size_t slot) const { return _scratch->word(slot); }
+    VAddr arrVa(std::size_t slot) const
+    {
+        return _scratch->word(kRounds + slot);
+    }
+    // Barrier words: count at word(2*kRounds), generation at +1.
+    VAddr barCountVa() const { return _scratch->word(2 * kRounds); }
+    VAddr barGenVa() const { return _scratch->word(2 * kRounds + 1); }
+
+    Cluster &_cluster;
+    std::vector<NodeId> _members;
+    std::size_t _maxWords;
+    std::vector<Segment *> _bcast; ///< one per member (owner = member)
+    Segment *_scratch;
+
+    /** Host-side per-node cursors (each node's private progress). */
+    std::map<NodeId, std::vector<std::uint64_t>> _bcastSeen;
+    std::map<NodeId, std::uint64_t> _reduceRound;
+};
+
+} // namespace tg
+
+#endif // TELEGRAPHOS_API_COLLECTIVES_HPP

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Ctx: the per-program handle to Telegraphos operations.
+ *
+ * Programs are coroutines receiving a Ctx&.  Plain loads/stores map to
+ * single awaited operations; atomic and copy operations are *special
+ * operations* launched by the multi-instruction sequences of paper
+ * section 2.2.4 — through PAL-protected special mode on Telegraphos I,
+ * through contexts + keys + shadow addressing on Telegraphos II, or
+ * through an OS trap (the baseline the paper argues against).
+ */
+
+#ifndef TELEGRAPHOS_API_CONTEXT_HPP
+#define TELEGRAPHOS_API_CONTEXT_HPP
+
+#include "hib/special_ops.hpp"
+#include "node/address.hpp"
+#include "node/cpu.hpp"
+#include "sim/random.hpp"
+#include "sim/task.hpp"
+
+namespace tg {
+
+class Cluster;
+
+/** How special operations are launched (experiment A1 sweeps this). */
+enum class LaunchMode
+{
+    Default,  ///< follow the prototype (I -> Pal, II -> Contexts)
+    Pal,      ///< Telegraphos I: special mode inside PAL code
+    Contexts, ///< Telegraphos II: contexts + keys + shadow addressing
+    OsTrap,   ///< trap into the kernel for every special op (baseline)
+    FlashPid, ///< FLASH-style: a PID register the OS must maintain (2.2.5)
+};
+
+/** Shadow virtual address of @p va (differs only in the highest bit). */
+constexpr VAddr
+shadowOf(VAddr va)
+{
+    return va | node::kShadowBit;
+}
+
+/** Per-thread program context. */
+class Ctx
+{
+  public:
+    Ctx(Cluster &cluster, NodeId self, node::Cpu &cpu,
+        node::AddressSpace &as, std::uint32_t ctx_idx, std::uint32_t key,
+        VAddr ctx_reg_va, VAddr special_reg_va, Rng rng);
+
+    NodeId self() const { return _self; }
+    Cluster &cluster() { return _cluster; }
+    Rng &rng() { return _rng; }
+    Tick now() const;
+
+    void setLaunchMode(LaunchMode m) { _mode = m; }
+
+    // ------------------------------------------------------------------
+    // Single-instruction operations
+    // ------------------------------------------------------------------
+
+    /** Load one word (blocking when remote, section 2.2.1). */
+    node::OpAwaiter read(VAddr va);
+
+    /** Store one word (non-blocking when remote, section 2.2.1). */
+    node::OpAwaiter write(VAddr va, Word value);
+
+    /** Burn @p ticks of computation. */
+    node::OpAwaiter compute(Tick ticks);
+
+    /** MEMORY_BARRIER: wait for all outstanding remote ops (2.3.5). */
+    node::OpAwaiter fence();
+
+    // ------------------------------------------------------------------
+    // Special operations (multi-instruction launch sequences, 2.2.4)
+    // ------------------------------------------------------------------
+
+    /** fetch&store: atomically exchange; returns the old value. */
+    Task<Word> fetchStore(VAddr va, Word value);
+
+    /** fetch&inc (generalised to fetch&add); returns the old value. */
+    Task<Word> fetchAdd(VAddr va, Word delta = 1);
+
+    /** compare&swap; returns the old value. */
+    Task<Word> cas(VAddr va, Word expect, Word desired);
+
+    /** Non-blocking remote copy of @p bytes from @p from to @p to
+     *  (to must be locally homed); completion is fence-tracked (2.2.2). */
+    Task<void> copy(VAddr from, VAddr to, std::uint32_t bytes);
+
+    // ------------------------------------------------------------------
+    // Synchronization (implemented in sync.cpp; FENCE embedded, 2.3.5)
+    // ------------------------------------------------------------------
+
+    /** Spin lock via fetch&store with test-and-test-and-set backoff. */
+    Task<void> lock(VAddr lock_va);
+
+    /** Release a lock (fences first so protected writes are visible). */
+    Task<void> unlock(VAddr lock_va);
+
+    /**
+     * Sense-reversing barrier over (count, generation) words homed on
+     * one node; @p parties programs must call it.
+     */
+    Task<void> barrier(VAddr count_va, VAddr gen_va, Word parties);
+
+  private:
+    /** The Telegraphos II context / shadow-addressing launch sequence
+     *  (@p flash: use the FLASH PID convention instead of keys). */
+    Task<Word> launchContexts(hib::SpecialOp op, VAddr target, VAddr target2,
+                              Word datum, Word datum2, bool flash = false);
+
+    /** The Telegraphos I PAL + special-mode launch sequence. */
+    Task<Word> launchPal(hib::SpecialOp op, VAddr target, VAddr target2,
+                         Word datum, Word datum2, bool trap_launched);
+
+    Task<Word> launch(hib::SpecialOp op, VAddr target, VAddr target2,
+                      Word datum, Word datum2);
+
+    LaunchMode effectiveMode() const;
+
+    VAddr ctxReg(PAddr field) const { return _ctxRegVa + field; }
+    VAddr specialReg(PAddr reg) const
+    {
+        return _specialRegVa + (reg - node::kHibRegBase);
+    }
+
+    Cluster &_cluster;
+    NodeId _self;
+    node::Cpu &_cpu;
+    node::AddressSpace &_as;
+    std::uint32_t _ctxIdx;
+    std::uint32_t _key;
+    VAddr _ctxRegVa;     ///< where this thread's context page is mapped
+    VAddr _specialRegVa; ///< where the Telegraphos I register page is mapped
+    Rng _rng;
+    LaunchMode _mode = LaunchMode::Default;
+};
+
+} // namespace tg
+
+#endif // TELEGRAPHOS_API_CONTEXT_HPP

@@ -1,0 +1,64 @@
+#include "api/measure.hpp"
+
+#include <cstdio>
+#include <iomanip>
+
+namespace tg {
+
+ResultTable::ResultTable(std::vector<std::string> headers)
+    : _headers(std::move(headers))
+{
+}
+
+void
+ResultTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != _headers.size())
+        panic("ResultTable row width mismatch");
+    _rows.push_back(std::move(cells));
+}
+
+void
+ResultTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(_headers.size());
+    for (std::size_t c = 0; c < _headers.size(); ++c)
+        widths[c] = _headers[c].size();
+    for (const auto &row : _rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto line = [&] {
+        os << "+";
+        for (auto w : widths)
+            os << std::string(w + 2, '-') << "+";
+        os << "\n";
+    };
+
+    line();
+    os << "|";
+    for (std::size_t c = 0; c < _headers.size(); ++c)
+        os << " " << std::left << std::setw(static_cast<int>(widths[c]))
+           << _headers[c] << " |";
+    os << "\n";
+    line();
+    for (const auto &row : _rows) {
+        os << "|";
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << " " << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c] << " |";
+        os << "\n";
+    }
+    line();
+}
+
+std::string
+ResultTable::num(double v, int digits)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+} // namespace tg

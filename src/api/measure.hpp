@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Measurement helpers used by tests, benches and examples.
+ */
+
+#ifndef TELEGRAPHOS_API_MEASURE_HPP
+#define TELEGRAPHOS_API_MEASURE_HPP
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/cluster.hpp"
+#include "api/context.hpp"
+#include "sim/stats.hpp"
+
+namespace tg {
+
+/** Simulated-time stopwatch (the paper's measurements, section 3.2,
+ *  time batches of operations the same way). */
+class Stopwatch
+{
+  public:
+    explicit Stopwatch(Ctx &ctx) : _ctx(ctx), _t0(ctx.now()) {}
+
+    void restart() { _t0 = _ctx.now(); }
+    Tick elapsed() const { return _ctx.now() - _t0; }
+    double elapsedUs() const { return toUs(elapsed()); }
+
+  private:
+    Ctx &_ctx;
+    Tick _t0;
+};
+
+/** Row-oriented table printer for paper-style result tables. */
+class ResultTable
+{
+  public:
+    explicit ResultTable(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    void print(std::ostream &os = std::cout) const;
+
+    /** Format helper: fixed-point with @p digits decimals. */
+    static std::string num(double v, int digits = 2);
+
+  private:
+    std::vector<std::string> _headers;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace tg
+
+#endif // TELEGRAPHOS_API_MEASURE_HPP

@@ -1,0 +1,81 @@
+#include "api/msg.hpp"
+
+namespace tg {
+
+namespace {
+/** Spin pause while polling local words. */
+constexpr Tick kPoll = 400;
+} // namespace
+
+MsgChannel::MsgChannel(Cluster &cluster, const std::string &name,
+                       NodeId sender, NodeId receiver, std::size_t slots,
+                       std::size_t slot_words)
+    : _sender(sender), _receiver(receiver), _slots(slots),
+      _slotWords(slot_words)
+{
+    if (slots == 0 || slot_words == 0)
+        fatal("MsgChannel %s: slots and slot_words must be positive",
+              name.c_str());
+    const std::size_t data_bytes = (8 + slots * slot_words) * 8;
+    _data = &cluster.allocShared(name + ".data", data_bytes, receiver);
+    _credit = &cluster.allocShared(name + ".credit", 64, sender);
+}
+
+Task<void>
+MsgChannel::send(Ctx &ctx, std::vector<Word> payload)
+{
+    if (ctx.self() != _sender)
+        fatal("MsgChannel: send from node %u, channel sender is %u",
+              unsigned(ctx.self()), unsigned(_sender));
+    payload.resize(_slotWords, 0);
+
+    // Flow control: wait until the ring has room.  The credit (head)
+    // word is homed here, so the poll is a local access.
+    while (true) {
+        const Word head = co_await ctx.read(headVa());
+        if (_sendCursor - head < _slots)
+            break;
+        co_await ctx.compute(kPoll);
+    }
+
+    // Payload: non-blocking remote writes into the receiver's slot.
+    for (std::size_t w = 0; w < _slotWords; ++w)
+        co_await ctx.write(slotVa(_sendCursor, w), payload[w]);
+    // Publication: payload must be globally performed before the tail
+    // moves (section 2.3.5).
+    co_await ctx.fence();
+    ++_sendCursor;
+    co_await ctx.write(tailVa(), _sendCursor);
+    co_await ctx.fence();
+    ++_sent;
+}
+
+Task<std::vector<Word>>
+MsgChannel::recv(Ctx &ctx)
+{
+    if (ctx.self() != _receiver)
+        fatal("MsgChannel: recv on node %u, channel receiver is %u",
+              unsigned(ctx.self()), unsigned(_receiver));
+
+    // Poll the local tail until a message is published.
+    while (co_await ctx.read(tailVa()) <= _recvCursor)
+        co_await ctx.compute(kPoll);
+
+    std::vector<Word> out(_slotWords);
+    for (std::size_t w = 0; w < _slotWords; ++w)
+        out[w] = co_await ctx.read(slotVa(_recvCursor, w));
+    ++_recvCursor;
+    ++_received;
+    // Return the credit: one remote write to the sender's head mirror.
+    co_await ctx.write(headVa(), _recvCursor);
+    co_return out;
+}
+
+Task<Word>
+MsgChannel::pending(Ctx &ctx)
+{
+    const Word tail = co_await ctx.read(tailVa());
+    co_return tail - _recvCursor;
+}
+
+} // namespace tg

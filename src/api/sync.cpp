@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Synchronization primitives built on Telegraphos atomic operations.
+ *
+ * As required by section 2.3.5, a MEMORY_BARRIER is embedded in every
+ * synchronization operation so that all outstanding (acknowledged-early)
+ * remote writes complete before the synchronization releases anyone.
+ */
+
+#include "api/cluster.hpp"
+#include "api/context.hpp"
+
+namespace tg {
+
+namespace {
+/** Spin-loop pause between lock probes (ns). */
+constexpr Tick kBackoff = 400;
+} // namespace
+
+Task<void>
+Ctx::lock(VAddr lock_va)
+{
+    for (;;) {
+        const Word old = co_await fetchStore(lock_va, 1);
+        if (old == 0)
+            break;
+        // Test-and-test-and-set: spin on (remote, blocking) reads until
+        // the lock looks free, then retry the atomic.
+        while (co_await read(lock_va) != 0)
+            co_await compute(kBackoff);
+    }
+    // Embedded MEMORY_BARRIER: the critical section must not begin
+    // before our earlier writes completed.
+    co_await fence();
+}
+
+Task<void>
+Ctx::unlock(VAddr lock_va)
+{
+    // Fence first: every write inside the critical section must be
+    // globally performed before the lock is released (section 2.3.5).
+    co_await fence();
+    co_await write(lock_va, 0);
+    co_await fence();
+}
+
+Task<void>
+Ctx::barrier(VAddr count_va, VAddr gen_va, Word parties)
+{
+    co_await fence();
+    const Word gen = co_await read(gen_va);
+    const Word arrived = co_await fetchAdd(count_va, 1) + 1;
+    if (arrived == parties) {
+        co_await write(count_va, 0);
+        co_await write(gen_va, gen + 1);
+        co_await fence();
+    } else {
+        while (co_await read(gen_va) == gen)
+            co_await compute(kBackoff);
+    }
+}
+
+} // namespace tg

@@ -1,0 +1,131 @@
+#include "coherence/directory.hpp"
+
+namespace tg::coherence {
+
+const char *
+protocolKindName(ProtocolKind k)
+{
+    switch (k) {
+      case ProtocolKind::None: return "none";
+      case ProtocolKind::Naive: return "naive-multicast";
+      case ProtocolKind::OwnerCounter: return "owner-counter";
+      case ProtocolKind::GalacticaRing: return "galactica-ring";
+      case ProtocolKind::Invalidate: return "invalidate";
+    }
+    return "?";
+}
+
+PAddr
+PageEntry::copyFrame(NodeId n) const
+{
+    auto it = copies.find(n);
+    if (it == copies.end())
+        panic("no copy of page %llx at node %u", (unsigned long long)home,
+              unsigned(n));
+    return it->second;
+}
+
+NodeId
+PageEntry::ringNext(NodeId n) const
+{
+    if (ring.empty())
+        panic("ringNext on page %llx with no ring", (unsigned long long)home);
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+        if (ring[i] == n)
+            return ring[(i + 1) % ring.size()];
+    }
+    panic("node %u not in sharing ring of page %llx", unsigned(n),
+          (unsigned long long)home);
+}
+
+Directory::Directory(System &sys, const std::string &name)
+    : SimObject(sys, name)
+{
+}
+
+Directory::~Directory() = default;
+
+PageEntry &
+Directory::create(PAddr home_frame, NodeId owner, ProtocolKind kind,
+                  Protocol *protocol)
+{
+    if (_byHome.count(home_frame))
+        panic("%s: duplicate page entry %llx", _name.c_str(),
+              (unsigned long long)home_frame);
+    auto entry = std::make_unique<PageEntry>();
+    entry->home = home_frame;
+    entry->owner = owner;
+    entry->kind = kind;
+    entry->protocol = protocol;
+    PageEntry *raw = entry.get();
+    _byHome.emplace(home_frame, std::move(entry));
+    addCopy(*raw, owner, home_frame);
+    return *raw;
+}
+
+void
+Directory::destroy(PAddr home_frame)
+{
+    auto it = _byHome.find(home_frame);
+    if (it == _byHome.end())
+        return;
+    for (auto &[node, frame] : it->second->copies)
+        _byFrame.erase(frame);
+    _byHome.erase(it);
+}
+
+void
+Directory::addCopy(PageEntry &e, NodeId node, PAddr frame)
+{
+    e.copies[node] = frame;
+    _byFrame[frame] = &e;
+}
+
+void
+Directory::removeCopy(PageEntry &e, NodeId node)
+{
+    auto it = e.copies.find(node);
+    if (it == e.copies.end())
+        return;
+    _byFrame.erase(it->second);
+    e.copies.erase(it);
+}
+
+PageEntry *
+Directory::byHome(PAddr home_frame)
+{
+    auto it = _byHome.find(home_frame);
+    return it == _byHome.end() ? nullptr : it->second.get();
+}
+
+PageEntry *
+Directory::byFrame(PAddr frame)
+{
+    auto it = _byFrame.find(frame);
+    return it == _byFrame.end() ? nullptr : it->second;
+}
+
+PageEntry *
+Directory::byAddr(PAddr addr)
+{
+    return byFrame(pageOf(addr));
+}
+
+void
+Directory::observe(std::function<void(const ApplyEvent &)> cb)
+{
+    _observers.push_back(std::move(cb));
+}
+
+void
+Directory::notifyApply(NodeId node, PAddr home_addr, Word value,
+                       NodeId origin)
+{
+    if (_observers.empty())
+        return;
+    const ApplyEvent ev{now(), node, home_addr, value, origin};
+    for (auto &o : _observers)
+        o(ev);
+}
+
+} // namespace tg::coherence

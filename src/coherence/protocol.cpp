@@ -1,0 +1,40 @@
+#include "coherence/protocol.hpp"
+
+#include "hib/hib.hpp"
+#include "node/address.hpp"
+
+namespace tg::coherence {
+
+Protocol::Protocol(System &sys, const std::string &name, Fabric &fabric)
+    : SimObject(sys, name), _fabric(fabric)
+{
+}
+
+void
+Protocol::remoteWriteAtHome(NodeId, PageEntry &, const net::Packet &)
+{
+}
+
+void
+Protocol::onCopyAdded(PageEntry &, NodeId)
+{
+}
+
+void
+Protocol::applyToCopy(NodeId n, PageEntry &e, PAddr home_addr, Word value,
+                      NodeId origin)
+{
+    const PAddr offset = home_addr % _fabric.directory().pageBytes();
+    const PAddr local = e.copyFrame(n) + offset;
+    _fabric.memOf(n).write(node::offsetOf(local), value);
+    _fabric.directory().notifyApply(n, home_addr, value, origin);
+}
+
+PAddr
+Protocol::homeAddrOf(PageEntry &e, NodeId n, PAddr local_addr) const
+{
+    (void)n;
+    return e.home + (local_addr % _fabric.directory().pageBytes());
+}
+
+} // namespace tg::coherence

@@ -1,0 +1,55 @@
+#include "hib/multicast_unit.hpp"
+
+namespace tg::hib {
+
+MulticastUnit::MulticastUnit(System &sys, const std::string &name)
+    : SimObject(sys, name)
+{
+}
+
+void
+MulticastUnit::addEntry(PAddr local_page, NodeId node, PAddr remote_page)
+{
+    if (_used >= config().multicastEntries)
+        fatal("%s: multicast list exhausted (%u entries)", _name.c_str(),
+              config().multicastEntries);
+    _table[local_page].push_back(McastDest{node, remote_page});
+    ++_used;
+}
+
+void
+MulticastUnit::removeEntry(PAddr local_page, NodeId node)
+{
+    auto it = _table.find(local_page);
+    if (it == _table.end())
+        return;
+    auto &v = it->second;
+    for (auto d = v.begin(); d != v.end(); ++d) {
+        if (d->node == node) {
+            v.erase(d);
+            --_used;
+            break;
+        }
+    }
+    if (v.empty())
+        _table.erase(it);
+}
+
+void
+MulticastUnit::removePage(PAddr local_page)
+{
+    auto it = _table.find(local_page);
+    if (it == _table.end())
+        return;
+    _used -= it->second.size();
+    _table.erase(it);
+}
+
+const std::vector<McastDest> *
+MulticastUnit::lookup(PAddr local_page) const
+{
+    auto it = _table.find(local_page);
+    return it == _table.end() ? nullptr : &it->second;
+}
+
+} // namespace tg::hib

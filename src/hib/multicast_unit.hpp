@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Eager-update multicast table (paper section 2.2.7).
+ *
+ * "Each local page can be mapped out to one or more remote pages.  Every
+ * update made by the processor to the local page is transparently sent to
+ * all remote pages."  The table holds (local page -> list of (node, remote
+ * page)) entries; Table 1 sizes it at 16 K entries of 32 bits.
+ */
+
+#ifndef TELEGRAPHOS_HIB_MULTICAST_UNIT_HPP
+#define TELEGRAPHOS_HIB_MULTICAST_UNIT_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/sim_object.hpp"
+
+namespace tg::hib {
+
+/** One multicast destination: a page on another node. */
+struct McastDest
+{
+    NodeId node;
+    PAddr pageFrame; ///< global physical page base at the destination
+};
+
+/** The HIB multicast (eager-sharing) list. */
+class MulticastUnit : public SimObject
+{
+  public:
+    MulticastUnit(System &sys, const std::string &name);
+
+    /** Map @p local_page out to (@p node, @p remote_page).  fatal() when
+     *  the table is full. */
+    void addEntry(PAddr local_page, NodeId node, PAddr remote_page);
+
+    /** Remove one destination. */
+    void removeEntry(PAddr local_page, NodeId node);
+
+    /** Drop all destinations of @p local_page. */
+    void removePage(PAddr local_page);
+
+    /** Destinations of @p local_page (nullptr when none). */
+    const std::vector<McastDest> *lookup(PAddr local_page) const;
+
+    /** Total entries across all pages. */
+    std::size_t used() const { return _used; }
+
+  private:
+    std::unordered_map<PAddr, std::vector<McastDest>> _table;
+    std::size_t _used = 0;
+};
+
+} // namespace tg::hib
+
+#endif // TELEGRAPHOS_HIB_MULTICAST_UNIT_HPP

@@ -1,0 +1,45 @@
+#include "hib/outstanding.hpp"
+
+namespace tg::hib {
+
+Outstanding::Outstanding(System &sys, const std::string &name)
+    : SimObject(sys, name)
+{
+}
+
+void
+Outstanding::add(std::uint64_t n)
+{
+    _current += n;
+    _total += n;
+    if (_current > _peak)
+        _peak = _current;
+}
+
+void
+Outstanding::complete(std::uint64_t n)
+{
+    if (n > _current)
+        panic("%s: completing %llu ops with only %llu outstanding",
+              _name.c_str(), (unsigned long long)n,
+              (unsigned long long)_current);
+    _current -= n;
+    if (_current == 0 && !_waiters.empty()) {
+        auto waiters = std::move(_waiters);
+        _waiters.clear();
+        for (auto &w : waiters)
+            w();
+    }
+}
+
+void
+Outstanding::waitDrain(std::function<void()> cb)
+{
+    if (_current == 0) {
+        cb();
+        return;
+    }
+    _waiters.push_back(std::move(cb));
+}
+
+} // namespace tg::hib

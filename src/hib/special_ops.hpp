@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Launching of special operations (paper sections 2.2.4-2.2.5).
+ *
+ * Atomic and remote-copy operations need more than one instruction to
+ * launch.  The two prototypes differ:
+ *
+ *  - Telegraphos I: the HIB is put into a *special mode* in which stores
+ *    to remote/shared addresses are interpreted as argument-passing (the
+ *    TLB still checks access rights); the whole sequence runs inside
+ *    uninterruptible PAL code.
+ *
+ *  - Telegraphos II: per-process *Telegraphos contexts* hold arguments in
+ *    HIB registers mapped into the process's address space; physical
+ *    addresses are communicated by stores to *shadow addresses*, verified
+ *    by a per-context *key*.  Context contents survive context switches.
+ *
+ * This unit models the register file and the capture/decode logic; the
+ * Hib itself executes launches (it owns the network paths).
+ */
+
+#ifndef TELEGRAPHOS_HIB_SPECIAL_OPS_HPP
+#define TELEGRAPHOS_HIB_SPECIAL_OPS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "node/address.hpp"
+#include "sim/sim_object.hpp"
+
+namespace tg::hib {
+
+/** Special operation opcodes written to op registers. */
+enum class SpecialOp : Word
+{
+    None = 0,
+    FetchStore = 1,
+    FetchInc = 2,
+    Cas = 3,
+    Copy = 4,
+};
+
+/** Snapshot of launch arguments assembled in a context / special regs. */
+struct LaunchArgs
+{
+    SpecialOp op = SpecialOp::None;
+    PAddr srcPa = 0;  ///< target of atomics; source of copies
+    PAddr dstPa = 0;  ///< destination of copies
+    Word datum = 0;   ///< first operand
+    Word datum2 = 0;  ///< second operand (CAS new value)
+    bool srcValid = false;
+    bool dstValid = false;
+};
+
+/**
+ * Encode the argument of a store to shadow space: which context, which
+ * address field, and the authentication key (paper section 2.2.5: "the
+ * lowest bits of the argument of the store operation constitute a key").
+ */
+constexpr Word
+shadowStoreArg(std::uint32_t ctx, bool dst_field, std::uint32_t key)
+{
+    return (Word(dst_field ? 1 : 0) << 56) | (Word(ctx) << 32) | Word(key);
+}
+
+/**
+ * Encode a FLASH-style shadow store (paper section 2.2.5): no context id
+ * and no key in the argument — the HIB deposits the address into the
+ * context selected by its PID register, which the *operating system*
+ * must save/restore on every context switch.  Telegraphos rejects this
+ * because it requires distributing a modified OS; modelling it lets
+ * experiment A1 quantify the trade.
+ */
+constexpr Word
+flashShadowArg(bool dst_field)
+{
+    return (Word(1) << 57) | (Word(dst_field ? 1 : 0) << 56);
+}
+
+/** True when a shadow-store argument uses the FLASH PID convention. */
+constexpr bool
+isFlashShadowArg(Word store_value)
+{
+    return (store_value >> 57) & 1;
+}
+
+/** Context register file + Telegraphos I special-mode state machine. */
+class SpecialOpsUnit : public SimObject
+{
+  public:
+    SpecialOpsUnit(System &sys, const std::string &name);
+
+    // ------------------------------------------------------------------
+    // Telegraphos II: contexts, keys, shadow addressing
+    // ------------------------------------------------------------------
+
+    /** OS call: bind @p key to context @p idx (at process setup). */
+    void assignKey(std::uint32_t idx, std::uint32_t key);
+
+    /** HIB register page base of context @p idx (node-local offset). */
+    static PAddr
+    contextRegBase(std::uint32_t idx)
+    {
+        return node::kRegContextBase + PAddr(idx) * node::kContextStride;
+    }
+
+    /**
+     * Decode a store to HIB register space as a context field write.
+     * @return true when @p reg_offset addressed a context register.
+     */
+    bool ctxWrite(PAddr reg_offset, Word value);
+
+    /** True when @p reg_offset is the GO register of some context. */
+    bool isGo(PAddr reg_offset, std::uint32_t &ctx_out) const;
+
+    /**
+     * Capture a physical address arriving through shadow space.
+     * Validates the key; on mismatch the store is dropped and counted
+     * (the paper's authenticity check).
+     * @return true when accepted.
+     */
+    bool shadowCapture(PAddr stripped_pa, Word store_value);
+
+    // ------------------------------------------------------------------
+    // FLASH-style PID register (paper section 2.2.5, for experiment A1)
+    // ------------------------------------------------------------------
+
+    /** OS context-switch hook: select the running process's context. */
+    void setPid(std::uint32_t ctx_idx) { _pid = ctx_idx; }
+    std::uint32_t pid() const { return _pid; }
+
+    /**
+     * Capture a shadow store under the FLASH convention: the address
+     * lands in the context named by the PID register — right or wrong.
+     */
+    void shadowCapturePid(PAddr stripped_pa, Word store_value);
+
+    /** Arguments currently assembled in context @p idx. */
+    LaunchArgs args(std::uint32_t idx) const;
+
+    /** Clear validity after a launch so stale addresses cannot be reused. */
+    void consume(std::uint32_t idx);
+
+    // ------------------------------------------------------------------
+    // Telegraphos I: special mode
+    // ------------------------------------------------------------------
+
+    /** Enter/leave special mode (store to kRegSpecialMode). */
+    void setSpecialMode(bool on);
+    bool specialMode() const { return _specialMode; }
+
+    /** Capture a store seen while in special mode (1st = src, 2nd = dst). */
+    void captureAddress(PAddr pa);
+
+    /** Writes to the Telegraphos I special op/datum registers. */
+    bool specialRegWrite(PAddr reg_offset, Word value);
+
+    /** Arguments assembled via special mode. */
+    LaunchArgs specialArgs() const { return _special; }
+
+    /** Restore a clean state (e.g. after a fault inside PAL code). */
+    void resetSpecial();
+
+    std::uint64_t keyViolations() const { return _keyViolations; }
+
+  private:
+    struct Context
+    {
+        std::uint32_t key = 0;
+        LaunchArgs args;
+    };
+
+    std::vector<Context> _contexts;
+    std::uint64_t _keyViolations = 0;
+    std::uint32_t _pid = 0;
+
+    bool _specialMode = false;
+    std::uint32_t _captured = 0;
+    LaunchArgs _special;
+};
+
+} // namespace tg::hib
+
+#endif // TELEGRAPHOS_HIB_SPECIAL_OPS_HPP

@@ -1,0 +1,33 @@
+#include "hwcost/directory_cost.hpp"
+
+namespace tg::hwcost {
+
+double
+fullMapDirectoryKbits(const DirectorySpec &spec)
+{
+    // Telegraphos I provisions statically: every node carries directory
+    // state (copy bit-vector + page state) for the *entire* shared
+    // space of the cluster, because any page may end up shared with it
+    // — this is the "few megabits of directory SRAM" of section 3.1.
+    const double total_pages =
+        double(spec.sharedPages) * double(spec.nodes);
+    const double per_page = double(spec.nodes) + spec.stateBitsPerPage;
+    return total_pages * per_page / 1024.0;
+}
+
+double
+ownerBasedDirectoryKbits(const DirectorySpec &spec)
+{
+    // Owner side: copy bit-vector + state for owned pages only.
+    const double owner_side =
+        spec.sharedPages * (double(spec.nodes) + spec.stateBitsPerPage);
+    // Non-owner side: just the owner id per remotely-mapped page plus
+    // the bounded counter cache.
+    const double owner_id_bits = 16.0; // node id field
+    const double non_owner_side =
+        spec.sharedPages * owner_id_bits +
+        double(spec.counterCacheEntries) * spec.counterEntryBits;
+    return (owner_side + non_owner_side) / 1024.0;
+}
+
+} // namespace tg::hwcost

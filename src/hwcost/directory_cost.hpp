@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Directory SRAM sizing model (paper section 3.1).
+ *
+ * "Telegraphos I also uses a few megabits of directory SRAM ...  If the
+ * ownership-counter-based protocol is implemented in future versions of
+ * Telegraphos, the directory size will be significantly reduced."
+ *
+ * Two organizations are modelled:
+ *
+ *  - full map: every node keeps, for every locally-homed shared page, a
+ *    full bit vector of the cluster (who has a copy) plus per-page
+ *    state — what Telegraphos I provisions for;
+ *
+ *  - owner-based: only the *owner* of a page keeps the copy list
+ *    (section 2.3.1: "only the owner of a page needs to hold and
+ *    maintain the full list"), and non-owners keep just the owner id
+ *    and the (bounded) counter cache — the reduction the paper
+ *    predicts.
+ */
+
+#ifndef TELEGRAPHOS_HWCOST_DIRECTORY_COST_HPP
+#define TELEGRAPHOS_HWCOST_DIRECTORY_COST_HPP
+
+#include <cstdint>
+
+#include "sim/config.hpp"
+
+namespace tg::hwcost {
+
+/** Parameters of the directory sizing question. */
+struct DirectorySpec
+{
+    std::uint32_t nodes = 8;          ///< cluster size
+    std::uint32_t sharedPages = 2048; ///< locally-homed shared pages/node
+    std::uint32_t stateBitsPerPage = 4;
+    std::uint32_t counterCacheEntries = 16;
+    /** Bits per counter-cache entry: tag (word address) + count. */
+    std::uint32_t counterEntryBits = 48 + 8;
+};
+
+/** Per-node directory SRAM, full-map organization (Kbits). */
+double fullMapDirectoryKbits(const DirectorySpec &spec);
+
+/** Per-node directory SRAM, owner-based organization (Kbits). */
+double ownerBasedDirectoryKbits(const DirectorySpec &spec);
+
+} // namespace tg::hwcost
+
+#endif // TELEGRAPHOS_HWCOST_DIRECTORY_COST_HPP

@@ -1,0 +1,104 @@
+#include "hwcost/gate_count.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+namespace tg::hwcost {
+
+namespace {
+
+std::string
+fmt(const char *f, ...)
+{
+    char buf[128];
+    va_list ap;
+    va_start(ap, f);
+    std::vsnprintf(buf, sizeof(buf), f, ap);
+    va_end(ap);
+    return buf;
+}
+
+} // namespace
+
+std::vector<BlockCost>
+hibGateCount(const Config &cfg)
+{
+    std::vector<BlockCost> rows;
+
+    // --- message-related blocks -------------------------------------
+    rows.push_back({"Central control", 1000, 0.5, "", false});
+    rows.push_back({"Turbochannel interface", 550, 0,
+                    "300 gates + 64 bits of registers", false});
+
+    // Link FIFOs: one 128-bit slot per buffered packet.
+    const double fifo_kbits =
+        cfg.hibFifoPackets * (cfg.packetHeaderBytes * 8.0) / 1024.0;
+    rows.push_back({"Incoming link intf.", 1000, fifo_kbits,
+                    fmt("%g+%g Kb of synchr. (2-port) FIFO's",
+                        fifo_kbits, fifo_kbits),
+                    false});
+    rows.push_back({"Outgoing link intf.", 750, fifo_kbits, "", false});
+
+    BlockCost msg_subtotal{"Subtotal message related", 0, 0, "", true};
+    for (const auto &r : rows) {
+        msg_subtotal.gates += r.gates;
+        msg_subtotal.sramKbits += r.sramKbits;
+    }
+    rows.push_back(msg_subtotal);
+
+    // --- shared-memory related blocks --------------------------------
+    // Three atomic operations at ~500 gate-equivalents of RMW datapath
+    // and sequencing each.
+    rows.push_back({"Atomic operations", 1500, 0, "", false});
+
+    const double mcast_kbits = cfg.multicastEntries * 32.0 / 1024.0;
+    rows.push_back({"Multicast (eager sharing)", 400, mcast_kbits,
+                    fmt("%u K multicast list entries x 32 bits",
+                        cfg.multicastEntries / 1024),
+                    false});
+
+    const double ctr_kbits =
+        cfg.counterPages * (2.0 * cfg.pageCounterBits) / 1024.0;
+    rows.push_back({"Page Access Counters", 800, ctr_kbits,
+                    fmt("%u K pages x (%u+%u) bits", cfg.counterPages / 1024,
+                        cfg.pageCounterBits, cfg.pageCounterBits),
+                    false});
+
+    rows.push_back({"Multiproc. Mem. (MPM)", 0, 0,
+                    "16 MBytes = 128 Mbits of DRAM", false});
+
+    BlockCost shm_subtotal{"Subtotal shared mem. rel.", 0, 0, "", true};
+    for (std::size_t i = rows.size() - 4; i < rows.size(); ++i) {
+        shm_subtotal.gates += rows[i].gates;
+        shm_subtotal.sramKbits += rows[i].sramKbits;
+    }
+    rows.push_back(shm_subtotal);
+
+    return rows;
+}
+
+std::string
+renderGateCountTable(const std::vector<BlockCost> &rows)
+{
+    std::ostringstream os;
+    os << fmt("%-28s %8s %10s  %s\n", "Block", "Logic", "SRAM", "Notes:");
+    os << fmt("%-28s %8s %10s\n", "", "(gates)", "(Kbits)");
+    for (const auto &r : rows) {
+        char sram[32] = "";
+        if (r.sramKbits > 0) {
+            if (r.sramKbits == static_cast<int>(r.sramKbits))
+                std::snprintf(sram, sizeof(sram), "%d",
+                              static_cast<int>(r.sramKbits));
+            else
+                std::snprintf(sram, sizeof(sram), "%.1f", r.sramKbits);
+        }
+        os << fmt("%-28s %8u %10s  %s\n", r.block.c_str(), r.gates, sram,
+                  r.notes.c_str());
+        if (r.subtotal)
+            os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace tg::hwcost

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Parametric hardware cost model of the Telegraphos I HIB.
+ *
+ * Reproduces Table 1 of the paper ("Gate Count for Telegraphos I HIB")
+ * from the configured design parameters, so that sizing ablations (FIFO
+ * depth, multicast list entries, counter coverage) update the table
+ * consistently.  At the default configuration the rows match the paper
+ * exactly.
+ */
+
+#ifndef TELEGRAPHOS_HWCOST_GATE_COUNT_HPP
+#define TELEGRAPHOS_HWCOST_GATE_COUNT_HPP
+
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+
+namespace tg::hwcost {
+
+/** One row of Table 1. */
+struct BlockCost
+{
+    std::string block;
+    std::uint32_t gates = 0;   ///< random-logic gate equivalent
+    double sramKbits = 0;      ///< on-board SRAM, Kbits (0 = none)
+    std::string notes;
+    bool subtotal = false;     ///< a subtotal row
+};
+
+/** Compute the Table 1 rows for configuration @p cfg. */
+std::vector<BlockCost> hibGateCount(const Config &cfg);
+
+/** Render the table in the paper's layout. */
+std::string renderGateCountTable(const std::vector<BlockCost> &rows);
+
+} // namespace tg::hwcost
+
+#endif // TELEGRAPHOS_HWCOST_GATE_COUNT_HPP

@@ -1,0 +1,84 @@
+#include "net/link.hpp"
+
+#include <cmath>
+
+namespace tg::net {
+
+Channel::Channel(System &sys, const std::string &name,
+                 std::vector<Lane> lanes, double bytes_per_tick, Tick delay)
+    : SimObject(sys, name), _lanes(std::move(lanes)), _bw(bytes_per_tick),
+      _delay(delay)
+{
+    if (_bw <= 0)
+        fatal("%s: link bandwidth must be positive", name.c_str());
+    if (_lanes.empty())
+        fatal("%s: channel needs at least one lane", name.c_str());
+    for (auto &lane : _lanes) {
+        lane.up->onData([this] { pump(); });
+        lane.down->onSpace([this] { pump(); });
+    }
+}
+
+Channel::Channel(System &sys, const std::string &name,
+                 BoundedQueue &upstream, BoundedQueue &downstream,
+                 double bytes_per_tick, Tick delay)
+    : Channel(sys, name, std::vector<Lane>{Lane{&upstream, &downstream}},
+              bytes_per_tick, delay)
+{
+}
+
+void
+Channel::pump()
+{
+    if (_busy)
+        return;
+
+    // Round-robin over lanes: pick the first one that has a packet and a
+    // reservable downstream slot.  Lanes are independently buffered, so a
+    // blocked VC never stalls the other — the property the dateline
+    // deadlock-avoidance scheme needs.
+    Lane *lane = nullptr;
+    for (std::size_t i = 0; i < _lanes.size(); ++i) {
+        Lane &cand = _lanes[(_rr + i) % _lanes.size()];
+        if (!cand.up->empty() && cand.down->reserve()) {
+            lane = &cand;
+            _rr = (_rr + i + 1) % _lanes.size();
+            break;
+        }
+    }
+    if (!lane)
+        return;
+
+    Packet pkt = lane->up->pop();
+    const std::uint32_t bytes = pkt.wireBytes(config().packetHeaderBytes);
+    const Tick ser =
+        static_cast<Tick>(std::ceil(static_cast<double>(bytes) / _bw));
+
+    _busy = true;
+    ++_packets;
+    _bytes += bytes;
+    _busyTicks += ser;
+
+    Trace::log(now(), "net", "%s xmit %s (%u B, ser %llu)", _name.c_str(),
+               pkt.toString().c_str(), bytes, (unsigned long long)ser);
+
+    // The wire frees after serialization; the packet lands after
+    // serialization + propagation delay.
+    schedule(ser, [this] {
+        _busy = false;
+        pump();
+    });
+    schedule(ser + _delay, [down = lane->down, pkt = std::move(pkt)]() mutable {
+        down->pushReserved(std::move(pkt));
+    });
+}
+
+double
+Channel::utilization() const
+{
+    Tick t = now();
+    return t == 0 ? 0.0
+                  : static_cast<double>(_busyTicks) / static_cast<double>(t);
+}
+
+} // namespace tg::net

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unidirectional link channel between bounded queues.
+ *
+ * Models one direction of a Telegraphos ribbon-cable link: finite
+ * bandwidth (serialization time proportional to wire size), propagation
+ * delay, and credit-style back-pressure (a transfer begins only after a
+ * slot in the downstream queue has been reserved).
+ *
+ * A physical link can carry several *virtual channels* (paper reference
+ * [17], "VC-level Flow Control"): each VC is a lane with its own
+ * upstream/downstream buffer pair, and the lanes share the wire with
+ * round-robin arbitration.  Independent VC buffering is what makes the
+ * ring topology deadlock-free (dateline routing, see net/network.cpp).
+ */
+
+#ifndef TELEGRAPHOS_NET_LINK_HPP
+#define TELEGRAPHOS_NET_LINK_HPP
+
+#include <vector>
+
+#include "net/queue.hpp"
+#include "sim/sim_object.hpp"
+#include "sim/stats.hpp"
+
+namespace tg::net {
+
+/**
+ * Pumps packets from upstream queues into downstream queues over one
+ * shared physical wire.
+ *
+ * The channel is busy for the serialization time of each packet; the
+ * packet arrives downstream after serialization + propagation delay.
+ * Per-lane delivery is in order (FIFO lanes, single server).
+ */
+class Channel : public SimObject
+{
+  public:
+    /** One virtual-channel lane. */
+    struct Lane
+    {
+        BoundedQueue *up;
+        BoundedQueue *down;
+    };
+
+    /** Multi-VC channel over @p lanes. */
+    Channel(System &sys, const std::string &name, std::vector<Lane> lanes,
+            double bytes_per_tick, Tick delay);
+
+    /** Convenience: single-lane channel. */
+    Channel(System &sys, const std::string &name, BoundedQueue &upstream,
+            BoundedQueue &downstream, double bytes_per_tick, Tick delay);
+
+    /** Total packets moved. */
+    std::uint64_t packets() const { return _packets; }
+
+    /** Total payload+header bytes moved. */
+    std::uint64_t bytes() const { return _bytes; }
+
+    /** Fraction of time the wire was busy up to now. */
+    double utilization() const;
+
+  private:
+    void pump();
+
+    std::vector<Lane> _lanes;
+    std::size_t _rr = 0; ///< round-robin arbitration pointer
+    double _bw;
+    Tick _delay;
+    bool _busy = false;
+    std::uint64_t _packets = 0;
+    std::uint64_t _bytes = 0;
+    Tick _busyTicks = 0;
+};
+
+} // namespace tg::net
+
+#endif // TELEGRAPHOS_NET_LINK_HPP

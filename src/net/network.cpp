@@ -1,0 +1,162 @@
+#include "net/network.hpp"
+
+#include <cstdlib>
+
+namespace tg::net {
+
+Network::Network(System &sys, const std::string &name,
+                 const TopologySpec &spec)
+    : SimObject(sys, name), _spec(spec)
+{
+    _spec.validate();
+
+    const std::size_t nsw = _spec.numSwitches();
+    for (std::size_t s = 0; s < nsw; ++s) {
+        _switches.push_back(std::make_unique<Switch>(
+            sys, name + ".sw" + std::to_string(s), _spec.portsPerSwitch(),
+            /*vcs=*/2));
+    }
+
+    // Trunk channels between adjacent switches (chain/ring).  Each
+    // direction is one physical wire carrying both VCs.
+    const double bw = config().linkBytesPerTick;
+    const Tick delay = config().linkDelay;
+    const std::size_t right = _spec.nodesPerSwitch;    // trunk port to s+1
+    const std::size_t left = _spec.nodesPerSwitch + 1; // trunk port to s-1
+
+    auto trunk_lanes = [&](std::size_t a, std::size_t pa, std::size_t b,
+                           std::size_t pb) {
+        std::vector<Channel::Lane> lanes;
+        for (std::size_t v = 0; v < 2; ++v)
+            lanes.push_back(Channel::Lane{&_switches[a]->outQueue(pa, v),
+                                          &_switches[b]->inQueue(pb, v)});
+        return lanes;
+    };
+    auto trunk = [&](std::size_t a, std::size_t pa, std::size_t b,
+                     std::size_t pb) {
+        _channels.push_back(std::make_unique<Channel>(
+            _sys,
+            name + ".trunk" + std::to_string(a) + "to" + std::to_string(b),
+            trunk_lanes(a, pa, b, pb), bw, delay));
+        _channels.push_back(std::make_unique<Channel>(
+            _sys,
+            name + ".trunk" + std::to_string(b) + "to" + std::to_string(a),
+            trunk_lanes(b, pb, a, pa), bw, delay));
+    };
+
+    if (_spec.kind != TopologyKind::Star) {
+        for (std::size_t s = 0; s + 1 < nsw; ++s)
+            trunk(s, right, s + 1, left);
+        if (_spec.kind == TopologyKind::Ring && nsw > 2)
+            trunk(nsw - 1, right, 0, left);
+    }
+
+    // Dateline deadlock avoidance on the ring (paper reference [17]:
+    // VC-level flow control): a packet that crosses the wrap link is
+    // bumped to the escape VC, breaking the cyclic buffer dependency.
+    if (_spec.kind == TopologyKind::Ring) {
+        for (std::size_t s = 0; s < nsw; ++s) {
+            const bool wraps_right = (s == nsw - 1);
+            const bool wraps_left = (s == 0);
+            _switches[s]->setVcMap(
+                [right, left, wraps_right, wraps_left](
+                    const Packet &, std::size_t out_port,
+                    std::uint8_t in_vc) -> std::uint8_t {
+                    if (out_port == right && wraps_right)
+                        return 1;
+                    if (out_port == left && wraps_left)
+                        return 1;
+                    return in_vc;
+                });
+        }
+    }
+
+    buildRoutes();
+}
+
+void
+Network::attach(NodeId id, NodeEndpoint &ep)
+{
+    if (id >= _spec.nodes)
+        fatal("attach of node %u beyond topology size %zu", unsigned(id),
+              _spec.nodes);
+
+    const std::size_t sw = _spec.switchOf(id);
+    const std::size_t port = _spec.portOf(id);
+    const double bw = config().linkBytesPerTick;
+    const Tick delay = config().linkDelay;
+
+    // Nodes inject on VC0; the downlink drains both VCs into the node's
+    // single ingress FIFO (a flow always uses one VC sequence, so this
+    // never reorders a flow).
+    _channels.push_back(std::make_unique<Channel>(
+        _sys, _name + ".up" + std::to_string(id), ep.egress(),
+        _switches[sw]->inQueue(port, 0), bw, delay));
+    _channels.push_back(std::make_unique<Channel>(
+        _sys, _name + ".down" + std::to_string(id),
+        std::vector<Channel::Lane>{
+            Channel::Lane{&_switches[sw]->outQueue(port, 0), &ep.ingress()},
+            Channel::Lane{&_switches[sw]->outQueue(port, 1),
+                          &ep.ingress()}},
+        bw, delay));
+}
+
+int
+Network::trunkDirection(std::size_t s, std::size_t t) const
+{
+    const std::size_t nsw = _spec.numSwitches();
+    if (_spec.kind == TopologyKind::Chain)
+        return t > s ? +1 : -1;
+    // Ring: shortest direction, ties broken towards increasing index so
+    // that routing is deterministic (required for in-order delivery).
+    const std::size_t fwd = (t + nsw - s) % nsw;
+    const std::size_t bwd = (s + nsw - t) % nsw;
+    return fwd <= bwd ? +1 : -1;
+}
+
+void
+Network::buildRoutes()
+{
+    const std::size_t right = _spec.nodesPerSwitch;
+    const std::size_t left = _spec.nodesPerSwitch + 1;
+
+    for (std::size_t s = 0; s < _switches.size(); ++s) {
+        for (std::size_t n = 0; n < _spec.nodes; ++n) {
+            const std::size_t t = _spec.switchOf(n);
+            std::size_t port;
+            if (t == s)
+                port = _spec.portOf(n);
+            else
+                port = trunkDirection(s, t) > 0 ? right : left;
+            _switches[s]->setRoute(static_cast<NodeId>(n), port);
+        }
+    }
+}
+
+std::uint64_t
+Network::switchForwarded() const
+{
+    std::uint64_t total = 0;
+    for (const auto &sw : _switches)
+        total += sw->forwarded();
+    return total;
+}
+
+std::size_t
+Network::hops(NodeId a, NodeId b) const
+{
+    if (a == b)
+        return 0;
+    const std::size_t sa = _spec.switchOf(a);
+    const std::size_t sb = _spec.switchOf(b);
+    if (_spec.kind == TopologyKind::Star || sa == sb)
+        return 1;
+    if (_spec.kind == TopologyKind::Chain)
+        return 1 + (sa > sb ? sa - sb : sb - sa);
+    const std::size_t nsw = _spec.numSwitches();
+    const std::size_t fwd = (sb + nsw - sa) % nsw;
+    const std::size_t bwd = (sa + nsw - sb) % nsw;
+    return 1 + std::min(fwd, bwd);
+}
+
+} // namespace tg::net

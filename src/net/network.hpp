@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Network: switches + channels wired into a topology, with node
+ * attachment points for HIBs.
+ */
+
+#ifndef TELEGRAPHOS_NET_NETWORK_HPP
+#define TELEGRAPHOS_NET_NETWORK_HPP
+
+#include <memory>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/switch.hpp"
+#include "net/topology.hpp"
+#include "sim/sim_object.hpp"
+
+namespace tg::net {
+
+/**
+ * Attachment point a node's HIB presents to the network: an egress FIFO
+ * the network drains and an ingress FIFO the network fills.
+ */
+class NodeEndpoint
+{
+  public:
+    virtual ~NodeEndpoint() = default;
+
+    /** Node-to-network FIFO (the HIB's outgoing link interface). */
+    virtual BoundedQueue &egress() = 0;
+
+    /** Network-to-node FIFO (the HIB's incoming link interface). */
+    virtual BoundedQueue &ingress() = 0;
+};
+
+/**
+ * The full interconnect: builds switches and channels for a TopologySpec
+ * and routes packets between attached node endpoints.
+ */
+class Network : public SimObject
+{
+  public:
+    Network(System &sys, const std::string &name, const TopologySpec &spec);
+
+    /** Attach node @p id (must be called for every id before traffic). */
+    void attach(NodeId id, NodeEndpoint &ep);
+
+    const TopologySpec &spec() const { return _spec; }
+
+    /** Total packets forwarded by all switches. */
+    std::uint64_t switchForwarded() const;
+
+    /** Number of hops between two nodes (for analytical latency checks). */
+    std::size_t hops(NodeId a, NodeId b) const;
+
+  private:
+    void buildRoutes();
+    /** Trunk direction from switch s towards switch t: +1 right, -1 left. */
+    int trunkDirection(std::size_t s, std::size_t t) const;
+
+    TopologySpec _spec;
+    std::vector<std::unique_ptr<Switch>> _switches;
+    std::vector<std::unique_ptr<Channel>> _channels;
+};
+
+} // namespace tg::net
+
+#endif // TELEGRAPHOS_NET_NETWORK_HPP

@@ -1,0 +1,45 @@
+#include "net/packet.hpp"
+
+#include <cstdio>
+
+namespace tg::net {
+
+const char *
+packetTypeName(PacketType t)
+{
+    switch (t) {
+      case PacketType::WriteReq: return "WriteReq";
+      case PacketType::WriteAck: return "WriteAck";
+      case PacketType::ReadReq: return "ReadReq";
+      case PacketType::ReadReply: return "ReadReply";
+      case PacketType::CopyReq: return "CopyReq";
+      case PacketType::CopyData: return "CopyData";
+      case PacketType::AtomicReq: return "AtomicReq";
+      case PacketType::AtomicReply: return "AtomicReply";
+      case PacketType::EagerWrite: return "EagerWrite";
+      case PacketType::Update: return "Update";
+      case PacketType::UpdateAck: return "UpdateAck";
+      case PacketType::WriteOwner: return "WriteOwner";
+      case PacketType::RingUpdate: return "RingUpdate";
+      case PacketType::InvReq: return "InvReq";
+      case PacketType::InvAck: return "InvAck";
+      case PacketType::PageReq: return "PageReq";
+      case PacketType::PageData: return "PageData";
+      case PacketType::Message: return "Message";
+    }
+    return "?";
+}
+
+std::string
+Packet::toString() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s %u->%u addr=%llx val=%llu origin=%u seq=%llu",
+                  packetTypeName(type), unsigned(src), unsigned(dst),
+                  (unsigned long long)addr, (unsigned long long)value,
+                  unsigned(origin), (unsigned long long)seq);
+    return buf;
+}
+
+} // namespace tg::net

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Bounded FIFO packet queue with reservation-based back-pressure.
+ *
+ * Every buffering point in the model (HIB link FIFOs, switch shared-buffer
+ * shares) is a BoundedQueue.  Producers *reserve* a slot before starting a
+ * transfer so that back-pressure propagates correctly: a transfer only
+ * starts when the downstream buffer is guaranteed to have room, exactly
+ * like the credit-based flow control of the real Telegraphos links
+ * (paper references [16, 17]).
+ */
+
+#ifndef TELEGRAPHOS_NET_QUEUE_HPP
+#define TELEGRAPHOS_NET_QUEUE_HPP
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/log.hpp"
+
+namespace tg::net {
+
+/**
+ * Bounded FIFO with slot reservation.
+ *
+ * Capacity counts both queued packets and outstanding reservations.
+ * Listeners (onData / onSpace) are invoked synchronously; they must be
+ * idempotent "pump" functions that re-check state.
+ */
+class BoundedQueue
+{
+  public:
+    using Listener = std::function<void()>;
+
+    explicit BoundedQueue(std::size_t capacity) : _capacity(capacity)
+    {
+        if (capacity == 0)
+            panic("BoundedQueue capacity must be > 0");
+    }
+
+    std::size_t capacity() const { return _capacity; }
+    std::size_t size() const { return _q.size(); }
+    bool empty() const { return _q.empty(); }
+
+    /** True if a new reservation would be refused. */
+    bool full() const { return _q.size() + _reserved >= _capacity; }
+
+    /** Try to claim a slot ahead of a future pushReserved(). */
+    bool
+    reserve()
+    {
+        if (full())
+            return false;
+        ++_reserved;
+        return true;
+    }
+
+    /** Release an unused reservation. */
+    void
+    cancelReservation()
+    {
+        if (_reserved == 0)
+            panic("cancelReservation with no reservation");
+        --_reserved;
+        notify(_on_space);
+    }
+
+    /** Fill a previously reserved slot. */
+    void
+    pushReserved(Packet &&p)
+    {
+        if (_reserved == 0)
+            panic("pushReserved with no reservation");
+        --_reserved;
+        _q.push_back(std::move(p));
+        notify(_on_data);
+    }
+
+    /** Push without prior reservation (panics when full). */
+    void
+    push(Packet &&p)
+    {
+        if (full())
+            panic("push into full queue");
+        _q.push_back(std::move(p));
+        notify(_on_data);
+    }
+
+    /** Front packet (queue must be non-empty). */
+    const Packet &
+    front() const
+    {
+        if (_q.empty())
+            panic("front of empty queue");
+        return _q.front();
+    }
+
+    /** Remove and return the front packet; wakes space listeners. */
+    Packet
+    pop()
+    {
+        if (_q.empty())
+            panic("pop of empty queue");
+        Packet p = std::move(_q.front());
+        _q.pop_front();
+        notify(_on_space);
+        return p;
+    }
+
+    /** Subscribe to "a packet was enqueued". */
+    void onData(Listener l) { _on_data.push_back(std::move(l)); }
+
+    /** Subscribe to "a slot was freed". */
+    void onSpace(Listener l) { _on_space.push_back(std::move(l)); }
+
+  private:
+    void
+    notify(std::vector<Listener> &ls)
+    {
+        for (auto &l : ls)
+            l();
+    }
+
+    std::size_t _capacity;
+    std::size_t _reserved = 0;
+    std::deque<Packet> _q;
+    std::vector<Listener> _on_data;
+    std::vector<Listener> _on_space;
+};
+
+} // namespace tg::net
+
+#endif // TELEGRAPHOS_NET_QUEUE_HPP

@@ -1,0 +1,86 @@
+#include "net/switch.hpp"
+
+namespace tg::net {
+
+Switch::Switch(System &sys, const std::string &name, std::size_t ports,
+               std::size_t vcs)
+    : SimObject(sys, name), _ports(ports), _vcs(vcs),
+      _busy(ports * vcs, false)
+{
+    if (vcs == 0)
+        fatal("%s: need at least one VC", name.c_str());
+    const std::size_t cap = config().switchQueuePackets;
+    _in.reserve(ports * vcs);
+    _out.reserve(ports * vcs);
+    for (std::size_t p = 0; p < ports; ++p) {
+        for (std::size_t v = 0; v < vcs; ++v) {
+            _in.push_back(std::make_unique<BoundedQueue>(cap));
+            _out.push_back(std::make_unique<BoundedQueue>(cap));
+            _in.back()->onData([this, p, v] { pump(p, v); });
+            // An input may be stalled on a full output; wake everything
+            // when any output drains (inputs re-check their own head).
+            _out.back()->onSpace([this] { pumpAll(); });
+        }
+    }
+}
+
+void
+Switch::setRoute(NodeId node, std::size_t port)
+{
+    if (port >= _ports)
+        fatal("%s: route to port %zu of %zu", _name.c_str(), port, _ports);
+    if (_routes.size() <= node)
+        _routes.resize(node + 1, SIZE_MAX);
+    _routes[node] = port;
+}
+
+std::size_t
+Switch::route(NodeId node) const
+{
+    if (node >= _routes.size() || _routes[node] == SIZE_MAX)
+        panic("%s: no route for node %u", _name.c_str(), unsigned(node));
+    return _routes[node];
+}
+
+void
+Switch::pumpAll()
+{
+    for (std::size_t p = 0; p < _ports; ++p)
+        for (std::size_t v = 0; v < _vcs; ++v)
+            pump(p, v);
+}
+
+void
+Switch::pump(std::size_t port, std::size_t vc)
+{
+    BoundedQueue &in = *_in[idx(port, vc)];
+    if (_busy[idx(port, vc)] || in.empty())
+        return;
+
+    const Packet &head = in.front();
+    const std::size_t out = route(head.dst);
+    const std::uint8_t out_vc =
+        _vcMap ? _vcMap(head, out, std::uint8_t(vc)) : std::uint8_t(vc);
+    if (out_vc >= _vcs)
+        panic("%s: VC map produced vc %u of %zu", _name.c_str(),
+              unsigned(out_vc), _vcs);
+
+    BoundedQueue &oq = *_out[idx(out, out_vc)];
+    if (!oq.reserve())
+        return; // back-pressure: wait for the (VC-private) output buffer
+
+    _busy[idx(port, vc)] = true;
+    schedule(config().switchLatency, [this, port, vc, out, out_vc] {
+        Packet pkt = _in[idx(port, vc)]->pop();
+        pkt.vc = out_vc;
+        Trace::log(now(), "net", "%s fwd p%zu.%zu->p%zu.%u %s",
+                   _name.c_str(), port, vc, out, unsigned(out_vc),
+                   pkt.toString().c_str());
+        ++_forwarded;
+        _out[idx(out, out_vc)]->pushReserved(std::move(pkt));
+        _busy[idx(port, vc)] = false;
+        pump(port, vc);
+    });
+}
+
+} // namespace tg::net

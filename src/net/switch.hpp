@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Telegraphos switch model.
+ *
+ * The real switch (references [16, 17] of the paper) is a shared-buffer
+ * crossbar with VC-level back-pressured flow control, deterministic
+ * routing, in-order delivery and deadlock freedom.  We model it as:
+ *
+ *  - one input FIFO and one output FIFO per (port, virtual channel)
+ *    (shares of the pipelined shared buffer),
+ *  - a per-(port, VC) cut-through pipeline of fixed latency,
+ *  - a static routing table (destination node -> output port),
+ *  - a VC-mapping hook so topologies can implement dateline deadlock
+ *    avoidance (packets crossing a ring's wrap link are bumped to the
+ *    escape VC), and
+ *  - reservation-based back-pressure between stages.
+ *
+ * In-order delivery per (source, destination) follows from deterministic
+ * single-path routing plus FIFO queueing at every stage — a flow always
+ * traverses the same VC sequence, so VCs never reorder it.  A property
+ * test asserts it (tests/net/network_test.cpp) because the coherence
+ * protocol's correctness argument depends on it (paper section 2.3.1).
+ */
+
+#ifndef TELEGRAPHOS_NET_SWITCH_HPP
+#define TELEGRAPHOS_NET_SWITCH_HPP
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/queue.hpp"
+#include "sim/sim_object.hpp"
+
+namespace tg::net {
+
+/** A multi-port, multi-VC shared-buffer switch. */
+class Switch : public SimObject
+{
+  public:
+    /**
+     * Choose the outgoing VC for a packet: (packet, out_port, in_vc) ->
+     * out_vc.  Defaults to keeping the incoming VC.
+     */
+    using VcMap =
+        std::function<std::uint8_t(const Packet &, std::size_t,
+                                   std::uint8_t)>;
+
+    /**
+     * @param sys    owning system
+     * @param name   instance name
+     * @param ports  number of bidirectional ports
+     * @param vcs    virtual channels per port (>= 1)
+     */
+    Switch(System &sys, const std::string &name, std::size_t ports,
+           std::size_t vcs = 2);
+
+    std::size_t numPorts() const { return _ports; }
+    std::size_t numVcs() const { return _vcs; }
+
+    /** Queue a link delivers into (switch ingress side). */
+    BoundedQueue &inQueue(std::size_t port, std::size_t vc = 0)
+    {
+        return *_in[idx(port, vc)];
+    }
+
+    /** Queue a link drains from (switch egress side). */
+    BoundedQueue &outQueue(std::size_t port, std::size_t vc = 0)
+    {
+        return *_out[idx(port, vc)];
+    }
+
+    /** Install/overwrite a routing entry: packets for @p node leave @p port. */
+    void setRoute(NodeId node, std::size_t port);
+
+    /** Routing lookup (panics on unrouted destination). */
+    std::size_t route(NodeId node) const;
+
+    /** Install the VC-mapping hook (dateline schemes). */
+    void setVcMap(VcMap map) { _vcMap = std::move(map); }
+
+    /** Total packets forwarded. */
+    std::uint64_t forwarded() const { return _forwarded; }
+
+  private:
+    std::size_t idx(std::size_t port, std::size_t vc) const
+    {
+        return port * _vcs + vc;
+    }
+
+    void pump(std::size_t port, std::size_t vc);
+    void pumpAll();
+
+    std::size_t _ports;
+    std::size_t _vcs;
+    std::vector<std::unique_ptr<BoundedQueue>> _in;
+    std::vector<std::unique_ptr<BoundedQueue>> _out;
+    std::vector<bool> _busy;
+    std::vector<std::size_t> _routes; // indexed by NodeId
+    VcMap _vcMap;
+    std::uint64_t _forwarded = 0;
+};
+
+} // namespace tg::net
+
+#endif // TELEGRAPHOS_NET_SWITCH_HPP

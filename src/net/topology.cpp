@@ -1,0 +1,66 @@
+#include "net/topology.hpp"
+
+#include <cstdio>
+
+#include "sim/log.hpp"
+
+namespace tg::net {
+
+std::size_t
+TopologySpec::numSwitches() const
+{
+    if (kind == TopologyKind::Star)
+        return 1;
+    return (nodes + nodesPerSwitch - 1) / nodesPerSwitch;
+}
+
+std::size_t
+TopologySpec::switchOf(std::size_t node) const
+{
+    if (kind == TopologyKind::Star)
+        return 0;
+    return node / nodesPerSwitch;
+}
+
+std::size_t
+TopologySpec::portOf(std::size_t node) const
+{
+    if (kind == TopologyKind::Star)
+        return node;
+    return node % nodesPerSwitch;
+}
+
+std::size_t
+TopologySpec::portsPerSwitch() const
+{
+    if (kind == TopologyKind::Star)
+        return nodes;
+    // node ports + right trunk + left trunk
+    return nodesPerSwitch + 2;
+}
+
+void
+TopologySpec::validate() const
+{
+    if (nodes < 1)
+        fatal("topology needs at least one node");
+    if (kind != TopologyKind::Star && nodesPerSwitch < 1)
+        fatal("nodesPerSwitch must be >= 1");
+    if (kind == TopologyKind::Ring && numSwitches() < 3)
+        fatal("a ring needs at least 3 switches (%zu nodes / %zu per switch)",
+              nodes, nodesPerSwitch);
+}
+
+std::string
+TopologySpec::describe() const
+{
+    const char *k = kind == TopologyKind::Star    ? "star"
+                    : kind == TopologyKind::Chain ? "chain"
+                                                  : "ring";
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s(%zu nodes, %zu switches)", k, nodes,
+                  numSwitches());
+    return buf;
+}
+
+} // namespace tg::net

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Cluster interconnect topologies.
+ *
+ * Telegraphos I clusters are built from switch boards connected by ribbon
+ * cables to network interfaces and to each other (paper section 2.1,
+ * figure 1).  We support the configurations such boards compose into:
+ * a single-switch star, a chain of switches, and a ring of switches.
+ */
+
+#ifndef TELEGRAPHOS_NET_TOPOLOGY_HPP
+#define TELEGRAPHOS_NET_TOPOLOGY_HPP
+
+#include <cstddef>
+#include <string>
+
+namespace tg::net {
+
+/** Interconnect shape. */
+enum class TopologyKind
+{
+    Star,  ///< one central switch, every node one hop away
+    Chain, ///< switches in a line, nodes spread across them
+    Ring,  ///< switches in a cycle, shortest-direction routing
+};
+
+/** Parameters describing an interconnect. */
+struct TopologySpec
+{
+    TopologyKind kind = TopologyKind::Star;
+    /** Number of workstation nodes in the cluster. */
+    std::size_t nodes = 2;
+    /** Node ports per switch for Chain/Ring (ignored for Star). */
+    std::size_t nodesPerSwitch = 4;
+
+    /** Number of switches this spec requires. */
+    std::size_t numSwitches() const;
+
+    /** Switch index a node attaches to. */
+    std::size_t switchOf(std::size_t node) const;
+
+    /** Port index on its switch a node attaches to. */
+    std::size_t portOf(std::size_t node) const;
+
+    /** Ports each switch needs (node ports + trunks). */
+    std::size_t portsPerSwitch() const;
+
+    /** Validate and abort via fatal() on nonsensical parameters. */
+    void validate() const;
+
+    std::string describe() const;
+};
+
+} // namespace tg::net
+
+#endif // TELEGRAPHOS_NET_TOPOLOGY_HPP

@@ -1,0 +1,23 @@
+#include "node/address.hpp"
+
+#include <cstdio>
+
+namespace tg::node {
+
+std::string
+paddrToString(PAddr pa)
+{
+    char buf[64];
+    const char *region = "?";
+    switch (regionOf(offsetOf(pa))) {
+      case Region::Main: region = "main"; break;
+      case Region::Shm: region = "shm"; break;
+      case Region::HibReg: region = "hib"; break;
+    }
+    std::snprintf(buf, sizeof(buf), "%sn%u:%s+%llx", isShadow(pa) ? "~" : "",
+                  unsigned(nodeOf(pa)), region,
+                  (unsigned long long)(offsetOf(pa) & 0xffff'ffffULL));
+    return buf;
+}
+
+} // namespace tg::node

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Global physical and virtual address layout.
+ *
+ * Physical addresses (DESIGN.md section 4):
+ *   bit  63     : shadow flag (Telegraphos II shadow addressing, paper 2.2.4)
+ *   bits 62..48 : node id
+ *   bits 47..0  : node-local offset
+ *
+ * Node-local offset regions:
+ *   [kMainBase,  ...) : main memory (DRAM)
+ *   [kShmBase,   ...) : Telegraphos shared memory (HIB SRAM on prototype I,
+ *                       pinned main memory on prototype II)
+ *   [kHibRegBase,...) : HIB control registers, contexts, counters
+ *
+ * Virtual addresses: bit 63 is the shadow flag (an address and its shadow
+ * differ only in the highest bit, paper section 2.2.4).
+ */
+
+#ifndef TELEGRAPHOS_NODE_ADDRESS_HPP
+#define TELEGRAPHOS_NODE_ADDRESS_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace tg::node {
+
+constexpr int kNodeShift = 48;
+constexpr PAddr kShadowBit = PAddr(1) << 63;
+constexpr PAddr kOffsetMask = (PAddr(1) << kNodeShift) - 1;
+
+/** Node-local region bases. */
+constexpr PAddr kMainBase = 0x0000'0000'0000ULL;
+constexpr PAddr kShmBase = 0x4000'0000'0000ULL;
+constexpr PAddr kHibRegBase = 0x8000'0000'0000ULL;
+
+/** What a node-local offset refers to. */
+enum class Region
+{
+    Main,   ///< ordinary main memory
+    Shm,    ///< Telegraphos shared memory
+    HibReg, ///< HIB register space
+};
+
+/** Compose a global physical address. */
+constexpr PAddr
+makePAddr(NodeId node, PAddr offset)
+{
+    return (PAddr(node) << kNodeShift) | (offset & kOffsetMask);
+}
+
+/** Node owning a physical address (shadow bit ignored). */
+constexpr NodeId
+nodeOf(PAddr pa)
+{
+    return NodeId((pa & ~kShadowBit) >> kNodeShift);
+}
+
+/** Node-local offset of a physical address. */
+constexpr PAddr
+offsetOf(PAddr pa)
+{
+    return pa & kOffsetMask;
+}
+
+/** True if @p pa carries the shadow flag. */
+constexpr bool
+isShadow(PAddr pa)
+{
+    return (pa & kShadowBit) != 0;
+}
+
+/** Strip the shadow flag (what the HIB does on capture, paper 2.2.4). */
+constexpr PAddr
+stripShadow(PAddr pa)
+{
+    return pa & ~kShadowBit;
+}
+
+/** Region a node-local offset falls into. */
+constexpr Region
+regionOf(PAddr offset)
+{
+    if (offset >= kHibRegBase)
+        return Region::HibReg;
+    if (offset >= kShmBase)
+        return Region::Shm;
+    return Region::Main;
+}
+
+/** Pretty-print a physical address for traces. */
+std::string paddrToString(PAddr pa);
+
+// ---------------------------------------------------------------------
+// HIB register offsets (within Region::HibReg)
+// ---------------------------------------------------------------------
+
+/** Telegraphos I: write 1/0 to enter/leave special mode (paper 2.2.4). */
+constexpr PAddr kRegSpecialMode = kHibRegBase + 0x000;
+/** Special-op opcode + datum registers (Telegraphos I launch). */
+constexpr PAddr kRegSpecialOp = kHibRegBase + 0x008;
+constexpr PAddr kRegSpecialDatum = kHibRegBase + 0x010;
+constexpr PAddr kRegSpecialDatum2 = kHibRegBase + 0x018;
+/** Reading this register launches the op and returns its result. */
+constexpr PAddr kRegSpecialResult = kHibRegBase + 0x020;
+/** Outstanding-operation counter (read by fence loops). */
+constexpr PAddr kRegOutstanding = kHibRegBase + 0x028;
+
+/**
+ * Telegraphos II context register file.  Each context occupies its own
+ * 8 KB page of HIB register space so that the OS can map a context into
+ * exactly one process's address space — the mapping *is* the protection
+ * (paper section 2.2.4).
+ */
+constexpr PAddr kRegContextBase = kHibRegBase + 0x10000;
+constexpr PAddr kContextStride = 0x2000;
+/** Offsets within one context block. */
+constexpr PAddr kCtxOp = 0x00;     ///< opcode
+constexpr PAddr kCtxDatum = 0x08;  ///< first operand
+constexpr PAddr kCtxDatum2 = 0x10; ///< second operand (CAS new value)
+constexpr PAddr kCtxDstPa = 0x18;  ///< destination PA (copy ops)
+constexpr PAddr kCtxGo = 0x20;     ///< read to launch + fetch result
+
+} // namespace tg::node
+
+#endif // TELEGRAPHOS_NODE_ADDRESS_HPP

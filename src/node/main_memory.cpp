@@ -1,0 +1,58 @@
+#include "node/main_memory.hpp"
+
+namespace tg::node {
+
+MainMemory::MainMemory(System &sys, const std::string &name)
+    : SimObject(sys, name)
+{
+}
+
+const std::vector<Word> &
+MainMemory::chunkFor(PAddr offset) const
+{
+    const PAddr key = offset / (kChunkWords * 8);
+    auto &chunk = _chunks[key];
+    if (chunk.empty())
+        chunk.resize(kChunkWords, 0);
+    return chunk;
+}
+
+std::vector<Word> &
+MainMemory::chunkFor(PAddr offset)
+{
+    return const_cast<std::vector<Word> &>(
+        static_cast<const MainMemory *>(this)->chunkFor(offset));
+}
+
+Word
+MainMemory::read(PAddr offset) const
+{
+    if (offset % 8 != 0)
+        panic("%s: unaligned read at %llx", _name.c_str(),
+              (unsigned long long)offset);
+    return chunkFor(offset)[(offset / 8) % kChunkWords];
+}
+
+void
+MainMemory::write(PAddr offset, Word value)
+{
+    if (offset % 8 != 0)
+        panic("%s: unaligned write at %llx", _name.c_str(),
+              (unsigned long long)offset);
+    chunkFor(offset)[(offset / 8) % kChunkWords] = value;
+}
+
+void
+MainMemory::copy(PAddr dst_offset, PAddr src_offset, std::size_t words)
+{
+    for (std::size_t i = 0; i < words; ++i)
+        write(dst_offset + i * 8, read(src_offset + i * 8));
+}
+
+std::size_t
+MainMemory::touchedBytes() const
+{
+    return _chunks.size() * kChunkWords * 8;
+}
+
+} // namespace tg::node

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Sparse backing store for one node's physical memory.
+ *
+ * Covers both the main-memory region and the Telegraphos shared-memory
+ * region (HIB SRAM on prototype I / pinned DRAM on prototype II).  Storage
+ * is word-granular and sparse; timing is charged by the accessing
+ * component (CPU cache model, HIB service paths), not here.
+ */
+
+#ifndef TELEGRAPHOS_NODE_MAIN_MEMORY_HPP
+#define TELEGRAPHOS_NODE_MAIN_MEMORY_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "node/address.hpp"
+#include "sim/sim_object.hpp"
+
+namespace tg::node {
+
+/** Word-granular sparse physical memory of one workstation. */
+class MainMemory : public SimObject
+{
+  public:
+    MainMemory(System &sys, const std::string &name);
+
+    /** Read the 64-bit word at node-local @p offset (must be 8-aligned). */
+    Word read(PAddr offset) const;
+
+    /** Write the 64-bit word at node-local @p offset. */
+    void write(PAddr offset, Word value);
+
+    /** Copy @p words 64-bit words between node-local offsets. */
+    void copy(PAddr dst_offset, PAddr src_offset, std::size_t words);
+
+    /** Bytes of storage actually touched (for stats). */
+    std::size_t touchedBytes() const;
+
+  private:
+    static constexpr std::size_t kChunkWords = 1024; // 8 KB chunks
+
+    struct Hasher
+    {
+        std::size_t
+        operator()(PAddr a) const
+        {
+            return std::hash<std::uint64_t>()(a * 0x9e3779b97f4a7c15ULL);
+        }
+    };
+
+    const std::vector<Word> &chunkFor(PAddr offset) const;
+    std::vector<Word> &chunkFor(PAddr offset);
+
+    mutable std::unordered_map<PAddr, std::vector<Word>, Hasher> _chunks;
+};
+
+} // namespace tg::node
+
+#endif // TELEGRAPHOS_NODE_MAIN_MEMORY_HPP

@@ -1,0 +1,38 @@
+#include "node/turbochannel.hpp"
+
+namespace tg::node {
+
+TurboChannel::TurboChannel(System &sys, const std::string &name)
+    : SimObject(sys, name)
+{
+}
+
+void
+TurboChannel::transact(Tick hold, std::function<void()> done)
+{
+    _queue.push_back(Txn{hold, now(), std::move(done)});
+    if (!_busy)
+        grantNext();
+}
+
+void
+TurboChannel::grantNext()
+{
+    if (_queue.empty()) {
+        _busy = false;
+        return;
+    }
+    _busy = true;
+    Txn txn = std::move(_queue.front());
+    _queue.pop_front();
+    _waitTicks += now() - txn.enqueued;
+    _busyTicks += txn.hold;
+
+    schedule(txn.hold, [this, done = std::move(txn.done)] {
+        ++_count;
+        done();
+        grantNext();
+    });
+}
+
+} // namespace tg::node

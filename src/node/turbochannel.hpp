@@ -1,0 +1,64 @@
+/**
+ * @file
+ * TurboChannel I/O bus model.
+ *
+ * The HIB plugs into the TurboChannel of a DEC 3000/300 (paper section
+ * 2.1).  The bus is a shared resource between the CPU's programmed-I/O
+ * accesses and the HIB's DMA into main memory; transactions are granted
+ * FIFO and each occupies the bus for its transfer time.  This contention
+ * is what makes remote reads so much more expensive than remote writes in
+ * the paper's measurements.
+ */
+
+#ifndef TELEGRAPHOS_NODE_TURBOCHANNEL_HPP
+#define TELEGRAPHOS_NODE_TURBOCHANNEL_HPP
+
+#include <deque>
+#include <functional>
+
+#include "sim/sim_object.hpp"
+#include "sim/stats.hpp"
+
+namespace tg::node {
+
+/** FIFO-arbitrated shared bus. */
+class TurboChannel : public SimObject
+{
+  public:
+    TurboChannel(System &sys, const std::string &name);
+
+    /**
+     * Request the bus for @p hold ticks; @p done runs when the
+     * transaction completes (bus released).
+     */
+    void transact(Tick hold, std::function<void()> done);
+
+    /** Transactions completed. */
+    std::uint64_t transactions() const { return _count; }
+
+    /** Total ticks the bus was held. */
+    Tick busyTicks() const { return _busyTicks; }
+
+    /** Aggregate queueing delay experienced by transactions. */
+    Tick waitTicks() const { return _waitTicks; }
+
+  private:
+    struct Txn
+    {
+        Tick hold;
+        Tick enqueued;
+        std::function<void()> done;
+    };
+
+    void grantNext();
+
+    std::deque<Txn> _queue;
+    bool _busy = false;
+    std::uint64_t _count = 0;
+    Tick _busyTicks = 0;
+    Tick _waitTicks = 0;
+};
+
+} // namespace tg::node
+
+#endif // TELEGRAPHOS_NODE_TURBOCHANNEL_HPP

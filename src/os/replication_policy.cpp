@@ -1,0 +1,25 @@
+#include "os/replication_policy.hpp"
+
+namespace tg::os {
+
+AlarmReplicator::AlarmReplicator(OsKernel &os, std::uint16_t threshold,
+                                 std::function<void(PAddr, bool)> replicate)
+    : _os(os), _threshold(threshold), _replicate(std::move(replicate))
+{
+    _os.setAlarmPolicy([this](PAddr page, bool is_write) {
+        if (_inFlight.count(page))
+            return; // replication already under way
+        _inFlight.insert(page);
+        ++_replications;
+        _replicate(page, is_write);
+    });
+}
+
+void
+AlarmReplicator::arm(PAddr page_frame)
+{
+    _os.workstation().hib().pageCounters().set(page_frame, _threshold,
+                                               _threshold);
+}
+
+} // namespace tg::os

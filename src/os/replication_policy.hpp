@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Alarm-based replication policy (paper section 2.2.6, ref [5]).
+ *
+ * The OS programs small values into the page access counters of
+ * remotely-mapped pages; when a counter alarm fires ("the number of
+ * accesses exceeds a threshold"), the policy replicates the page locally
+ * so subsequent accesses become local.  With very large counter values
+ * the same hardware acts as a profiler instead.
+ */
+
+#ifndef TELEGRAPHOS_OS_REPLICATION_POLICY_HPP
+#define TELEGRAPHOS_OS_REPLICATION_POLICY_HPP
+
+#include <functional>
+#include <unordered_set>
+
+#include "os/os_kernel.hpp"
+
+namespace tg::os {
+
+/** Replicate-on-alarm policy for one node. */
+class AlarmReplicator
+{
+  public:
+    /**
+     * @param os         the node's kernel (alarm policy is installed here)
+     * @param threshold  accesses before the alarm fires
+     * @param replicate  (page_frame, retrigger_write) -> start replication;
+     *                   provided by the cluster, charges its own costs
+     */
+    AlarmReplicator(OsKernel &os, std::uint16_t threshold,
+                    std::function<void(PAddr, bool)> replicate);
+
+    /** Arm the counters of one remotely-mapped page on this node's HIB. */
+    void arm(PAddr page_frame);
+
+    std::uint64_t replications() const { return _replications; }
+
+  private:
+    OsKernel &_os;
+    std::uint16_t _threshold;
+    std::function<void(PAddr, bool)> _replicate;
+    std::unordered_set<PAddr> _inFlight;
+    std::uint64_t _replications = 0;
+};
+
+} // namespace tg::os
+
+#endif // TELEGRAPHOS_OS_REPLICATION_POLICY_HPP

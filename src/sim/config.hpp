@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Global timing and sizing configuration for a simulated Telegraphos
+ * cluster.
+ *
+ * Every latency is in ticks (= nanoseconds).  The defaults are calibrated
+ * so that a two-node cluster in the default configuration reproduces the
+ * paper's measured numbers (section 3.2): remote write ~0.70 us, remote
+ * read ~7.2 us on DEC 3000 model 300 workstations with TurboChannel.
+ *
+ * The DEC 3000/300 ("Pelican") has a 150 MHz Alpha 21064 and a TurboChannel
+ * I/O bus running at 12.5 MHz (80 ns per bus cycle); programmed-I/O
+ * transactions on it take several bus cycles plus arbitration, which is why
+ * single-word I/O-space accesses are expensive — the effect the paper's
+ * latency table shows.
+ */
+
+#ifndef TELEGRAPHOS_SIM_CONFIG_HPP
+#define TELEGRAPHOS_SIM_CONFIG_HPP
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace tg {
+
+/** Which hardware prototype is modelled (section 2.2.4 of the paper). */
+enum class Prototype
+{
+    /**
+     * Telegraphos I: shared data lives in SRAM on the HIB; special
+     * operations are launched via a HIB "special mode" inside an
+     * uninterruptible PAL-code sequence.  No pending-write counter cache.
+     */
+    TelegraphosI,
+    /**
+     * Telegraphos II: shared data lives in (pinned) main memory; special
+     * operations use Telegraphos contexts, keys and shadow addressing and
+     * survive context switches.  Has the pending-write counter cache.
+     */
+    TelegraphosII,
+};
+
+/** All tunable parameters of the model. */
+struct Config
+{
+    // ------------------------------------------------------------------
+    // Prototype selection
+    // ------------------------------------------------------------------
+    Prototype prototype = Prototype::TelegraphosII;
+
+    // ------------------------------------------------------------------
+    // CPU (DEC Alpha 21064 @ 150 MHz)
+    // ------------------------------------------------------------------
+    /** Cost of one ALU instruction (approx. 1 cycle @ 150 MHz). */
+    Tick cpuInstruction = 7;
+    /** Extra issue cost of a load/store instruction. */
+    Tick cpuMemIssue = 7;
+    /** Round-robin scheduling quantum when >1 thread shares a CPU (10 ms). */
+    Tick cpuQuantum = 10'000'000;
+    /** Cost of a context switch (save/restore, cache pollution). */
+    Tick contextSwitch = 20'000;
+
+    // ------------------------------------------------------------------
+    // Memory hierarchy
+    // ------------------------------------------------------------------
+    /** Page size: 8 KB, as on Alpha. */
+    std::uint32_t pageBytes = 8192;
+    /** Local cache hit latency. */
+    Tick cacheHit = 13;
+    /** Main-memory access on cache miss. */
+    Tick memAccess = 180;
+    /** Direct-mapped cache size in bytes (0 disables the cache model). */
+    std::uint32_t cacheBytes = 8192;
+    /** Cache line size in bytes. */
+    std::uint32_t cacheLineBytes = 32;
+    /** TLB entries (fully associative, FIFO replacement). */
+    std::uint32_t tlbEntries = 32;
+    /** TLB miss penalty (PAL-code refill on Alpha). */
+    Tick tlbMiss = 300;
+
+    // ------------------------------------------------------------------
+    // TurboChannel I/O bus (12.5 MHz => 80 ns per cycle)
+    // ------------------------------------------------------------------
+    /** Bus cycle time. */
+    Tick tcCycle = 80;
+    /** Cycles to arbitrate + address for any transaction. */
+    std::uint32_t tcSetupCycles = 3;
+    /** Cycles to transfer one 32-bit word. */
+    std::uint32_t tcWordCycles = 1;
+    /** Extra cycles a programmed-I/O *read* holds the bus (request half;
+     *  uncached device reads on the Pelican carry long wait states). */
+    std::uint32_t tcReadReqCycles = 16;
+    /** CPU-side overhead of an uncached I/O-space access (memory barrier
+     *  before the TC access, read stall setup). */
+    Tick cpuUncachedOverhead = 150;
+    /** Entries in the CPU's uncached-store write buffer (Alpha 21064
+     *  has a 4-entry write buffer; I/O-space stores complete into it). */
+    std::uint32_t writeBufferEntries = 4;
+    /** Cost of inserting a store into the write buffer. */
+    Tick writeBufferInsert = 20;
+
+    // ------------------------------------------------------------------
+    // Host Interface Board (FPGA in prototype I)
+    // ------------------------------------------------------------------
+    /** HIB processing time to latch + queue an outgoing request. */
+    Tick hibLatch = 120;
+    /** HIB processing time to service an incoming packet (FPGA-grade
+     *  state machines in prototype I). */
+    Tick hibService = 300;
+    /** Access to HIB-local shared SRAM (Telegraphos I). */
+    Tick hibSram = 400;
+    /** HIB internal queue beyond the link FIFO ("Telegraphos queueing",
+     *  section 3.2): stores are accepted at TurboChannel speed until this
+     *  backlog fills, then back-pressure reaches the processor. */
+    std::uint32_t hibBacklogPackets = 112;
+    /** Atomic-unit read-modify-write time. */
+    Tick hibAtomic = 300;
+    /** Outgoing/incoming link FIFO capacity in packets (2 Kbit each). */
+    std::uint32_t hibFifoPackets = 16;
+    /** Multicast list capacity (Table 1: 16 K entries). */
+    std::uint32_t multicastEntries = 16 * 1024;
+    /** Pages covered by access counters (Table 1: 64 K pages). */
+    std::uint32_t counterPages = 64 * 1024;
+    /** Width of each page access counter in bits (Table 1: 16+16). */
+    std::uint32_t pageCounterBits = 16;
+    /** Pending-write counter cache entries (section 2.3.4: 16-32).
+     *  0 models Telegraphos I, which omits the cache (section 2.3.4). */
+    std::uint32_t counterCacheEntries = 16;
+    /** Cost of one counter-cache increment/decrement (two SRAM accesses
+     *  plus the add, section 2.3.3 overhead discussion). */
+    Tick counterOp = 40;
+    /** Number of Telegraphos contexts in the HIB register file. */
+    std::uint32_t hibContexts = 64;
+    /** Max outstanding remote reads per node (paper footnote: one). */
+    std::uint32_t maxOutstandingReads = 1;
+
+    // ------------------------------------------------------------------
+    // Telegraphos network (switches + ribbon-cable links)
+    // ------------------------------------------------------------------
+    /** Link bandwidth in bytes per tick.  Telegraphos I links are
+     *  FPGA-clocked parallel ribbon cables: ~35 MB/s per direction, so a
+     *  24-byte write packet serializes in ~0.7 us — the paper's
+     *  steady-state remote-write rate. */
+    double linkBytesPerTick = 0.035;
+    /** Link propagation delay (ribbon cable + synchronizers). */
+    Tick linkDelay = 100;
+    /** Switch cut-through latency per hop (shared-buffer pipeline). */
+    Tick switchLatency = 350;
+    /** Per-output queue capacity in packets (shared buffer share). */
+    std::uint32_t switchQueuePackets = 32;
+    /** Packet header size in bytes (routing + type + address). */
+    std::uint32_t packetHeaderBytes = 16;
+
+    // ------------------------------------------------------------------
+    // Operating system cost model (1995-era DEC OSF/1)
+    // ------------------------------------------------------------------
+    /** Trap into the kernel and back (null syscall). */
+    Tick osTrap = 20'000;
+    /** Additional page-fault handling cost (VM lookup, map update). */
+    Tick osPageFault = 50'000;
+    /** Software cost to send/receive one message through sockets. */
+    Tick osMessage = 120'000;
+    /** Interrupt dispatch cost (page-counter alarms etc.). */
+    Tick osInterrupt = 10'000;
+    /** Entering/leaving a PAL-code sequence (Telegraphos I launch path). */
+    Tick palCall = 600;
+
+    // ------------------------------------------------------------------
+    // Misc
+    // ------------------------------------------------------------------
+    /** Seed for all stochastic workload decisions. */
+    std::uint64_t seed = 1;
+
+    /**
+     * Sanity-check the configuration; fatal() on nonsense (zero page
+     * size, zero bandwidth, ...).  Called by System's constructor.
+     */
+    void validate() const;
+
+    /** Ticks for one TurboChannel transaction moving @p words 32-bit words. */
+    Tick
+    tcWriteTxn(std::uint32_t words = 1) const
+    {
+        return tcCycle * (tcSetupCycles + tcWordCycles * words);
+    }
+
+    /** Ticks the request half of a programmed-I/O read holds the bus. */
+    Tick
+    tcReadTxn() const
+    {
+        return tcCycle * (tcSetupCycles + tcReadReqCycles);
+    }
+};
+
+} // namespace tg
+
+#endif // TELEGRAPHOS_SIM_CONFIG_HPP

@@ -1,0 +1,54 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "sim/log.hpp"
+
+namespace tg {
+
+void
+EventQueue::scheduleAbs(Tick when, Callback cb)
+{
+    if (when < _now)
+        panic("event scheduled in the past: when=%llu now=%llu",
+              (unsigned long long)when, (unsigned long long)_now);
+    _heap.push(Entry{when, _seq++, std::move(cb)});
+}
+
+void
+EventQueue::pop_and_fire()
+{
+    // Move the callback out before popping so the entry can safely
+    // schedule further events (which may reallocate the heap).
+    Entry e = std::move(const_cast<Entry &>(_heap.top()));
+    _heap.pop();
+    _now = e.when;
+    ++_executed;
+    e.cb();
+}
+
+std::uint64_t
+EventQueue::run(std::uint64_t max_events)
+{
+    std::uint64_t n = 0;
+    while (!_heap.empty() && n < max_events) {
+        pop_and_fire();
+        ++n;
+    }
+    return n;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick limit)
+{
+    std::uint64_t n = 0;
+    while (!_heap.empty() && _heap.top().when <= limit) {
+        pop_and_fire();
+        ++n;
+    }
+    if (_now < limit)
+        _now = limit;
+    return n;
+}
+
+} // namespace tg

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Deterministic discrete-event queue.
+ *
+ * Events scheduled for the same tick fire in scheduling order (a
+ * monotonically increasing sequence number breaks ties), so a simulation
+ * with a fixed seed is bit-for-bit reproducible.
+ */
+
+#ifndef TELEGRAPHOS_SIM_EVENT_QUEUE_HPP
+#define TELEGRAPHOS_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace tg {
+
+/**
+ * The global event queue driving the simulation.
+ *
+ * Components schedule closures at absolute or relative ticks; run() drains
+ * the queue until it is empty or a limit is reached.  There is exactly one
+ * EventQueue per System.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /** Schedule @p cb at absolute tick @p when (must be >= now()). */
+    void scheduleAbs(Tick when, Callback cb);
+
+    /** Schedule @p cb @p delta ticks from now. */
+    void schedule(Tick delta, Callback cb) { scheduleAbs(_now + delta, std::move(cb)); }
+
+    /**
+     * Run until the queue is empty or @p max_events have fired.
+     * @return number of events executed.
+     */
+    std::uint64_t run(std::uint64_t max_events = ~std::uint64_t(0));
+
+    /**
+     * Run until simulated time reaches @p limit (events at exactly @p limit
+     * still fire) or the queue drains.
+     * @return number of events executed.
+     */
+    std::uint64_t runUntil(Tick limit);
+
+    /** True when no event is pending. */
+    bool empty() const { return _heap.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return _heap.size(); }
+
+    /** Total events executed since construction. */
+    std::uint64_t executed() const { return _executed; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    void pop_and_fire();
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    Tick _now = 0;
+    std::uint64_t _seq = 0;
+    std::uint64_t _executed = 0;
+};
+
+} // namespace tg
+
+#endif // TELEGRAPHOS_SIM_EVENT_QUEUE_HPP

@@ -1,0 +1,104 @@
+#include "sim/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+namespace tg {
+
+namespace {
+
+void
+vreport(const char *tag, const char *fmt, va_list ap)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+}
+
+std::set<std::string> &
+traceSet()
+{
+    static std::set<std::string> s;
+    return s;
+}
+
+bool traceAll = false;
+
+} // namespace
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("panic", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("fatal", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("warn", fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("info", fmt, ap);
+    va_end(ap);
+}
+
+void
+Trace::enable(const std::string &component)
+{
+    if (component == "all")
+        traceAll = true;
+    else
+        traceSet().insert(component);
+}
+
+void
+Trace::disableAll()
+{
+    traceAll = false;
+    traceSet().clear();
+}
+
+bool
+Trace::enabled(const std::string &component)
+{
+    return traceAll || traceSet().count(component) > 0;
+}
+
+void
+Trace::log(Tick now, const std::string &component, const char *fmt, ...)
+{
+    if (!enabled(component))
+        return;
+    std::fprintf(stderr, "%12llu: %s: ", (unsigned long long)now,
+                 component.c_str());
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace tg

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal logging and error-reporting facilities (gem5-style panic/fatal).
+ *
+ *  - panic():  an internal simulator invariant was violated (a bug in the
+ *              model itself); aborts.
+ *  - fatal():  the user configured something impossible; exits cleanly.
+ *  - warn() / inform(): advisory messages.
+ *  - Trace:    per-component debug tracing, off by default, enabled by
+ *              component name (e.g. Trace::enable("hib")).
+ */
+
+#ifndef TELEGRAPHOS_SIM_LOG_HPP
+#define TELEGRAPHOS_SIM_LOG_HPP
+
+#include <cstdarg>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace tg {
+
+/** Abort with a formatted message: simulator bug (never the user's fault). */
+[[noreturn]] void panic(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Exit with a formatted message: user configuration error. */
+[[noreturn]] void fatal(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Advisory warning to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informational message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Per-component trace switchboard.
+ *
+ * Tracing is string-keyed by component ("net", "hib", "coh", ...).  Each
+ * trace line is prefixed with the simulated time of the issuing component.
+ */
+class Trace
+{
+  public:
+    /** Enable tracing for @p component ("all" enables everything). */
+    static void enable(const std::string &component);
+
+    /** Disable all tracing. */
+    static void disableAll();
+
+    /** True if @p component tracing is on. */
+    static bool enabled(const std::string &component);
+
+    /** Emit one trace line if @p component is enabled. */
+    static void log(Tick now, const std::string &component, const char *fmt, ...)
+        __attribute__((format(printf, 3, 4)));
+};
+
+} // namespace tg
+
+#endif // TELEGRAPHOS_SIM_LOG_HPP

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**).
+ *
+ * Every stochastic decision in the simulator draws from a seeded Rng so
+ * that runs are exactly reproducible.  Components that need independent
+ * streams fork() a child generator.
+ */
+
+#ifndef TELEGRAPHOS_SIM_RANDOM_HPP
+#define TELEGRAPHOS_SIM_RANDOM_HPP
+
+#include <cstdint>
+
+namespace tg {
+
+/**
+ * xoshiro256** generator with splitmix64 seeding.
+ *
+ * Small, fast and statistically solid; avoids std::mt19937's
+ * implementation-defined seeding behaviour across platforms.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x7e1e67a9705ULL) { reseed(seed); }
+
+    /** Re-seed the stream. */
+    void reseed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using rejection sampling. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli trial with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Geometric-ish exponential deviate with mean @p mean (> 0). */
+    double exponential(double mean);
+
+    /** Fork an independent child stream (deterministic function of state). */
+    Rng fork();
+
+  private:
+    std::uint64_t _s[4];
+};
+
+} // namespace tg
+
+#endif // TELEGRAPHOS_SIM_RANDOM_HPP

@@ -1,0 +1,18 @@
+#include "sim/sim_object.hpp"
+
+#include <utility>
+
+namespace tg {
+
+SimObject::SimObject(System &sys, std::string name)
+    : _sys(sys), _name(std::move(name))
+{
+}
+
+void
+SimObject::schedule(Tick delta, EventQueue::Callback cb)
+{
+    _sys.events().schedule(delta, std::move(cb));
+}
+
+} // namespace tg

@@ -1,0 +1,120 @@
+#include "sim/stats.hpp"
+
+#include <cmath>
+#include <iomanip>
+
+namespace tg {
+
+void
+Sampler::sample(double v)
+{
+    if (_n == 0) {
+        _min = _max = v;
+    } else {
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+    }
+    ++_n;
+    _sum += v;
+    _sum2 += v * v;
+    _samples.push_back(v);
+    _sorted = false;
+}
+
+double
+Sampler::stddev() const
+{
+    if (_n < 2)
+        return 0.0;
+    double n = static_cast<double>(_n);
+    double var = (_sum2 - _sum * _sum / n) / (n - 1);
+    return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+double
+Sampler::quantile(double q) const
+{
+    if (_samples.empty())
+        return 0.0;
+    if (!_sorted) {
+        std::sort(_samples.begin(), _samples.end());
+        _sorted = true;
+    }
+    q = std::clamp(q, 0.0, 1.0);
+    std::size_t idx = static_cast<std::size_t>(
+        q * static_cast<double>(_samples.size() - 1) + 0.5);
+    return _samples[idx];
+}
+
+void
+Sampler::reset()
+{
+    _n = 0;
+    _sum = _sum2 = _min = _max = 0;
+    _samples.clear();
+    _sorted = true;
+}
+
+Histogram::Histogram(double bucket_width, std::size_t nbuckets)
+    : _width(bucket_width), _buckets(nbuckets, 0)
+{
+}
+
+void
+Histogram::sample(double v)
+{
+    std::size_t idx = v <= 0 ? 0 : static_cast<std::size_t>(v / _width);
+    if (idx >= _buckets.size())
+        idx = _buckets.size() - 1;
+    ++_buckets[idx];
+    ++_count;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(_buckets.begin(), _buckets.end(), 0);
+    _count = 0;
+}
+
+void
+StatRegistry::add(const std::string &name, const Scalar *s)
+{
+    _scalars[name] = s;
+}
+
+void
+StatRegistry::add(const std::string &name, const Sampler *s)
+{
+    _samplers[name] = s;
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    os << std::left;
+    for (const auto &[name, s] : _scalars) {
+        os << std::setw(48) << name << " " << s->value() << "\n";
+    }
+    for (const auto &[name, s] : _samplers) {
+        os << std::setw(48) << (name + ".count") << " " << s->count() << "\n";
+        if (s->count() > 0) {
+            os << std::setw(48) << (name + ".mean") << " " << s->mean() << "\n";
+            os << std::setw(48) << (name + ".min") << " " << s->min() << "\n";
+            os << std::setw(48) << (name + ".max") << " " << s->max() << "\n";
+            os << std::setw(48) << (name + ".p50") << " " << s->quantile(0.5)
+               << "\n";
+            os << std::setw(48) << (name + ".p99") << " " << s->quantile(0.99)
+               << "\n";
+        }
+    }
+}
+
+double
+StatRegistry::scalar(const std::string &name) const
+{
+    auto it = _scalars.find(name);
+    return it == _scalars.end() ? 0.0 : it->second->value();
+}
+
+} // namespace tg

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Statistics collection: scalars, samplers, histograms and a registry.
+ *
+ * Modelled loosely after the gem5 stats package but radically simplified.
+ * Components construct stats with a name and register them with their
+ * System's StatRegistry so they can be dumped at the end of a run.
+ */
+
+#ifndef TELEGRAPHOS_SIM_STATS_HPP
+#define TELEGRAPHOS_SIM_STATS_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tg {
+
+/** Monotonic counter / gauge. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator++() { ++_value; return *this; }
+    Scalar &operator+=(double v) { _value += v; return *this; }
+    Scalar &operator-=(double v) { _value -= v; return *this; }
+    void set(double v) { _value = v; }
+    double value() const { return _value; }
+    void reset() { _value = 0; }
+
+  private:
+    double _value = 0;
+};
+
+/**
+ * Running sample statistics: count, mean, min, max, stddev and quantiles.
+ *
+ * Keeps all samples (the simulator's experiments are bounded, typically
+ * 1e4..1e6 samples) so exact quantiles can be reported.
+ */
+class Sampler
+{
+  public:
+    void sample(double v);
+
+    std::uint64_t count() const { return _n; }
+    double mean() const { return _n ? _sum / static_cast<double>(_n) : 0.0; }
+    double min() const { return _n ? _min : 0.0; }
+    double max() const { return _n ? _max : 0.0; }
+    double stddev() const;
+    double total() const { return _sum; }
+
+    /** Exact quantile in [0,1]; sorts lazily. */
+    double quantile(double q) const;
+
+    void reset();
+
+  private:
+    std::uint64_t _n = 0;
+    double _sum = 0, _sum2 = 0;
+    double _min = 0, _max = 0;
+    mutable std::vector<double> _samples;
+    mutable bool _sorted = true;
+};
+
+/** Fixed-width bucketed histogram. */
+class Histogram
+{
+  public:
+    /** Buckets of width @p bucket covering [0, bucket*nbuckets); overflow in last. */
+    Histogram(double bucket_width = 1.0, std::size_t nbuckets = 64);
+
+    void sample(double v);
+
+    std::uint64_t count() const { return _count; }
+    double bucketWidth() const { return _width; }
+    const std::vector<std::uint64_t> &buckets() const { return _buckets; }
+    void reset();
+
+  private:
+    double _width;
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _count = 0;
+};
+
+/**
+ * Name -> stat registry.  Non-owning: stats live in their components; the
+ * registry records (name, printer) pairs for a final textual dump.
+ */
+class StatRegistry
+{
+  public:
+    void add(const std::string &name, const Scalar *s);
+    void add(const std::string &name, const Sampler *s);
+
+    /** Dump all registered stats, sorted by name. */
+    void dump(std::ostream &os) const;
+
+    /** Look up a scalar's current value by exact name (0 if absent). */
+    double scalar(const std::string &name) const;
+
+  private:
+    std::map<std::string, const Scalar *> _scalars;
+    std::map<std::string, const Sampler *> _samplers;
+};
+
+} // namespace tg
+
+#endif // TELEGRAPHOS_SIM_STATS_HPP

@@ -1,0 +1,35 @@
+#include "sim/system.hpp"
+
+#include "sim/log.hpp"
+
+namespace tg {
+
+void
+Config::validate() const
+{
+    if (pageBytes == 0 || (pageBytes & (pageBytes - 1)) != 0)
+        fatal("pageBytes must be a power of two (got %u)", pageBytes);
+    if (cacheLineBytes == 0 || pageBytes % cacheLineBytes != 0)
+        fatal("cacheLineBytes must divide pageBytes");
+    if (linkBytesPerTick <= 0)
+        fatal("linkBytesPerTick must be positive");
+    if (tcCycle == 0)
+        fatal("tcCycle must be positive");
+    if (hibFifoPackets == 0)
+        fatal("hibFifoPackets must be >= 1");
+    if (switchQueuePackets == 0)
+        fatal("switchQueuePackets must be >= 1");
+    if (writeBufferEntries == 0)
+        fatal("writeBufferEntries must be >= 1");
+    if (tlbEntries == 0)
+        fatal("tlbEntries must be >= 1");
+    if (hibContexts == 0)
+        fatal("hibContexts must be >= 1");
+}
+
+System::System(const Config &cfg) : _config(cfg), _rng(cfg.seed)
+{
+    _config.validate();
+}
+
+} // namespace tg

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * System: the root object owning the event queue, configuration, RNG and
+ * statistics registry shared by every component of one simulation.
+ */
+
+#ifndef TELEGRAPHOS_SIM_SYSTEM_HPP
+#define TELEGRAPHOS_SIM_SYSTEM_HPP
+
+#include <memory>
+#include <string>
+
+#include "sim/config.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace tg {
+
+/**
+ * One simulation universe.
+ *
+ * All SimObjects hold a reference to their System; the System outlives
+ * them (it is created first and destroyed last by the Cluster).
+ */
+class System
+{
+  public:
+    explicit System(const Config &cfg);
+
+    EventQueue &events() { return _events; }
+    const Config &config() const { return _config; }
+    Rng &rng() { return _rng; }
+    StatRegistry &stats() { return _stats; }
+
+    Tick now() const { return _events.now(); }
+
+  private:
+    Config _config;
+    EventQueue _events;
+    Rng _rng;
+    StatRegistry _stats;
+};
+
+} // namespace tg
+
+#endif // TELEGRAPHOS_SIM_SYSTEM_HPP

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Lazy coroutine task type used to write simulated programs.
+ *
+ * Workloads in this reproduction are ordinary C++20 coroutines: they
+ * co_await simulated memory operations (which suspend until the modelled
+ * hardware completes them) and may co_await sub-tasks (locks, barriers,
+ * library routines).  Nested awaits use symmetric transfer so arbitrarily
+ * deep call chains cost no stack.
+ *
+ * Tasks are lazy: nothing runs until the task is awaited or start()ed.
+ * A top-level task is start()ed by the Cpu model with a completion
+ * callback that fires at final suspension.
+ */
+
+#ifndef TELEGRAPHOS_SIM_TASK_HPP
+#define TELEGRAPHOS_SIM_TASK_HPP
+
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <utility>
+
+#include "sim/log.hpp"
+
+namespace tg {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+/** Promise parts independent of the result type. */
+class PromiseBase
+{
+  public:
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    /**
+     * At final suspension either resume the awaiting parent (symmetric
+     * transfer) or, for a top-level task, invoke the completion callback.
+     */
+    struct FinalAwaiter
+    {
+        bool await_ready() noexcept { return false; }
+
+        template <typename Promise>
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<Promise> h) noexcept
+        {
+            PromiseBase &p = h.promise();
+            if (p._continuation)
+                return p._continuation;
+            if (p._on_done)
+                p._on_done();
+            return std::noop_coroutine();
+        }
+
+        void await_resume() noexcept {}
+    };
+
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void unhandled_exception() { _exception = std::current_exception(); }
+
+    void setContinuation(std::coroutine_handle<> c) { _continuation = c; }
+    void setOnDone(std::function<void()> f) { _on_done = std::move(f); }
+
+    void
+    rethrowIfFailed()
+    {
+        if (_exception)
+            std::rethrow_exception(_exception);
+    }
+
+  private:
+    std::coroutine_handle<> _continuation;
+    std::function<void()> _on_done;
+    std::exception_ptr _exception;
+};
+
+} // namespace detail
+
+/**
+ * A lazily-started coroutine returning T (or void).
+ *
+ * Move-only owner of the coroutine frame; destroying a Task destroys the
+ * frame (which must be suspended — either never started or finished).
+ */
+template <typename T = void>
+class Task
+{
+  public:
+    class promise_type : public detail::PromiseBase
+    {
+      public:
+        Task
+        get_return_object()
+        {
+            return Task(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        void return_value(T v) { _value = std::move(v); }
+
+        T
+        take()
+        {
+            rethrowIfFailed();
+            return std::move(_value);
+        }
+
+      private:
+        T _value{};
+    };
+
+    using Handle = std::coroutine_handle<promise_type>;
+
+    Task() = default;
+    explicit Task(Handle h) : _h(h) {}
+    Task(Task &&o) noexcept : _h(std::exchange(o._h, {})) {}
+
+    Task &
+    operator=(Task &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            _h = std::exchange(o._h, {});
+        }
+        return *this;
+    }
+
+    ~Task() { destroy(); }
+
+    bool valid() const { return static_cast<bool>(_h); }
+    bool done() const { return !_h || _h.done(); }
+
+    /** Start a top-level task; @p on_done fires at final suspension. */
+    void
+    start(std::function<void()> on_done)
+    {
+        if (!_h)
+            panic("Task::start on empty task");
+        _h.promise().setOnDone(std::move(on_done));
+        _h.resume();
+    }
+
+    /** Result of a finished task (rethrows stored exceptions). */
+    T result() { return _h.promise().take(); }
+
+    /** Awaiter: lazily starts the child, resumes parent on completion. */
+    auto
+    operator co_await() &&
+    {
+        struct Awaiter
+        {
+            Handle h;
+            bool await_ready() const { return !h || h.done(); }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> parent)
+            {
+                h.promise().setContinuation(parent);
+                return h; // symmetric transfer: start the child now
+            }
+
+            T await_resume() { return h.promise().take(); }
+        };
+        return Awaiter{_h};
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (_h) {
+            _h.destroy();
+            _h = {};
+        }
+    }
+
+    Handle _h;
+};
+
+/** Specialisation for tasks that produce no value. */
+template <>
+class Task<void>
+{
+  public:
+    class promise_type : public detail::PromiseBase
+    {
+      public:
+        Task
+        get_return_object()
+        {
+            return Task(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        void return_void() {}
+        void take() { rethrowIfFailed(); }
+    };
+
+    using Handle = std::coroutine_handle<promise_type>;
+
+    Task() = default;
+    explicit Task(Handle h) : _h(h) {}
+    Task(Task &&o) noexcept : _h(std::exchange(o._h, {})) {}
+
+    Task &
+    operator=(Task &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            _h = std::exchange(o._h, {});
+        }
+        return *this;
+    }
+
+    ~Task() { destroy(); }
+
+    bool valid() const { return static_cast<bool>(_h); }
+    bool done() const { return !_h || _h.done(); }
+
+    void
+    start(std::function<void()> on_done)
+    {
+        if (!_h)
+            panic("Task::start on empty task");
+        _h.promise().setOnDone(std::move(on_done));
+        _h.resume();
+    }
+
+    void result() { _h.promise().take(); }
+
+    auto
+    operator co_await() &&
+    {
+        struct Awaiter
+        {
+            Handle h;
+            bool await_ready() const { return !h || h.done(); }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> parent)
+            {
+                h.promise().setContinuation(parent);
+                return h;
+            }
+
+            void await_resume() { h.promise().take(); }
+        };
+        return Awaiter{_h};
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (_h) {
+            _h.destroy();
+            _h = {};
+        }
+    }
+
+    Handle _h;
+};
+
+} // namespace tg
+
+#endif // TELEGRAPHOS_SIM_TASK_HPP

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fundamental simulator types shared by every subsystem.
+ *
+ * The simulator is a deterministic discrete-event model.  One Tick is one
+ * nanosecond of simulated time; every hardware latency in the model is an
+ * integral number of nanoseconds (DESIGN.md section 4).
+ */
+
+#ifndef TELEGRAPHOS_SIM_TYPES_HPP
+#define TELEGRAPHOS_SIM_TYPES_HPP
+
+#include <cstdint>
+
+namespace tg {
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** Largest representable tick, used as "never". */
+constexpr Tick kMaxTick = ~Tick(0);
+
+/** Identifier of a workstation node in the cluster. */
+using NodeId = std::uint16_t;
+
+/** Value transported by load/store operations (one 64-bit word). */
+using Word = std::uint64_t;
+
+/** A virtual address as seen by application programs. */
+using VAddr = std::uint64_t;
+
+/**
+ * A global physical address.
+ *
+ * Layout (DESIGN.md section 4):
+ *   bit  63     : shadow flag (Telegraphos II shadow addressing)
+ *   bits 62..48 : node id owning the physical location
+ *   bits 47..0  : node-local physical offset
+ */
+using PAddr = std::uint64_t;
+
+/** Ticks per microsecond, for reporting results in the paper's units. */
+constexpr double kTicksPerUs = 1000.0;
+
+/** Convert a tick count to microseconds (the unit used in the paper). */
+constexpr double
+toUs(Tick t)
+{
+    return static_cast<double>(t) / kTicksPerUs;
+}
+
+} // namespace tg
+
+#endif // TELEGRAPHOS_SIM_TYPES_HPP

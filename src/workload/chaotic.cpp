@@ -1,0 +1,23 @@
+#include "workload/chaotic.hpp"
+
+#include "api/context.hpp"
+
+namespace tg::workload {
+
+Cluster::Body
+chaoticWriter(Segment &seg, ChaoticConfig cfg)
+{
+    return [&seg, cfg](Ctx &ctx) -> Task<void> {
+        for (int k = 0; k < cfg.writes; ++k) {
+            const std::size_t i = ctx.rng().below(cfg.words);
+            // Tag the value with the writer so divergence is attributable.
+            const Word v = Word(ctx.self()) * 1'000'000 + Word(k);
+            co_await ctx.write(seg.word(i), v);
+            if (!cfg.burst && cfg.gap)
+                co_await ctx.compute(cfg.gap);
+        }
+        co_await ctx.fence();
+    };
+}
+
+} // namespace tg::workload

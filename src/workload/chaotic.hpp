@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Chaotic-writer workload: several nodes write random words of the same
+ * replicated page *without synchronization* — the access pattern the
+ * paper warns breaks Telegraphos I but is safe under the counter-based
+ * protocol (sections 2.3.3 - 2.3.4).  Benches F2 and S2 are built on it.
+ */
+
+#ifndef TELEGRAPHOS_WORKLOAD_CHAOTIC_HPP
+#define TELEGRAPHOS_WORKLOAD_CHAOTIC_HPP
+
+#include "api/cluster.hpp"
+#include "api/segment.hpp"
+
+namespace tg::workload {
+
+/** Parameters of the chaotic-writer workload. */
+struct ChaoticConfig
+{
+    int writes = 200;        ///< stores per writer
+    std::size_t words = 32;  ///< word range written
+    Tick gap = 500;          ///< compute between stores
+    bool burst = false;      ///< no gap: maximal write pressure
+};
+
+/** Unsynchronized random writer over @p seg (requires a local copy). */
+Cluster::Body chaoticWriter(Segment &seg, ChaoticConfig cfg);
+
+} // namespace tg::workload
+
+#endif // TELEGRAPHOS_WORKLOAD_CHAOTIC_HPP

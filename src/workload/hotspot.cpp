@@ -1,0 +1,19 @@
+#include "workload/hotspot.hpp"
+
+namespace tg::workload {
+
+Cluster::Body
+hotspotWorker(Segment &counter, HotspotConfig cfg)
+{
+    return [&counter, cfg](Ctx &ctx) -> Task<void> {
+        ctx.setLaunchMode(cfg.mode);
+        for (int i = 0; i < cfg.increments; ++i) {
+            co_await ctx.fetchAdd(counter.word(0), 1);
+            if (cfg.thinkTime)
+                co_await ctx.compute(cfg.thinkTime);
+        }
+        co_await ctx.fence();
+    };
+}
+
+} // namespace tg::workload

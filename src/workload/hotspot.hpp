@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Hot-spot synchronization workload: all nodes hammer one counter with
+ * remote atomic fetch&inc operations (paper section 2.2.3).
+ */
+
+#ifndef TELEGRAPHOS_WORKLOAD_HOTSPOT_HPP
+#define TELEGRAPHOS_WORKLOAD_HOTSPOT_HPP
+
+#include "api/cluster.hpp"
+#include "api/context.hpp"
+#include "api/segment.hpp"
+
+namespace tg::workload {
+
+/** Parameters of the hot-spot workload. */
+struct HotspotConfig
+{
+    int increments = 100;   ///< fetch&inc ops per worker
+    Tick thinkTime = 1000;  ///< compute between ops
+    LaunchMode mode = LaunchMode::Default; ///< special-op launch path
+};
+
+/** Worker that increments @p counter.word(0) @p cfg.increments times. */
+Cluster::Body hotspotWorker(Segment &counter, HotspotConfig cfg);
+
+} // namespace tg::workload
+
+#endif // TELEGRAPHOS_WORKLOAD_HOTSPOT_HPP

@@ -1,0 +1,46 @@
+#include "workload/producer_consumer.hpp"
+
+#include "api/context.hpp"
+
+namespace tg::workload {
+
+Cluster::Body
+producer(Segment &data, Segment &flag, PcConfig cfg, PcStats *stats)
+{
+    return [&data, &flag, cfg, stats](Ctx &ctx) -> Task<void> {
+        for (int r = 1; r <= cfg.rounds; ++r) {
+            for (std::size_t i = 0; i < cfg.words; ++i)
+                co_await ctx.write(data.word(i), Word(r) * 1000 + i);
+            if (cfg.fenceBeforeFlag)
+                co_await ctx.fence();
+            co_await ctx.write(flag.word(0), Word(r));
+            co_await ctx.compute(cfg.produceGap);
+        }
+        co_await ctx.fence();
+        if (stats)
+            stats->producerDone = ctx.now();
+    };
+}
+
+Cluster::Body
+consumer(Segment &data, Segment &flag, PcConfig cfg, PcStats *stats)
+{
+    return [&data, &flag, cfg, stats](Ctx &ctx) -> Task<void> {
+        for (int r = 1; r <= cfg.rounds; ++r) {
+            while (co_await ctx.read(flag.word(0)) < Word(r))
+                co_await ctx.compute(300);
+            for (std::size_t i = 0; i < cfg.words; ++i) {
+                const Word v = co_await ctx.read(data.word(i));
+                if (stats) {
+                    ++stats->totalReads;
+                    if (v != Word(r) * 1000 + i)
+                        ++stats->staleReads;
+                }
+            }
+        }
+        if (stats)
+            stats->consumerDone = ctx.now();
+    };
+}
+
+} // namespace tg::workload

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Producer/consumer workload (paper sections 2.2.7, 2.3.5).
+ *
+ * A producer fills a data buffer and raises a flag; a consumer spins on
+ * the flag and reads the buffer.  With `fenceBeforeFlag` off, the flag
+ * write can overtake the data writes (they are acknowledged early and the
+ * paths may race) and the consumer observes *stale* data — the exact
+ * hazard of section 2.3.5; with the MEMORY_BARRIER on, never.
+ */
+
+#ifndef TELEGRAPHOS_WORKLOAD_PRODUCER_CONSUMER_HPP
+#define TELEGRAPHOS_WORKLOAD_PRODUCER_CONSUMER_HPP
+
+#include "api/cluster.hpp"
+#include "api/segment.hpp"
+
+namespace tg::workload {
+
+/** Parameters of one producer/consumer run. */
+struct PcConfig
+{
+    std::size_t words = 16;     ///< data words per round
+    int rounds = 10;            ///< flag generations
+    bool fenceBeforeFlag = true;///< MEMORY_BARRIER between data and flag
+    Tick produceGap = 2000;     ///< compute time between rounds
+};
+
+/** Results accumulated across both programs. */
+struct PcStats
+{
+    std::uint64_t staleReads = 0;
+    std::uint64_t totalReads = 0;
+    Tick producerDone = 0;
+    Tick consumerDone = 0;
+};
+
+/** Producer program: writes data then flag, round by round. */
+Cluster::Body producer(Segment &data, Segment &flag, PcConfig cfg,
+                       PcStats *stats);
+
+/** Consumer program: spins on the flag, validates the data. */
+Cluster::Body consumer(Segment &data, Segment &flag, PcConfig cfg,
+                       PcStats *stats);
+
+} // namespace tg::workload
+
+#endif // TELEGRAPHOS_WORKLOAD_PRODUCER_CONSUMER_HPP

@@ -1,0 +1,74 @@
+#include "workload/remote_paging.hpp"
+
+#include <deque>
+
+#include "api/context.hpp"
+
+namespace tg::workload {
+
+Cluster::Body
+pagingApp(Segment &backing, Segment &local_buf, PagingConfig cfg,
+          PagingStats *stats)
+{
+    return [&backing, &local_buf, cfg, stats](Ctx &ctx) -> Task<void> {
+        const std::uint32_t page_bytes = ctx.cluster().config().pageBytes;
+        // LRU of resident (virtual page -> resident slot).
+        std::deque<std::size_t> lru; // front = least recent
+        std::vector<std::size_t> slot_of(cfg.pages, SIZE_MAX);
+        std::vector<std::size_t> page_in_slot(cfg.residentPages, SIZE_MAX);
+        std::size_t next_free = 0;
+
+        std::size_t cur = 0;
+        for (int a = 0; a < cfg.accesses; ++a) {
+            // Pick the next page with temporal locality.
+            if (!ctx.rng().chance(cfg.locality) || a == 0)
+                cur = ctx.rng().below(cfg.pages);
+            if (stats)
+                ++stats->touches;
+
+            if (slot_of[cur] == SIZE_MAX) {
+                if (stats)
+                    ++stats->misses;
+                // Evict the LRU page when full.
+                std::size_t slot;
+                if (next_free < cfg.residentPages) {
+                    slot = next_free++;
+                } else {
+                    const std::size_t victim = lru.front();
+                    lru.pop_front();
+                    slot = slot_of[victim];
+                    slot_of[victim] = SIZE_MAX;
+                }
+                if (cfg.useRemoteMemory) {
+                    // Fetch the page from remote memory with the HIB's
+                    // bulk copy engine and wait for completion.
+                    co_await ctx.copy(
+                        backing.base() + cur * page_bytes,
+                        local_buf.base() + slot * page_bytes, page_bytes);
+                    co_await ctx.fence();
+                } else {
+                    co_await ctx.compute(cfg.diskLatency);
+                }
+                slot_of[cur] = slot;
+                page_in_slot[slot] = cur;
+            } else {
+                // refresh LRU position
+                for (auto it = lru.begin(); it != lru.end(); ++it) {
+                    if (*it == cur) {
+                        lru.erase(it);
+                        break;
+                    }
+                }
+            }
+            lru.push_back(cur);
+
+            // Touch a word of the (now resident) page and compute.
+            const std::size_t w =
+                slot_of[cur] * (page_bytes / 8) + ctx.rng().below(16);
+            (void)co_await ctx.read(local_buf.word(w));
+            co_await ctx.compute(cfg.computePerTouch);
+        }
+    };
+}
+
+} // namespace tg::workload

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Remote-memory paging workload (paper section 2.2.6, reference [21]).
+ *
+ * An application's working set exceeds its resident pages; misses are
+ * serviced either from a local-disk model or from a remote node's memory
+ * through the HIB's non-blocking copy engine.  Markatos [21] showed that
+ * remote memory beats disk paging by a wide margin — this workload lets
+ * bench A2 reproduce that shape and exercise the prefetch path.
+ */
+
+#ifndef TELEGRAPHOS_WORKLOAD_REMOTE_PAGING_HPP
+#define TELEGRAPHOS_WORKLOAD_REMOTE_PAGING_HPP
+
+#include "api/cluster.hpp"
+#include "api/segment.hpp"
+
+namespace tg::workload {
+
+/** Parameters of the paging workload. */
+struct PagingConfig
+{
+    std::size_t pages = 16;        ///< virtual pages of the working set
+    std::size_t residentPages = 4; ///< pages that fit locally
+    int accesses = 120;            ///< page touches
+    double locality = 0.7;         ///< P(touch a resident page again)
+    Tick computePerTouch = 5000;   ///< work per page touch
+    Tick diskLatency = 12'000'000; ///< 12 ms disk service (1995 disk)
+    bool useRemoteMemory = true;   ///< false: page from the disk model
+};
+
+/** Miss statistics filled by the program. */
+struct PagingStats
+{
+    std::uint64_t touches = 0;
+    std::uint64_t misses = 0;
+};
+
+/**
+ * Paging application.  @p backing is a remote segment of
+ * cfg.pages pages; @p local_buf is a local segment of
+ * cfg.residentPages pages used as the resident frames.
+ */
+Cluster::Body pagingApp(Segment &backing, Segment &local_buf,
+                        PagingConfig cfg, PagingStats *stats);
+
+} // namespace tg::workload
+
+#endif // TELEGRAPHOS_WORKLOAD_REMOTE_PAGING_HPP

@@ -1,0 +1,46 @@
+#include "workload/stencil.hpp"
+
+#include "api/context.hpp"
+
+namespace tg::workload {
+
+Cluster::Body
+stencilWorker(std::vector<Segment *> blocks, Segment &sync, NodeId self,
+              Word parties, StencilConfig cfg)
+{
+    return [blocks, &sync, self, parties, cfg](Ctx &ctx) -> Task<void> {
+        Segment &mine = *blocks[self];
+        const std::size_t n = cfg.cellsPerNode;
+        const std::size_t left = (self + blocks.size() - 1) % blocks.size();
+        const std::size_t right = (self + 1) % blocks.size();
+
+        // Initialise our block: cell value = node id * 100.
+        for (std::size_t i = 0; i < n; ++i)
+            co_await ctx.write(mine.word(i), Word(self) * 100);
+        co_await ctx.barrier(sync.word(0), sync.word(1), parties);
+
+        for (int it = 0; it < cfg.iterations; ++it) {
+            // Boundary cells come from the neighbours (remote reads
+            // unless replicated copies exist).
+            const Word lval =
+                co_await ctx.read(blocks[left]->word(n - 1));
+            const Word rval = co_await ctx.read(blocks[right]->word(0));
+
+            Word prev = lval;
+            for (std::size_t i = 0; i < n; ++i) {
+                const Word cur = co_await ctx.read(mine.word(i));
+                const Word next = (i + 1 < n)
+                                      ? co_await ctx.read(mine.word(i + 1))
+                                      : rval;
+                const Word nv = (prev + cur + next) / 3;
+                co_await ctx.write(mine.word(i), nv);
+                prev = cur;
+                co_await ctx.compute(cfg.computePerCell);
+            }
+            co_await ctx.barrier(sync.word(0), sync.word(1), parties);
+        }
+        co_await ctx.fence();
+    };
+}
+
+} // namespace tg::workload

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * 1-D Jacobi/SOR-style stencil: each node owns a block of cells; every
+ * iteration reads the neighbours' boundary cells (remote reads, or local
+ * copies when replicated) and ends with a cluster-wide barrier.
+ * Representative of the "scientific and engineering applications" the
+ * paper's introduction motivates.
+ */
+
+#ifndef TELEGRAPHOS_WORKLOAD_STENCIL_HPP
+#define TELEGRAPHOS_WORKLOAD_STENCIL_HPP
+
+#include <vector>
+
+#include "api/cluster.hpp"
+#include "api/segment.hpp"
+
+namespace tg::workload {
+
+/** Parameters of the stencil workload. */
+struct StencilConfig
+{
+    std::size_t cellsPerNode = 32;
+    int iterations = 6;
+    Tick computePerCell = 50;
+};
+
+/**
+ * Worker for node @p self of @p parties.  @p blocks[i] is node i's cell
+ * block (cells + one ghost word at index cellsPerNode used as generation
+ * tag); @p sync holds the barrier words (count at 0, generation at 1).
+ */
+Cluster::Body stencilWorker(std::vector<Segment *> blocks, Segment &sync,
+                            NodeId self, Word parties, StencilConfig cfg);
+
+} // namespace tg::workload
+
+#endif // TELEGRAPHOS_WORKLOAD_STENCIL_HPP

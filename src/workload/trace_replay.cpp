@@ -1,0 +1,60 @@
+#include "workload/trace_replay.hpp"
+
+#include "api/context.hpp"
+
+namespace tg::workload {
+
+std::vector<TraceOp>
+generateTrace(const TraceConfig &cfg, NodeId self, std::size_t parties)
+{
+    // Fork a per-node stream off the configured seed so traces are
+    // independent yet reproducible.
+    Rng rng(cfg.seed * 1315423911ULL + self + 1);
+
+    auto word_of = [&](std::size_t owner_rank, std::size_t k) {
+        if (cfg.aligned) {
+            // Aligned: rank r's data lives entirely in page r.
+            return owner_rank * cfg.wordsPerPage + k;
+        }
+        // Interleaved: rank r's words are spread round-robin over all
+        // `parties` pages — every page carries every node's data, so
+        // page-granularity invalidations hit everyone (false sharing).
+        const std::size_t page = k % parties;
+        return page * cfg.wordsPerPage + owner_rank * cfg.wordsPerNode +
+               k / parties;
+    };
+
+    std::vector<TraceOp> trace;
+    trace.reserve(cfg.accesses);
+    for (int i = 0; i < cfg.accesses; ++i) {
+        std::size_t rank = self;
+        if (rng.chance(cfg.shareFraction))
+            rank = rng.below(parties);
+        TraceOp op;
+        op.word = word_of(rank, rng.below(cfg.wordsPerNode));
+        // Only write your own data; read anyone's (the [22] model).
+        op.isWrite = (rank == self) && rng.chance(cfg.writeFraction);
+        trace.push_back(op);
+    }
+    return trace;
+}
+
+Cluster::Body
+traceReplayer(Segment &seg, std::vector<TraceOp> trace, Tick gap)
+{
+    return [&seg, trace = std::move(trace), gap](Ctx &ctx) -> Task<void> {
+        Word tick = 0;
+        for (const TraceOp &op : trace) {
+            if (op.isWrite)
+                co_await ctx.write(seg.word(op.word),
+                                   (Word(ctx.self()) << 32) | ++tick);
+            else
+                (void)co_await ctx.read(seg.word(op.word));
+            if (gap)
+                co_await ctx.compute(gap);
+        }
+        co_await ctx.fence();
+    };
+}
+
+} // namespace tg::workload

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Trace-driven sharing workload (paper reference [22]: "Trace-Driven
+ * Simulations of Data-Alignment and Other Factors affecting Update and
+ * Invalidate Based Coherent Memory", which motivates Telegraphos's
+ * decision to leave the protocol choice to software).
+ *
+ * A deterministic generator produces per-node access traces with
+ * controllable:
+ *   - write fraction,
+ *   - sharing degree (how many nodes touch the same words),
+ *   - alignment (whether each node's data is packed into its own region
+ *     of the page or interleaved word-by-word with other nodes' data —
+ *     the "data alignment" factor of [22]: misalignment induces false
+ *     sharing at page granularity).
+ *
+ * The trace is generated up front (seeded), then replayed through the
+ * normal Ctx operations so that every timing effect is the model's.
+ */
+
+#ifndef TELEGRAPHOS_WORKLOAD_TRACE_REPLAY_HPP
+#define TELEGRAPHOS_WORKLOAD_TRACE_REPLAY_HPP
+
+#include <vector>
+
+#include "api/cluster.hpp"
+#include "api/segment.hpp"
+#include "sim/random.hpp"
+
+namespace tg::workload {
+
+/** One access in a trace. */
+struct TraceOp
+{
+    std::size_t word;
+    bool isWrite;
+};
+
+/** Parameters of the trace generator. */
+struct TraceConfig
+{
+    int accesses = 300;        ///< per node
+    double writeFraction = 0.3;
+    double shareFraction = 0.2;///< P(access someone else's data)
+    bool aligned = true;       ///< per-node pages vs page-interleaved
+    std::size_t wordsPerNode = 16;
+    std::size_t wordsPerPage = 1024; ///< 8 KB pages of 64-bit words
+    Tick gap = 800;            ///< compute between accesses
+    std::uint64_t seed = 99;
+};
+
+/**
+ * Generate the trace for @p self of @p parties nodes over a segment of
+ * @p parties pages.  With `aligned`, node n's data lives entirely in
+ * page n, so writes only disturb readers of that page; without, every
+ * node's words are spread across *all* pages — false sharing at page
+ * granularity, the factor studied in [22].
+ */
+std::vector<TraceOp> generateTrace(const TraceConfig &cfg, NodeId self,
+                                   std::size_t parties);
+
+/** Replay @p trace against @p seg (which must be mapped at this node). */
+Cluster::Body traceReplayer(Segment &seg, std::vector<TraceOp> trace,
+                            Tick gap);
+
+} // namespace tg::workload
+
+#endif // TELEGRAPHOS_WORKLOAD_TRACE_REPLAY_HPP

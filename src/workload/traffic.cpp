@@ -1,0 +1,31 @@
+#include "workload/traffic.hpp"
+
+#include "api/context.hpp"
+
+namespace tg::workload {
+
+Cluster::Body
+randomTraffic(std::vector<Segment *> segs, TrafficConfig cfg)
+{
+    return [segs, cfg](Ctx &ctx) -> Task<void> {
+        for (int k = 0; k < cfg.ops; ++k) {
+            // Pick a segment homed on another node.
+            std::size_t s;
+            do {
+                s = ctx.rng().below(segs.size());
+            } while (segs[s]->owner() == ctx.self() && segs.size() > 1);
+            const VAddr va = segs[s]->word(ctx.rng().below(cfg.words));
+
+            if (ctx.rng().chance(cfg.readFraction)) {
+                (void)co_await ctx.read(va);
+            } else {
+                co_await ctx.write(va, Word(ctx.self()) << 32 | Word(k));
+            }
+            if (cfg.gap)
+                co_await ctx.compute(cfg.gap);
+        }
+        co_await ctx.fence();
+    };
+}
+
+} // namespace tg::workload

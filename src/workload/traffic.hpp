@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Random network traffic generator for interconnect stress tests and the
+ * A5 network ablation: uniform remote reads/writes across all segments.
+ */
+
+#ifndef TELEGRAPHOS_WORKLOAD_TRAFFIC_HPP
+#define TELEGRAPHOS_WORKLOAD_TRAFFIC_HPP
+
+#include <vector>
+
+#include "api/cluster.hpp"
+#include "api/segment.hpp"
+
+namespace tg::workload {
+
+/** Parameters of the random-traffic workload. */
+struct TrafficConfig
+{
+    int ops = 500;            ///< operations per node
+    double readFraction = 0.2;///< fraction of blocking remote reads
+    Tick gap = 300;           ///< compute between operations
+    std::size_t words = 64;   ///< words used per segment
+};
+
+/** Uniform random remote traffic over @p segs (one segment per node). */
+Cluster::Body randomTraffic(std::vector<Segment *> segs, TrafficConfig cfg);
+
+} // namespace tg::workload
+
+#endif // TELEGRAPHOS_WORKLOAD_TRAFFIC_HPP

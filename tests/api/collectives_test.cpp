@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests of the collective operations library.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/cluster.hpp"
+#include "api/collectives.hpp"
+#include "api/context.hpp"
+
+namespace tg {
+namespace {
+
+TEST(Collectives, BroadcastDeliversPayloadToAllMembers)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 4;
+    Cluster c(spec);
+    Communicator comm(c, "comm", {0, 1, 2, 3}, 8);
+
+    std::vector<std::vector<Word>> got(4);
+    for (NodeId n = 0; n < 4; ++n) {
+        c.spawn(n, [&, n](Ctx &ctx) -> Task<void> {
+            std::vector<Word> io;
+            if (n == 2)
+                io = {7, 8, 9};
+            co_await comm.broadcast(ctx, io, /*root=*/2);
+            got[n] = io;
+        });
+    }
+    c.run(400'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+    for (NodeId n = 0; n < 4; ++n) {
+        ASSERT_GE(got[n].size(), 3u) << "node " << n;
+        EXPECT_EQ(got[n][0], 7u);
+        EXPECT_EQ(got[n][1], 8u);
+        EXPECT_EQ(got[n][2], 9u);
+    }
+}
+
+TEST(Collectives, RepeatedBroadcastsStaySequenced)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 3;
+    Cluster c(spec);
+    Communicator comm(c, "comm", {0, 1, 2}, 4);
+
+    bool ok = true;
+    for (NodeId n = 0; n < 3; ++n) {
+        c.spawn(n, [&, n](Ctx &ctx) -> Task<void> {
+            for (int round = 1; round <= 5; ++round) {
+                std::vector<Word> io;
+                if (n == 0)
+                    io = {Word(round) * 11};
+                co_await comm.broadcast(ctx, io, 0);
+                if (io[0] != Word(round) * 11)
+                    ok = false;
+            }
+        });
+    }
+    c.run(800'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+    EXPECT_TRUE(ok);
+}
+
+TEST(Collectives, ReduceSumsContributionsAtRoot)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 4;
+    Cluster c(spec);
+    Communicator comm(c, "comm", {0, 1, 2, 3});
+
+    Word root_sum = 0;
+    for (NodeId n = 0; n < 4; ++n) {
+        c.spawn(n, [&, n](Ctx &ctx) -> Task<void> {
+            const Word r =
+                co_await comm.reduceSum(ctx, Word(n) + 1, /*root=*/1);
+            if (n == 1)
+                root_sum = r;
+        });
+    }
+    c.run(400'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+    EXPECT_EQ(root_sum, 1u + 2 + 3 + 4);
+}
+
+TEST(Collectives, AllReduceGivesEveryoneTheSum)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 3;
+    Cluster c(spec);
+    Communicator comm(c, "comm", {0, 1, 2});
+
+    std::vector<Word> sums(3, 0);
+    for (NodeId n = 0; n < 3; ++n) {
+        c.spawn(n, [&, n](Ctx &ctx) -> Task<void> {
+            sums[n] = co_await comm.allReduceSum(ctx, Word(n) * 10);
+        });
+    }
+    c.run(400'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+    for (NodeId n = 0; n < 3; ++n)
+        EXPECT_EQ(sums[n], 30u);
+}
+
+TEST(Collectives, ManyRoundsOfAllReduceRotateSlotsSafely)
+{
+    // More rounds than the internal slot rotation: exercises reuse.
+    ClusterSpec spec;
+    spec.topology.nodes = 3;
+    Cluster c(spec);
+    Communicator comm(c, "comm", {0, 1, 2});
+
+    bool ok = true;
+    for (NodeId n = 0; n < 3; ++n) {
+        c.spawn(n, [&, n](Ctx &ctx) -> Task<void> {
+            for (int round = 1; round <= 10; ++round) {
+                const Word s = co_await comm.allReduceSum(
+                    ctx, Word(round) * (Word(n) + 1));
+                if (s != Word(round) * 6) // (1+2+3) * round
+                    ok = false;
+            }
+        });
+    }
+    c.run(4'000'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+    EXPECT_TRUE(ok);
+}
+
+TEST(Collectives, BarrierSynchronizesMembers)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 3;
+    Cluster c(spec);
+    Communicator comm(c, "comm", {0, 1, 2});
+
+    std::vector<Tick> after(3, 0);
+    for (NodeId n = 0; n < 3; ++n) {
+        c.spawn(n, [&, n](Ctx &ctx) -> Task<void> {
+            co_await ctx.compute(Tick(n) * 200'000); // staggered arrival
+            co_await comm.barrier(ctx);
+            after[n] = ctx.now();
+        });
+    }
+    c.run(400'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+    // Nobody passes the barrier before the last arrival (~400 us).
+    for (NodeId n = 0; n < 3; ++n)
+        EXPECT_GE(after[n], 400'000u);
+}
+
+} // namespace
+} // namespace tg

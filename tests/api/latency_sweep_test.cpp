@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Parameterized latency sweeps: remote-operation latency must grow
+ * monotonically with switch distance, and every basic operation must
+ * behave across topologies and prototypes (property-style coverage).
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/cluster.hpp"
+#include "api/context.hpp"
+#include "api/segment.hpp"
+
+namespace tg {
+namespace {
+
+Tick
+readLatency(Cluster &c, NodeId reader, Segment &seg)
+{
+    Tick lat = 0;
+    c.spawn(reader, [&](Ctx &ctx) -> Task<void> {
+        (void)co_await ctx.read(seg.word(0)); // warm TLB
+        const Tick t0 = ctx.now();
+        (void)co_await ctx.read(seg.word(0));
+        lat = ctx.now() - t0;
+    });
+    c.run(100'000'000'000ULL);
+    return lat;
+}
+
+TEST(LatencySweep, ReadLatencyGrowsWithHopCount)
+{
+    ClusterSpec spec;
+    spec.topology.kind = net::TopologyKind::Chain;
+    spec.topology.nodes = 8;
+    spec.topology.nodesPerSwitch = 2;
+    Cluster c(spec);
+    Segment &seg = c.allocShared("s", 8192, 0);
+
+    // Readers progressively further down the chain.
+    Tick prev = 0;
+    for (NodeId reader : {NodeId(1), NodeId(3), NodeId(5), NodeId(7)}) {
+        const Tick lat = readLatency(c, reader, seg);
+        EXPECT_GT(lat, prev) << "reader " << unsigned(reader);
+        prev = lat;
+    }
+    // Sanity: nearest remote read is in the paper's ballpark.
+    EXPECT_GT(readLatency(c, 1, seg), 5000u);
+}
+
+struct SweepParam
+{
+    Prototype proto;
+    net::TopologyKind kind;
+    std::size_t nodes;
+};
+
+class OpsEverywhere : public ::testing::TestWithParam<SweepParam>
+{
+};
+
+TEST_P(OpsEverywhere, AllBasicOpsWork)
+{
+    const SweepParam p = GetParam();
+    ClusterSpec spec;
+    spec.config.prototype = p.proto;
+    spec.topology.kind = p.kind;
+    spec.topology.nodes = p.nodes;
+    spec.topology.nodesPerSwitch = 2;
+    Cluster c(spec);
+    Segment &seg = c.allocShared("s", 8192, 0);
+    Segment &dst = c.allocShared("d", 8192, NodeId(p.nodes - 1));
+    seg.poke(5, 55);
+
+    const NodeId worker = NodeId(p.nodes - 1);
+    bool ok = true;
+    c.spawn(worker, [&](Ctx &ctx) -> Task<void> {
+        co_await ctx.write(seg.word(0), 11);
+        co_await ctx.fence();
+        ok &= (co_await ctx.read(seg.word(0))) == 11;
+        ok &= (co_await ctx.read(seg.word(5))) == 55;
+        ok &= (co_await ctx.fetchAdd(seg.word(1), 2)) == 0;
+        ok &= (co_await ctx.fetchStore(seg.word(2), 9)) == 0;
+        ok &= (co_await ctx.cas(seg.word(2), 9, 10)) == 9;
+        co_await ctx.copy(seg.word(5), dst.word(0), 8);
+        co_await ctx.fence();
+        ok &= (co_await ctx.read(dst.word(0))) == 55;
+    });
+    c.run(400'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+    EXPECT_FALSE(c.anyKilled());
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(seg.peek(1), 2u);
+    EXPECT_EQ(seg.peek(2), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Everywhere, OpsEverywhere,
+    ::testing::Values(
+        SweepParam{Prototype::TelegraphosI, net::TopologyKind::Star, 2},
+        SweepParam{Prototype::TelegraphosII, net::TopologyKind::Star, 2},
+        SweepParam{Prototype::TelegraphosI, net::TopologyKind::Chain, 6},
+        SweepParam{Prototype::TelegraphosII, net::TopologyKind::Chain, 6},
+        SweepParam{Prototype::TelegraphosI, net::TopologyKind::Ring, 6},
+        SweepParam{Prototype::TelegraphosII, net::TopologyKind::Ring, 8}),
+    [](const auto &info) {
+        const auto &p = info.param;
+        std::string n =
+            p.proto == Prototype::TelegraphosI ? "TeleI_" : "TeleII_";
+        n += p.kind == net::TopologyKind::Star    ? "Star"
+             : p.kind == net::TopologyKind::Chain ? "Chain"
+                                                  : "Ring";
+        return n + std::to_string(p.nodes);
+    });
+
+} // namespace
+} // namespace tg

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Unit tests of the measurement helpers (Stopwatch, ResultTable).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "api/cluster.hpp"
+#include "api/context.hpp"
+#include "api/measure.hpp"
+#include "api/segment.hpp"
+
+namespace tg {
+namespace {
+
+TEST(Stopwatch, MeasuresSimulatedTime)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 1;
+    Cluster c(spec);
+
+    Tick measured = 0;
+    c.spawn(0, [&](Ctx &ctx) -> Task<void> {
+        Stopwatch sw(ctx);
+        co_await ctx.compute(5000);
+        measured = sw.elapsed();
+        sw.restart();
+        co_await ctx.compute(100);
+        EXPECT_LT(sw.elapsed(), 5000u);
+        EXPECT_GT(sw.elapsedUs(), 0.0);
+    });
+    c.run(1'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+    // compute(5000) plus one instruction charge.
+    EXPECT_GE(measured, 5000u);
+    EXPECT_LT(measured, 6000u);
+}
+
+TEST(ResultTable, RendersAlignedGrid)
+{
+    ResultTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"a-much-longer-name", "2.5"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("| name"), std::string::npos);
+    EXPECT_NE(s.find("a-much-longer-name"), std::string::npos);
+    // Grid borders present.
+    EXPECT_NE(s.find("+--"), std::string::npos);
+    // Every line has the same width.
+    std::istringstream lines(s);
+    std::string line, first;
+    std::getline(lines, first);
+    while (std::getline(lines, line))
+        EXPECT_EQ(line.size(), first.size());
+}
+
+TEST(ResultTable, NumFormatsFixedPoint)
+{
+    EXPECT_EQ(ResultTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(ResultTable::num(3.14159, 0), "3");
+    EXPECT_EQ(ResultTable::num(-1.5, 1), "-1.5");
+}
+
+TEST(ResultTableDeathTest, RowWidthMismatchPanics)
+{
+    ResultTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "width");
+}
+
+} // namespace
+} // namespace tg

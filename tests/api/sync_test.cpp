@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests of the synchronization library: mutual exclusion, fence
+ * embedding (section 2.3.5), barrier generations — including the
+ * paper's flag/data producer-consumer race.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/cluster.hpp"
+#include "api/context.hpp"
+#include "api/segment.hpp"
+
+namespace tg {
+namespace {
+
+TEST(Sync, MutualExclusionUnderContention)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 4;
+    Cluster c(spec);
+    Segment &seg = c.allocShared("s", 8192, 0);
+    // word 0: lock; word 1: inside-critical-section flag; word 2: counter
+
+    bool violation = false;
+    for (NodeId n = 0; n < 4; ++n) {
+        c.spawn(n, [&](Ctx &ctx) -> Task<void> {
+            for (int i = 0; i < 5; ++i) {
+                co_await ctx.lock(seg.word(0));
+                if (co_await ctx.read(seg.word(1)) != 0)
+                    violation = true;
+                co_await ctx.write(seg.word(1), 1);
+                co_await ctx.fence();
+                co_await ctx.compute(3000);
+                co_await ctx.write(seg.word(1), 0);
+                const Word v = co_await ctx.read(seg.word(2));
+                co_await ctx.write(seg.word(2), v + 1);
+                co_await ctx.unlock(seg.word(0));
+            }
+        });
+    }
+    c.run(400'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+    EXPECT_FALSE(violation);
+    EXPECT_EQ(seg.peek(2), 20u);
+}
+
+namespace {
+
+/**
+ * The section 2.3.5 scenario: the data page is replicated (owner = node
+ * 0) at producer (1) and consumer (2); the flag is homed at the
+ * consumer.  The producer's data write travels producer -> owner ->
+ * consumer (a reflected write), while the flag write goes producer ->
+ * consumer directly — a faster path.  Without the MEMORY_BARRIER the
+ * consumer sees the flag before its local data copy has been updated.
+ */
+Word
+runFlagData(bool use_fence)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 3;
+    Cluster c(spec);
+    Segment &data = c.allocShared("data", 8192, 0);
+    data.replicate(1, coherence::ProtocolKind::OwnerCounter);
+    data.replicate(2, coherence::ProtocolKind::OwnerCounter);
+    Segment &flag = c.allocShared("flag", 8192, 2);
+
+    Word seen = 1234567;
+    c.spawn(1, [&, use_fence](Ctx &ctx) -> Task<void> {
+        co_await ctx.write(data.word(0), 42); // via the owner, slow path
+        if (use_fence)
+            co_await ctx.fence(); // waits for the consumer's UpdateAck
+        co_await ctx.write(flag.word(0), 1); // direct, fast path
+        co_await ctx.fence();
+    });
+    c.spawn(2, [&](Ctx &ctx) -> Task<void> {
+        while (co_await ctx.read(flag.word(0)) == 0)
+            co_await ctx.compute(200);
+        seen = co_await ctx.read(data.word(0)); // local copy
+    });
+    c.run(400'000'000'000ULL);
+    EXPECT_TRUE(c.allDone());
+    return seen;
+}
+
+} // namespace
+
+TEST(Sync, FlagDataRaceWithoutFence)
+{
+    EXPECT_EQ(runFlagData(false), 0u)
+        << "expected the stale-data race of section 2.3.5 to manifest";
+}
+
+TEST(Sync, FlagDataRaceFixedByFence)
+{
+    EXPECT_EQ(runFlagData(true), 42u);
+}
+
+TEST(Sync, BarrierReusableAcrossGenerations)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 3;
+    Cluster c(spec);
+    Segment &sync = c.allocShared("sync", 8192, 0);
+    Segment &data = c.allocShared("data", 8192, 0);
+
+    bool order_ok = true;
+    for (NodeId n = 0; n < 3; ++n) {
+        c.spawn(n, [&, n](Ctx &ctx) -> Task<void> {
+            for (int phase = 0; phase < 4; ++phase) {
+                co_await ctx.write(data.word(n), Word(phase * 10 + 1));
+                co_await ctx.barrier(sync.word(0), sync.word(1), 3);
+                for (NodeId m = 0; m < 3; ++m) {
+                    const Word v = co_await ctx.read(data.word(m));
+                    if (v != Word(phase * 10 + 1))
+                        order_ok = false;
+                }
+                co_await ctx.barrier(sync.word(0), sync.word(1), 3);
+            }
+        });
+    }
+    c.run(800'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+    EXPECT_TRUE(order_ok);
+}
+
+} // namespace
+} // namespace tg

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * VSM race tests: concurrent faults on the same page must serialize
+ * through the manager (the per-page busy gate) and never corrupt the
+ * holder bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/cluster.hpp"
+#include "api/context.hpp"
+#include "baseline/vsm.hpp"
+
+namespace tg {
+namespace {
+
+TEST(VsmRaces, ConcurrentReadFaultsBothSucceed)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 3;
+    Cluster c(spec);
+    baseline::VsmDsm vsm(c);
+    const VAddr base = vsm.alloc("v", 8192, 0);
+
+    // Seed via the home node.
+    c.spawn(0, [&](Ctx &ctx) -> Task<void> {
+        co_await ctx.write(base, 99);
+    });
+    c.run(10'000'000'000ULL);
+
+    // Both remote nodes fault at the same instant.
+    Word got1 = 0, got2 = 0;
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        got1 = co_await ctx.read(base);
+    });
+    c.spawn(2, [&](Ctx &ctx) -> Task<void> {
+        got2 = co_await ctx.read(base);
+    });
+    c.run(100'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+    EXPECT_EQ(got1, 99u);
+    EXPECT_EQ(got2, 99u);
+}
+
+TEST(VsmRaces, ConcurrentWriteFaultsSerializeToOneWinnerAtATime)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 2;
+    Cluster c(spec);
+    baseline::VsmDsm vsm(c);
+    const VAddr base = vsm.alloc("v", 8192, 0);
+
+    // Both nodes write-fault simultaneously; serialization through the
+    // manager must leave a consistent final state (the second writer's
+    // store lands after the first's and wins or loses cleanly — never
+    // diverges).
+    c.spawn(0, [&](Ctx &ctx) -> Task<void> {
+        co_await ctx.write(base, 111);
+    });
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        co_await ctx.write(base, 222);
+    });
+    c.run(400'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+
+    // Whoever owns the page now must hold one of the two values, and a
+    // subsequent reader agrees with the owner.
+    Word final0 = 0, final1 = 0;
+    c.spawn(0, [&](Ctx &ctx) -> Task<void> {
+        final0 = co_await ctx.read(base);
+    });
+    c.run(400'000'000'000ULL);
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        final1 = co_await ctx.read(base);
+    });
+    c.run(400'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+    EXPECT_TRUE(final0 == 111 || final0 == 222);
+    EXPECT_EQ(final0, final1);
+}
+
+TEST(VsmRaces, ReaderDuringMigrationSeesOldOrNewNeverGarbage)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 3;
+    Cluster c(spec);
+    baseline::VsmDsm vsm(c);
+    const VAddr base = vsm.alloc("v", 8192, 0);
+
+    c.spawn(0, [&](Ctx &ctx) -> Task<void> {
+        co_await ctx.write(base, 5);
+    });
+    c.run(10'000'000'000ULL);
+
+    Word seen = 12345;
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        co_await ctx.write(base, 6); // triggers migration from node 0
+    });
+    c.spawn(2, [&](Ctx &ctx) -> Task<void> {
+        seen = co_await ctx.read(base); // races the migration
+    });
+    c.run(400'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+    EXPECT_TRUE(seen == 5 || seen == 6) << "garbage value " << seen;
+}
+
+} // namespace
+} // namespace tg

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests of the page-level invalidate protocol (the section 2.3.6
+ * software alternative).
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/cluster.hpp"
+#include "api/context.hpp"
+#include "api/segment.hpp"
+#include "coherence/invalidate.hpp"
+
+namespace tg {
+namespace {
+
+using coherence::ProtocolKind;
+
+TEST(Invalidate, WriteRemovesOtherCopies)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 3;
+    Cluster c(spec);
+    Segment &seg = c.allocShared("s", 8192, 0);
+    seg.replicate(1, ProtocolKind::Invalidate);
+    seg.replicate(2, ProtocolKind::Invalidate);
+
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        co_await ctx.write(seg.word(0), 99);
+        co_await ctx.fence();
+    });
+    c.run(20'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+
+    coherence::PageEntry *e = c.directory().byHome(seg.homePage(0));
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->copies.size(), 1u);
+    EXPECT_TRUE(e->hasCopy(1));
+    EXPECT_EQ(seg.peekCopy(1, 0), 99u);
+
+    auto &proto = static_cast<coherence::InvalidateProtocol &>(
+        c.protocol(ProtocolKind::Invalidate));
+    EXPECT_EQ(proto.invalidations(), 1u);
+}
+
+TEST(Invalidate, InvalidatedReaderFallsBackToRemoteReads)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 2;
+    Cluster c(spec);
+    Segment &seg = c.allocShared("s", 8192, 0);
+    seg.replicate(1, ProtocolKind::Invalidate);
+
+    Word observed = 0;
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        co_await ctx.write(seg.word(0), 5); // invalidates node 0's copy
+        co_await ctx.fence();
+    });
+    c.spawn(0, [&](Ctx &ctx) -> Task<void> {
+        // Wait out the invalidation, then read: the access must succeed
+        // remotely (Telegraphos remote read), no replication needed.
+        co_await ctx.compute(5'000'000);
+        observed = co_await ctx.read(seg.word(0));
+    });
+    c.run(60'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+    EXPECT_EQ(observed, 5u);
+}
+
+TEST(Invalidate, ExclusiveWriterPaysNothing)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 2;
+    Cluster c(spec);
+    Segment &seg = c.allocShared("s", 8192, 0);
+    seg.replicate(1, ProtocolKind::Invalidate);
+
+    // First write invalidates; subsequent writes are free (exclusive).
+    Tick first = 0, second = 0;
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        Tick t0 = ctx.now();
+        co_await ctx.write(seg.word(0), 1);
+        first = ctx.now() - t0;
+        t0 = ctx.now();
+        co_await ctx.write(seg.word(0), 2);
+        second = ctx.now() - t0;
+    });
+    c.run(20'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+    EXPECT_GT(first, second * 10); // invalidation round vs plain store
+}
+
+} // namespace
+} // namespace tg

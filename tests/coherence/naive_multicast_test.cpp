@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests of the naive (ownerless) eager-multicast protocol — including the
+ * Figure 2 inconsistency it exists to demonstrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/cluster.hpp"
+#include "api/context.hpp"
+#include "api/segment.hpp"
+
+namespace tg {
+namespace {
+
+using coherence::ProtocolKind;
+
+TEST(NaiveMulticast, SingleWriterPropagatesToAllCopies)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 3;
+    Cluster c(spec);
+    Segment &seg = c.allocShared("s", 8192, 0);
+    seg.replicate(1, ProtocolKind::Naive);
+    seg.replicate(2, ProtocolKind::Naive);
+
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        for (int i = 0; i < 8; ++i)
+            co_await ctx.write(seg.word(i), Word(10 + i));
+        co_await ctx.fence();
+    });
+    c.run(10'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(seg.peek(i), Word(10 + i));
+        EXPECT_EQ(seg.peekCopy(1, i), Word(10 + i));
+        EXPECT_EQ(seg.peekCopy(2, i), Word(10 + i));
+    }
+}
+
+TEST(NaiveMulticast, Figure2ConcurrentWritersDiverge)
+{
+    // Figure 2 of the paper: two processors update their local copies of
+    // the same word simultaneously and multicast; each applies the
+    // other's (older) update on top of its own — the copies end up
+    // *permanently different*.
+    ClusterSpec spec;
+    spec.topology.nodes = 2;
+    Cluster c(spec);
+    Segment &seg = c.allocShared("s", 8192, 0);
+    seg.replicate(1, ProtocolKind::Naive);
+
+    c.spawn(0, [&](Ctx &ctx) -> Task<void> {
+        co_await ctx.write(seg.word(0), 1);
+        co_await ctx.fence();
+    });
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        co_await ctx.write(seg.word(0), 2);
+        co_await ctx.fence();
+    });
+    c.run(10'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+
+    // Node 0 wrote 1 then received 2; node 1 wrote 2 then received 1.
+    EXPECT_EQ(seg.peekCopy(0, 0), 2u);
+    EXPECT_EQ(seg.peekCopy(1, 0), 1u);
+    EXPECT_NE(seg.peekCopy(0, 0), seg.peekCopy(1, 0));
+}
+
+TEST(NaiveMulticast, SynchronizedWritersStayConsistent)
+{
+    // With a lock separating the writes (the discipline Telegraphos I
+    // requires), the naive protocol is safe.
+    ClusterSpec spec;
+    spec.topology.nodes = 2;
+    Cluster c(spec);
+    Segment &lock = c.allocShared("lock", 8192, 0);
+    Segment &seg = c.allocShared("s", 8192, 0);
+    seg.replicate(1, ProtocolKind::Naive);
+
+    for (NodeId n = 0; n < 2; ++n) {
+        c.spawn(n, [&, n](Ctx &ctx) -> Task<void> {
+            co_await ctx.lock(lock.word(0));
+            co_await ctx.write(seg.word(0), Word(n) + 1);
+            co_await ctx.fence();
+            co_await ctx.unlock(lock.word(0));
+        });
+    }
+    c.run(60'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+
+    EXPECT_EQ(seg.peekCopy(0, 0), seg.peekCopy(1, 0));
+}
+
+} // namespace
+} // namespace tg

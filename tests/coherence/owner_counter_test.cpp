@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Tests of the paper's owner-based counter protocol (sections 2.3.1-2.3.4):
+ * convergence under concurrent writers, read-your-writes, the 2.3.2
+ * overwrite hazard with counters disabled, and counter-cache stalling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "api/cluster.hpp"
+#include "api/context.hpp"
+#include "api/segment.hpp"
+#include "coherence/owner_counter.hpp"
+
+namespace tg {
+namespace {
+
+using coherence::ProtocolKind;
+
+ClusterSpec
+spec3(Prototype proto = Prototype::TelegraphosII)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 3;
+    spec.config.prototype = proto;
+    return spec;
+}
+
+TEST(OwnerCounter, ConcurrentWritersConverge)
+{
+    Cluster c(spec3());
+    Segment &seg = c.allocShared("s", 8192, 0);
+    seg.replicate(1, ProtocolKind::OwnerCounter);
+    seg.replicate(2, ProtocolKind::OwnerCounter);
+
+    // Nodes 1 and 2 write the same word with no synchronization.
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        co_await ctx.write(seg.word(0), 111);
+        co_await ctx.fence();
+    });
+    c.spawn(2, [&](Ctx &ctx) -> Task<void> {
+        co_await ctx.write(seg.word(0), 222);
+        co_await ctx.fence();
+    });
+    c.run(10'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+
+    // All copies identical: the owner's arrival order decided.
+    const Word home = seg.peek(0);
+    EXPECT_TRUE(home == 111 || home == 222);
+    EXPECT_EQ(seg.peekCopy(1, 0), home);
+    EXPECT_EQ(seg.peekCopy(2, 0), home);
+}
+
+TEST(OwnerCounter, ReadYourWritesAlwaysHolds)
+{
+    // Section 2.3.2: a non-owner writes M=2 then M=3 back-to-back and
+    // must never read anything but its latest value, even while the
+    // reflected updates are in flight.
+    Cluster c(spec3());
+    Segment &seg = c.allocShared("s", 8192, 0);
+    seg.replicate(1, ProtocolKind::OwnerCounter);
+
+    bool ok = true;
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        for (int r = 0; r < 20; ++r) {
+            co_await ctx.write(seg.word(0), Word(r) * 10 + 2);
+            co_await ctx.write(seg.word(0), Word(r) * 10 + 3);
+            // Read immediately: reflected "2" must not be visible.
+            const Word v = co_await ctx.read(seg.word(0));
+            if (v != Word(r) * 10 + 3)
+                ok = false;
+            // Let reflections drain; the value must STILL be 3.
+            co_await ctx.fence();
+            const Word v2 = co_await ctx.read(seg.word(0));
+            if (v2 != Word(r) * 10 + 3)
+                ok = false;
+        }
+    });
+    c.run(60'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+    EXPECT_TRUE(ok);
+}
+
+TEST(OwnerCounter, WithoutCountersTheOverwriteHazardAppears)
+{
+    // Telegraphos I (no counter cache): the reflected old value lands on
+    // top of the newer local value — the exact scenario of section 2.3.2.
+    ClusterSpec spec = spec3(Prototype::TelegraphosI);
+    Cluster c(spec);
+    Segment &seg = c.allocShared("s", 8192, 0);
+    seg.replicate(1, ProtocolKind::OwnerCounter);
+
+    // Observe the value sequence at node 1 for word 0.
+    std::vector<Word> applied;
+    c.observeWrites([&](const coherence::ApplyEvent &ev) {
+        if (ev.node == 1 && ev.homeAddr == seg.homeWord(0))
+            applied.push_back(ev.value);
+    });
+
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        co_await ctx.write(seg.word(0), 2);
+        co_await ctx.write(seg.word(0), 3);
+        co_await ctx.fence();
+    });
+    c.run(10'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+
+    // Local sequence shows the regression: 2, 3, then the reflected 2
+    // overwrites the 3 (then reflected 3 restores it).
+    ASSERT_GE(applied.size(), 4u);
+    EXPECT_EQ(applied[0], 2u);
+    EXPECT_EQ(applied[1], 3u);
+    EXPECT_EQ(applied[2], 2u); // the hazard
+    EXPECT_EQ(applied.back(), 3u);
+}
+
+TEST(OwnerCounter, WithCountersNoRegressionIsEverApplied)
+{
+    Cluster c(spec3(Prototype::TelegraphosII));
+    Segment &seg = c.allocShared("s", 8192, 0);
+    seg.replicate(1, ProtocolKind::OwnerCounter);
+
+    std::vector<Word> applied;
+    c.observeWrites([&](const coherence::ApplyEvent &ev) {
+        if (ev.node == 1 && ev.homeAddr == seg.homeWord(0))
+            applied.push_back(ev.value);
+    });
+
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        co_await ctx.write(seg.word(0), 2);
+        co_await ctx.write(seg.word(0), 3);
+        co_await ctx.fence();
+    });
+    c.run(10'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+
+    // Rules 2+3: both reflections are ignored; node 1 sees exactly 2, 3.
+    EXPECT_EQ(applied, (std::vector<Word>{2, 3}));
+    EXPECT_EQ(seg.peekCopy(1, 0), 3u);
+    EXPECT_EQ(seg.peek(0), 3u);
+}
+
+TEST(OwnerCounter, CounterCacheStallsAndRecovers)
+{
+    ClusterSpec spec = spec3(Prototype::TelegraphosII);
+    spec.config.counterCacheEntries = 2; // tiny CAM forces stalls
+    Cluster c(spec);
+    Segment &seg = c.allocShared("s", 8192, 0);
+    seg.replicate(1, ProtocolKind::OwnerCounter);
+
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        // Burst of writes to distinct words: each needs its own counter.
+        for (int i = 0; i < 16; ++i)
+            co_await ctx.write(seg.word(i), Word(100 + i));
+        co_await ctx.fence();
+    });
+    c.run(20'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+
+    EXPECT_GT(c.hibOf(1).counterCache().stallEvents(), 0u);
+    EXPECT_EQ(c.hibOf(1).counterCache().used(), 0u); // fully drained
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(seg.peek(i), Word(100 + i));
+        EXPECT_EQ(seg.peekCopy(1, i), Word(100 + i));
+    }
+}
+
+TEST(OwnerCounter, OwnersOwnWritesReflectToAllCopies)
+{
+    Cluster c(spec3());
+    Segment &seg = c.allocShared("s", 8192, 0);
+    seg.replicate(1, ProtocolKind::OwnerCounter);
+    seg.replicate(2, ProtocolKind::OwnerCounter);
+
+    c.spawn(0, [&](Ctx &ctx) -> Task<void> {
+        co_await ctx.write(seg.word(5), 55);
+        co_await ctx.fence();
+    });
+    c.run(10'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+
+    EXPECT_EQ(seg.peek(5), 55u);
+    EXPECT_EQ(seg.peekCopy(1, 5), 55u);
+    EXPECT_EQ(seg.peekCopy(2, 5), 55u);
+}
+
+TEST(OwnerCounter, IndependentWordsDoNotInterfere)
+{
+    // Counters are per *word*: concurrent writers to different words
+    // must never suppress each other's updates (rule 3 keys on the
+    // word address, not the page).
+    Cluster c(spec3());
+    Segment &seg = c.allocShared("s", 8192, 0);
+    seg.replicate(1, ProtocolKind::OwnerCounter);
+    seg.replicate(2, ProtocolKind::OwnerCounter);
+
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        for (int i = 0; i < 10; ++i)
+            co_await ctx.write(seg.word(0), Word(100 + i));
+        co_await ctx.fence();
+    });
+    c.spawn(2, [&](Ctx &ctx) -> Task<void> {
+        for (int i = 0; i < 10; ++i)
+            co_await ctx.write(seg.word(1), Word(200 + i));
+        co_await ctx.fence();
+    });
+    c.run(60'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+
+    for (NodeId n = 0; n < 3; ++n) {
+        EXPECT_EQ(seg.peekCopy(n, 0), 109u) << "node " << unsigned(n);
+        EXPECT_EQ(seg.peekCopy(n, 1), 209u) << "node " << unsigned(n);
+    }
+}
+
+TEST(OwnerCounter, ReaderCopyObservesOwnersOrderAsSubsequence)
+{
+    // Section 2.3.3's guarantee restated: a passive reader's copy sees
+    // a subsequence of the owner's value sequence, in the same order.
+    Cluster c(spec3());
+    Segment &seg = c.allocShared("s", 8192, 0);
+    seg.replicate(1, ProtocolKind::OwnerCounter);
+    seg.replicate(2, ProtocolKind::OwnerCounter);
+
+    std::vector<Word> at_owner, at_reader;
+    c.observeWrites([&](const coherence::ApplyEvent &ev) {
+        if (ev.homeAddr != seg.homeWord(0))
+            return;
+        if (ev.node == 0)
+            at_owner.push_back(ev.value);
+        if (ev.node == 2)
+            at_reader.push_back(ev.value);
+    });
+
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        for (int i = 0; i < 12; ++i) {
+            co_await ctx.write(seg.word(0), Word(1000 + i));
+            if (i % 3 == 0)
+                co_await ctx.fence();
+        }
+        co_await ctx.fence();
+    });
+    c.run(60'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+
+    // at_reader must be a subsequence of at_owner.
+    std::size_t j = 0;
+    for (const Word v : at_reader) {
+        while (j < at_owner.size() && at_owner[j] != v)
+            ++j;
+        ASSERT_LT(j, at_owner.size()) << "reader saw a value out of the "
+                                         "owner's order";
+        ++j;
+    }
+}
+
+TEST(OwnerCounter, NonHolderRemoteWriteIsReflected)
+{
+    // Node 2 has no copy; its plain remote write reaches the home and
+    // must still be multicast to the copy holders.
+    Cluster c(spec3());
+    Segment &seg = c.allocShared("s", 8192, 0);
+    seg.replicate(1, ProtocolKind::OwnerCounter);
+
+    c.spawn(2, [&](Ctx &ctx) -> Task<void> {
+        co_await ctx.write(seg.word(7), 77);
+        co_await ctx.fence();
+    });
+    c.run(10'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+
+    EXPECT_EQ(seg.peek(7), 77u);
+    EXPECT_EQ(seg.peekCopy(1, 7), 77u);
+}
+
+} // namespace
+} // namespace tg

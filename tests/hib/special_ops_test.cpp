@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Tests of special-operation launching (paper sections 2.2.4-2.2.5):
+ * all three launch paths produce correct results; Telegraphos II
+ * contexts survive preemption; keys reject forgers; Telegraphos I
+ * sequences are protected by PAL preemption-disable.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/cluster.hpp"
+#include "api/context.hpp"
+#include "api/segment.hpp"
+
+namespace tg {
+namespace {
+
+class LaunchModes
+    : public ::testing::TestWithParam<std::pair<Prototype, LaunchMode>>
+{
+};
+
+TEST_P(LaunchModes, AtomicsWorkThroughEveryLaunchPath)
+{
+    const auto [proto, mode] = GetParam();
+    ClusterSpec spec;
+    spec.topology.nodes = 2;
+    spec.config.prototype = proto;
+    Cluster c(spec);
+    Segment &seg = c.allocShared("s", 8192, 0);
+    seg.poke(0, 5);
+
+    c.spawn(1, [&, mode](Ctx &ctx) -> Task<void> {
+        ctx.setLaunchMode(mode);
+        EXPECT_EQ(co_await ctx.fetchAdd(seg.word(0), 3), 5u);
+        EXPECT_EQ(co_await ctx.fetchStore(seg.word(1), 77), 0u);
+        EXPECT_EQ(co_await ctx.cas(seg.word(1), 77, 88), 77u);
+        EXPECT_EQ(co_await ctx.cas(seg.word(1), 77, 99), 88u); // fails
+    });
+    c.run(60'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+    EXPECT_FALSE(c.anyKilled());
+    EXPECT_EQ(seg.peek(0), 8u);
+    EXPECT_EQ(seg.peek(1), 88u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPaths, LaunchModes,
+    ::testing::Values(
+        std::make_pair(Prototype::TelegraphosI, LaunchMode::Pal),
+        std::make_pair(Prototype::TelegraphosI, LaunchMode::OsTrap),
+        std::make_pair(Prototype::TelegraphosII, LaunchMode::Contexts),
+        std::make_pair(Prototype::TelegraphosII, LaunchMode::OsTrap)),
+    [](const auto &info) {
+        std::string n = info.param.first == Prototype::TelegraphosI
+                            ? "TeleI_"
+                            : "TeleII_";
+        switch (info.param.second) {
+          case LaunchMode::Pal: return n + "Pal";
+          case LaunchMode::Contexts: return n + "Contexts";
+          case LaunchMode::OsTrap: return n + "OsTrap";
+          default: return n + "Default";
+        }
+    });
+
+TEST(SpecialOps, ContextsSurvivePreemption)
+{
+    // Two compute-heavy threads share node 1's CPU with a small quantum;
+    // the launching thread is preempted mid-sequence, but the Telegraphos
+    // context preserves its arguments (section 2.2.4).
+    ClusterSpec spec;
+    spec.topology.nodes = 2;
+    spec.config.prototype = Prototype::TelegraphosII;
+    spec.config.cpuQuantum = 3000; // preempt aggressively
+    Cluster c(spec);
+    Segment &seg = c.allocShared("s", 8192, 0);
+
+    bool ok = false;
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        for (int i = 0; i < 20; ++i) {
+            const Word old = co_await ctx.fetchAdd(seg.word(0), 1);
+            if (old != Word(i))
+                co_return;
+        }
+        ok = true;
+    });
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        // Interference: keeps stealing the CPU.
+        for (int i = 0; i < 400; ++i)
+            co_await ctx.compute(2000);
+    });
+    c.run(200'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(seg.peek(0), 20u);
+    EXPECT_GT(c.node(1).cpu().contextSwitches(), 0u);
+}
+
+TEST(SpecialOps, ForgedKeyIsRejected)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 2;
+    Cluster c(spec);
+    Segment &seg = c.allocShared("s", 8192, 0);
+
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        // Forge a capture into context 0 with a bogus key: the HIB must
+        // drop it (authenticity, section 2.2.5).
+        co_await ctx.write(shadowOf(seg.word(0)),
+                           hib::shadowStoreArg(0, false, 0xbad));
+        co_await ctx.fence();
+    });
+    c.run(10'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+    EXPECT_EQ(c.hibOf(1).specialOps().keyViolations(), 1u);
+}
+
+TEST(SpecialOps, ShadowStoreToUnmappedAddressKills)
+{
+    // "an application that attempts to write to a Telegraphos context it
+    // is not allowed to, will immediately take a page fault" — same for
+    // shadow space without a base mapping.
+    ClusterSpec spec;
+    spec.topology.nodes = 2;
+    Cluster c(spec);
+    c.allocShared("s", 8192, 0);
+
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        co_await ctx.write(shadowOf(0x7777'0000), 1);
+    });
+    c.run(10'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+    EXPECT_TRUE(c.anyKilled());
+}
+
+TEST(SpecialOps, PalDisablesPreemptionDuringSequence)
+{
+    // With PAL protection, the Telegraphos I sequence is atomic even
+    // under aggressive time slicing (the paper's whole point for using
+    // PAL code).
+    ClusterSpec spec;
+    spec.topology.nodes = 2;
+    spec.config.prototype = Prototype::TelegraphosI;
+    spec.config.cpuQuantum = 3000;
+    Cluster c(spec);
+    Segment &seg = c.allocShared("s", 8192, 0);
+
+    bool ok = false;
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        for (int i = 0; i < 10; ++i) {
+            const Word old = co_await ctx.fetchAdd(seg.word(0), 1);
+            if (old != Word(i))
+                co_return;
+        }
+        ok = true;
+    });
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        for (int i = 0; i < 200; ++i)
+            co_await ctx.compute(2000);
+    });
+    c.run(200'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(seg.peek(0), 10u);
+}
+
+TEST(SpecialOps, FlashPidWorksWithOsSupport)
+{
+    // FLASH-style launches are correct when the OS saves/restores the
+    // PID register on every context switch (section 2.2.5).
+    ClusterSpec spec;
+    spec.topology.nodes = 2;
+    spec.config.cpuQuantum = 3000;
+    Cluster c(spec);
+    c.enableFlashOsSupport();
+    Segment &seg = c.allocShared("s", 8192, 0);
+
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        ctx.setLaunchMode(LaunchMode::FlashPid);
+        for (int i = 0; i < 10; ++i)
+            co_await ctx.fetchAdd(seg.word(0), 1);
+    });
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        for (int i = 0; i < 200; ++i)
+            co_await ctx.compute(2000);
+    });
+    c.run(200'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+    EXPECT_EQ(seg.peek(0), 10u);
+}
+
+TEST(SpecialOps, FlashPidSilentlyMisfiresOnStockOs)
+{
+    // Without the modified OS the PID register names the wrong context:
+    // the shadow store lands elsewhere and the launch loses its target —
+    // exactly why Telegraphos uses keys ("most potential Telegraphos
+    // users just want a device driver", section 2.2.5).
+    ClusterSpec spec;
+    spec.topology.nodes = 2;
+    Cluster c(spec);
+    Segment &seg = c.allocShared("s", 8192, 0);
+
+    // Some other process occupies context 0...
+    c.spawn(1, [](Ctx &ctx) -> Task<void> { co_await ctx.compute(100); });
+    // ...so this launcher (context 1) never matches the stale PID of 0.
+    Word got = 999;
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        ctx.setLaunchMode(LaunchMode::FlashPid);
+        got = co_await ctx.fetchAdd(seg.word(0), 1);
+    });
+    c.run(200'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+    EXPECT_EQ(seg.peek(0), 0u); // the increment never happened
+    EXPECT_EQ(got, 0u);         // and the launch returned a junk result
+}
+
+TEST(SpecialOps, CopyLaunchIsNonBlocking)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 2;
+    Cluster c(spec);
+    Segment &src = c.allocShared("src", 8192, 0);
+    Segment &dst = c.allocShared("dst", 8192, 1);
+    src.poke(0, 123);
+
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        const Tick t0 = ctx.now();
+        co_await ctx.copy(src.word(0), dst.word(0), 8);
+        const Tick launch = ctx.now() - t0;
+        // "it returns control to the processor without waiting for the
+        // completion of the operation" (2.2.2): launching is much
+        // cheaper than a blocking remote read (~7 us).
+        EXPECT_LT(launch, 6000u);
+        co_await ctx.fence();
+        EXPECT_EQ(co_await ctx.read(dst.word(0)), 123u);
+    });
+    c.run(60'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+}
+
+} // namespace
+} // namespace tg

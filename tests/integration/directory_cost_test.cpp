@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tests of the directory sizing model (paper section 3.1: the
+ * owner-based protocol "significantly reduces" directory SRAM).
+ */
+
+#include <gtest/gtest.h>
+
+#include "hwcost/directory_cost.hpp"
+
+namespace tg {
+namespace {
+
+TEST(DirectoryCost, OwnerBasedIsSmallerAtEveryScale)
+{
+    for (std::uint32_t nodes : {4u, 8u, 16u, 32u, 64u, 128u}) {
+        hwcost::DirectorySpec spec;
+        spec.nodes = nodes;
+        EXPECT_LT(hwcost::ownerBasedDirectoryKbits(spec),
+                  hwcost::fullMapDirectoryKbits(spec))
+            << "at " << nodes << " nodes";
+    }
+}
+
+TEST(DirectoryCost, ReductionGrowsWithClusterSize)
+{
+    hwcost::DirectorySpec small;
+    small.nodes = 4;
+    hwcost::DirectorySpec large;
+    large.nodes = 64;
+    const double small_ratio = hwcost::fullMapDirectoryKbits(small) /
+                               hwcost::ownerBasedDirectoryKbits(small);
+    const double large_ratio = hwcost::fullMapDirectoryKbits(large) /
+                               hwcost::ownerBasedDirectoryKbits(large);
+    EXPECT_GT(large_ratio, small_ratio);
+}
+
+TEST(DirectoryCost, FullMapScalesLinearlyWithNodes)
+{
+    hwcost::DirectorySpec a;
+    a.nodes = 8;
+    hwcost::DirectorySpec b;
+    b.nodes = 16;
+    // Doubling the bit vector roughly doubles the dominant term.
+    EXPECT_GT(hwcost::fullMapDirectoryKbits(b),
+              1.5 * hwcost::fullMapDirectoryKbits(a));
+}
+
+TEST(DirectoryCost, CounterCacheTermIsBounded)
+{
+    // The non-owner side must not scale with the number of pages beyond
+    // the owner-id field: growing the counter cache adds a constant.
+    hwcost::DirectorySpec a;
+    a.counterCacheEntries = 16;
+    hwcost::DirectorySpec b;
+    b.counterCacheEntries = 32;
+    const double delta = hwcost::ownerBasedDirectoryKbits(b) -
+                         hwcost::ownerBasedDirectoryKbits(a);
+    EXPECT_NEAR(delta, 16.0 * (48 + 8) / 1024.0, 1e-9);
+}
+
+} // namespace
+} // namespace tg

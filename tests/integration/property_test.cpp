@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Property-based tests over randomized workloads and topologies:
+ *
+ *  - convergence: after quiescence every copy of every page under the
+ *    owner-counter protocol equals the owner's copy, for any mix of
+ *    unsynchronized writers (the section 2.3.3 guarantee);
+ *  - liveness: random traffic always drains (no deadlock);
+ *  - conservation: outstanding counters return to zero after a fence;
+ *  - atomicity: random interleavings of fetch&add never lose updates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/cluster.hpp"
+#include "api/context.hpp"
+#include "api/segment.hpp"
+#include "workload/chaotic.hpp"
+#include "workload/traffic.hpp"
+
+namespace tg {
+namespace {
+
+using coherence::ProtocolKind;
+
+struct PropertyParam
+{
+    std::uint64_t seed;
+    std::size_t nodes;
+    net::TopologyKind kind;
+};
+
+class ConvergenceProperty : public ::testing::TestWithParam<PropertyParam>
+{
+};
+
+TEST_P(ConvergenceProperty, OwnerProtocolCopiesConvergeAfterQuiescence)
+{
+    const auto param = GetParam();
+    ClusterSpec spec;
+    spec.topology.kind = param.kind;
+    spec.topology.nodes = param.nodes;
+    spec.topology.nodesPerSwitch = 2;
+    spec.config.seed = param.seed;
+    Cluster c(spec);
+
+    Segment &seg = c.allocShared("s", 8192, 0);
+    for (NodeId n = 1; n < NodeId(param.nodes); ++n)
+        seg.replicate(n, ProtocolKind::OwnerCounter);
+
+    workload::ChaoticConfig cfg;
+    cfg.writes = 60;
+    cfg.words = 16;
+    cfg.gap = 700;
+    for (NodeId n = 0; n < NodeId(param.nodes); ++n)
+        c.spawn(n, workload::chaoticWriter(seg, cfg));
+
+    c.run(2'000'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+
+    // Quiescent: every copy of every word equals the owner's value.
+    for (std::size_t w = 0; w < cfg.words; ++w) {
+        const Word home = seg.peek(w);
+        for (NodeId n = 1; n < NodeId(param.nodes); ++n)
+            ASSERT_EQ(seg.peekCopy(n, w), home)
+                << "divergence at node " << n << " word " << w
+                << " (seed " << param.seed << ")";
+    }
+
+    // Conservation: all pending counters drained.
+    for (NodeId n = 0; n < NodeId(param.nodes); ++n) {
+        EXPECT_EQ(c.hibOf(n).counterCache().used(), 0u);
+        EXPECT_EQ(c.hibOf(n).outstanding().current(), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ConvergenceProperty,
+    ::testing::Values(
+        PropertyParam{1, 2, net::TopologyKind::Star},
+        PropertyParam{2, 3, net::TopologyKind::Star},
+        PropertyParam{3, 4, net::TopologyKind::Star},
+        PropertyParam{4, 4, net::TopologyKind::Chain},
+        PropertyParam{5, 6, net::TopologyKind::Ring},
+        PropertyParam{6, 5, net::TopologyKind::Star},
+        PropertyParam{7, 6, net::TopologyKind::Chain},
+        PropertyParam{8, 3, net::TopologyKind::Star}),
+    [](const auto &info) {
+        return "seed" + std::to_string(info.param.seed) + "n" +
+               std::to_string(info.param.nodes);
+    });
+
+class TrafficProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TrafficProperty, RandomTrafficDrainsWithoutDeadlock)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 4;
+    spec.config.seed = GetParam();
+    Cluster c(spec);
+
+    std::vector<Segment *> segs;
+    for (NodeId n = 0; n < 4; ++n)
+        segs.push_back(&c.allocShared("s" + std::to_string(n), 8192, n));
+
+    workload::TrafficConfig cfg;
+    cfg.ops = 300;
+    cfg.readFraction = 0.3;
+    cfg.gap = 100;
+    for (NodeId n = 0; n < 4; ++n)
+        c.spawn(n, workload::randomTraffic(segs, cfg));
+
+    const Tick end = c.run(4'000'000'000'000ULL);
+    ASSERT_TRUE(c.allDone()) << "deadlock or livelock, seed "
+                             << GetParam();
+    EXPECT_LT(end, 4'000'000'000'000ULL);
+    for (NodeId n = 0; n < 4; ++n)
+        EXPECT_EQ(c.hibOf(n).outstanding().current(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrafficProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+class AtomicityProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(AtomicityProperty, FetchAddNeverLosesUpdates)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 3;
+    spec.config.seed = GetParam();
+    Cluster c(spec);
+    Segment &seg = c.allocShared("ctr", 8192, 0);
+
+    constexpr int kOps = 25;
+    for (NodeId n = 0; n < 3; ++n) {
+        c.spawn(n, [&](Ctx &ctx) -> Task<void> {
+            for (int i = 0; i < kOps; ++i) {
+                co_await ctx.fetchAdd(seg.word(0), 1);
+                co_await ctx.compute(ctx.rng().below(5000));
+            }
+        });
+    }
+    c.run(2'000'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+    EXPECT_EQ(seg.peek(0), Word(3 * kOps));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AtomicityProperty,
+                         ::testing::Values(101, 202, 303, 404));
+
+} // namespace
+} // namespace tg

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Unit tests of packet formatting and sizing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "net/packet.hpp"
+
+namespace tg::net {
+namespace {
+
+TEST(Packet, WireBytesIncludeHeader)
+{
+    Packet p;
+    p.payloadBytes = 8;
+    EXPECT_EQ(p.wireBytes(16), 24u);
+    p.payloadBytes = 0;
+    EXPECT_EQ(p.wireBytes(16), 16u);
+}
+
+TEST(Packet, TypeNamesAreUniqueAndNonEmpty)
+{
+    const PacketType all[] = {
+        PacketType::WriteReq,   PacketType::WriteAck,
+        PacketType::ReadReq,    PacketType::ReadReply,
+        PacketType::CopyReq,    PacketType::CopyData,
+        PacketType::AtomicReq,  PacketType::AtomicReply,
+        PacketType::EagerWrite, PacketType::Update,
+        PacketType::UpdateAck,  PacketType::WriteOwner,
+        PacketType::RingUpdate, PacketType::InvReq,
+        PacketType::InvAck,     PacketType::PageReq,
+        PacketType::PageData,   PacketType::Message,
+    };
+    std::set<std::string> names;
+    for (PacketType t : all) {
+        const std::string n = packetTypeName(t);
+        EXPECT_FALSE(n.empty());
+        EXPECT_NE(n, "?");
+        EXPECT_TRUE(names.insert(n).second) << "duplicate name " << n;
+    }
+}
+
+TEST(Packet, ToStringCarriesRoutingFields)
+{
+    Packet p;
+    p.type = PacketType::WriteOwner;
+    p.src = 3;
+    p.dst = 5;
+    p.value = 42;
+    p.origin = 3;
+    p.seq = 17;
+    const std::string s = p.toString();
+    EXPECT_NE(s.find("WriteOwner"), std::string::npos);
+    EXPECT_NE(s.find("3->5"), std::string::npos);
+    EXPECT_NE(s.find("val=42"), std::string::npos);
+    EXPECT_NE(s.find("seq=17"), std::string::npos);
+}
+
+TEST(Packet, BulkDataIsSharedNotCopied)
+{
+    Packet a;
+    a.bulk = std::make_shared<std::vector<Word>>(1024, 7);
+    Packet b = a; // queue copies must not duplicate the 8 KB payload
+    EXPECT_EQ(a.bulk.get(), b.bulk.get());
+    EXPECT_EQ(a.bulk.use_count(), 2);
+}
+
+} // namespace
+} // namespace tg::net

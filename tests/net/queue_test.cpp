@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests of the bounded queue with reservations (back-pressure core).
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/queue.hpp"
+
+namespace tg::net {
+namespace {
+
+Packet
+mkPkt(Word v)
+{
+    Packet p;
+    p.value = v;
+    return p;
+}
+
+TEST(BoundedQueue, FifoOrder)
+{
+    BoundedQueue q(4);
+    q.push(mkPkt(1));
+    q.push(mkPkt(2));
+    q.push(mkPkt(3));
+    EXPECT_EQ(q.pop().value, 1u);
+    EXPECT_EQ(q.pop().value, 2u);
+    EXPECT_EQ(q.pop().value, 3u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(BoundedQueue, ReservationsCountAgainstCapacity)
+{
+    BoundedQueue q(2);
+    EXPECT_TRUE(q.reserve());
+    EXPECT_TRUE(q.reserve());
+    EXPECT_TRUE(q.full());
+    EXPECT_FALSE(q.reserve());
+    q.pushReserved(mkPkt(1));
+    EXPECT_TRUE(q.full()); // 1 queued + 1 reserved
+    q.cancelReservation();
+    EXPECT_FALSE(q.full());
+}
+
+TEST(BoundedQueue, OnDataFires)
+{
+    BoundedQueue q(2);
+    int fired = 0;
+    q.onData([&] { ++fired; });
+    q.push(mkPkt(1));
+    EXPECT_EQ(fired, 1);
+    ASSERT_TRUE(q.reserve());
+    q.pushReserved(mkPkt(2));
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(BoundedQueue, OnSpaceFiresOnPopAndCancel)
+{
+    BoundedQueue q(1);
+    int fired = 0;
+    q.onSpace([&] { ++fired; });
+    q.push(mkPkt(1));
+    q.pop();
+    EXPECT_EQ(fired, 1);
+    ASSERT_TRUE(q.reserve());
+    q.cancelReservation();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(BoundedQueue, MultipleListenersAllFire)
+{
+    BoundedQueue q(2);
+    int a = 0, b = 0;
+    q.onData([&] { ++a; });
+    q.onData([&] { ++b; });
+    q.push(mkPkt(1));
+    EXPECT_EQ(a, 1);
+    EXPECT_EQ(b, 1);
+}
+
+TEST(BoundedQueueDeathTest, OverflowPanics)
+{
+    BoundedQueue q(1);
+    q.push(mkPkt(1));
+    EXPECT_DEATH(q.push(mkPkt(2)), "full");
+}
+
+TEST(BoundedQueueDeathTest, PopEmptyPanics)
+{
+    BoundedQueue q(1);
+    EXPECT_DEATH(q.pop(), "empty");
+}
+
+} // namespace
+} // namespace tg::net

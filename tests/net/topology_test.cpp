@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Unit tests of topology math (switch counts, port assignment).
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+
+namespace tg::net {
+namespace {
+
+TEST(Topology, StarHasOneSwitch)
+{
+    TopologySpec s;
+    s.kind = TopologyKind::Star;
+    s.nodes = 8;
+    EXPECT_EQ(s.numSwitches(), 1u);
+    EXPECT_EQ(s.portsPerSwitch(), 8u);
+    for (std::size_t n = 0; n < 8; ++n) {
+        EXPECT_EQ(s.switchOf(n), 0u);
+        EXPECT_EQ(s.portOf(n), n);
+    }
+}
+
+TEST(Topology, ChainSpreadsNodes)
+{
+    TopologySpec s;
+    s.kind = TopologyKind::Chain;
+    s.nodes = 10;
+    s.nodesPerSwitch = 4;
+    EXPECT_EQ(s.numSwitches(), 3u);
+    EXPECT_EQ(s.portsPerSwitch(), 6u); // 4 node ports + 2 trunks
+    EXPECT_EQ(s.switchOf(0), 0u);
+    EXPECT_EQ(s.switchOf(4), 1u);
+    EXPECT_EQ(s.switchOf(9), 2u);
+    EXPECT_EQ(s.portOf(5), 1u);
+}
+
+TEST(Topology, RingNeedsThreeSwitches)
+{
+    TopologySpec s;
+    s.kind = TopologyKind::Ring;
+    s.nodes = 12;
+    s.nodesPerSwitch = 4;
+    EXPECT_EQ(s.numSwitches(), 3u);
+    s.validate(); // must not die
+}
+
+TEST(TopologyDeathTest, TooSmallRingIsFatal)
+{
+    TopologySpec s;
+    s.kind = TopologyKind::Ring;
+    s.nodes = 4;
+    s.nodesPerSwitch = 4;
+    EXPECT_DEATH(s.validate(), "ring");
+}
+
+TEST(Topology, DescribeMentionsKind)
+{
+    TopologySpec s;
+    s.kind = TopologyKind::Chain;
+    s.nodes = 6;
+    s.nodesPerSwitch = 2;
+    EXPECT_NE(s.describe().find("chain"), std::string::npos);
+}
+
+} // namespace
+} // namespace tg::net

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Unit tests of the global address layout and shadow addressing helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "node/address.hpp"
+
+namespace tg::node {
+namespace {
+
+TEST(Address, ComposeDecompose)
+{
+    const PAddr pa = makePAddr(7, kShmBase + 0x1238);
+    EXPECT_EQ(nodeOf(pa), 7u);
+    EXPECT_EQ(offsetOf(pa), kShmBase + 0x1238);
+    EXPECT_FALSE(isShadow(pa));
+}
+
+TEST(Address, ShadowBitIsIndependent)
+{
+    const PAddr pa = makePAddr(3, kShmBase + 8);
+    const PAddr sh = pa | kShadowBit;
+    EXPECT_TRUE(isShadow(sh));
+    EXPECT_EQ(nodeOf(sh), 3u);      // node id survives the shadow flag
+    EXPECT_EQ(stripShadow(sh), pa); // stripping restores the original
+}
+
+TEST(Address, Regions)
+{
+    EXPECT_EQ(regionOf(0x1000), Region::Main);
+    EXPECT_EQ(regionOf(kShmBase), Region::Shm);
+    EXPECT_EQ(regionOf(kShmBase + 0xfff), Region::Shm);
+    EXPECT_EQ(regionOf(kHibRegBase), Region::HibReg);
+    EXPECT_EQ(regionOf(kRegContextBase + 3 * kContextStride),
+              Region::HibReg);
+}
+
+TEST(Address, ContextPagesDoNotOverlapSpecialRegs)
+{
+    // Special-mode registers live in the first HIB register page;
+    // contexts start in their own pages (one per context).
+    EXPECT_GE(kRegContextBase, kHibRegBase + 0x2000);
+    EXPECT_EQ(kContextStride % 0x2000, 0u);
+}
+
+TEST(Address, ToStringIsInformative)
+{
+    const std::string s = paddrToString(makePAddr(2, kShmBase + 0x40));
+    EXPECT_NE(s.find("n2"), std::string::npos);
+    EXPECT_NE(s.find("shm"), std::string::npos);
+    const std::string sh =
+        paddrToString(makePAddr(2, kShmBase) | kShadowBit);
+    EXPECT_EQ(sh.front(), '~');
+}
+
+} // namespace
+} // namespace tg::node

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests of the sparse main-memory store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "node/main_memory.hpp"
+#include "sim/system.hpp"
+
+namespace tg::node {
+namespace {
+
+class MemoryTest : public ::testing::Test
+{
+  protected:
+    MemoryTest() : sys(Config{}), mem(sys, "mem") {}
+    System sys;
+    MainMemory mem;
+};
+
+TEST_F(MemoryTest, ReadsZeroWhenUntouched)
+{
+    EXPECT_EQ(mem.read(0x1000), 0u);
+    EXPECT_EQ(mem.read(kShmBase + 0x88), 0u);
+}
+
+TEST_F(MemoryTest, WriteThenRead)
+{
+    mem.write(0x2000, 0xdeadbeefULL);
+    EXPECT_EQ(mem.read(0x2000), 0xdeadbeefULL);
+    mem.write(0x2000, 1);
+    EXPECT_EQ(mem.read(0x2000), 1u);
+}
+
+TEST_F(MemoryTest, SparseRegionsAreIndependent)
+{
+    mem.write(0x0, 1);
+    mem.write(kShmBase, 2);
+    mem.write(kShmBase + 0x10'0000, 3);
+    EXPECT_EQ(mem.read(0x0), 1u);
+    EXPECT_EQ(mem.read(kShmBase), 2u);
+    EXPECT_EQ(mem.read(kShmBase + 0x10'0000), 3u);
+}
+
+TEST_F(MemoryTest, CopyMovesBlocks)
+{
+    for (PAddr i = 0; i < 16; ++i)
+        mem.write(0x1000 + i * 8, 100 + i);
+    mem.copy(kShmBase, 0x1000, 16);
+    for (PAddr i = 0; i < 16; ++i)
+        EXPECT_EQ(mem.read(kShmBase + i * 8), 100 + i);
+}
+
+TEST_F(MemoryTest, ChunkBoundaryCrossing)
+{
+    // Chunks are 8 KB: write across a boundary.
+    const PAddr boundary = 8192;
+    mem.write(boundary - 8, 11);
+    mem.write(boundary, 22);
+    EXPECT_EQ(mem.read(boundary - 8), 11u);
+    EXPECT_EQ(mem.read(boundary), 22u);
+}
+
+TEST_F(MemoryTest, TouchedBytesGrows)
+{
+    const std::size_t before = mem.touchedBytes();
+    mem.write(0x100'0000, 1);
+    EXPECT_GT(mem.touchedBytes(), before);
+}
+
+using MemoryDeathTest = MemoryTest;
+
+TEST_F(MemoryDeathTest, UnalignedAccessPanics)
+{
+    EXPECT_DEATH(mem.read(3), "unaligned");
+    EXPECT_DEATH(mem.write(0x1001, 1), "unaligned");
+}
+
+} // namespace
+} // namespace tg::node

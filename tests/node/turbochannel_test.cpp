@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Unit tests of the TurboChannel arbitrated-bus model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "node/turbochannel.hpp"
+#include "sim/system.hpp"
+
+namespace tg::node {
+namespace {
+
+class TcTest : public ::testing::Test
+{
+  protected:
+    TcTest() : sys(Config{}), tc(sys, "tc") {}
+    System sys;
+    TurboChannel tc;
+};
+
+TEST_F(TcTest, SingleTransactionCompletesAfterHold)
+{
+    Tick done_at = 0;
+    tc.transact(100, [&] { done_at = sys.now(); });
+    sys.events().run();
+    EXPECT_EQ(done_at, 100u);
+    EXPECT_EQ(tc.transactions(), 1u);
+    EXPECT_EQ(tc.busyTicks(), 100u);
+}
+
+TEST_F(TcTest, FifoArbitration)
+{
+    std::vector<int> order;
+    tc.transact(50, [&] { order.push_back(1); });
+    tc.transact(50, [&] { order.push_back(2); });
+    tc.transact(50, [&] { order.push_back(3); });
+    sys.events().run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sys.now(), 150u);
+}
+
+TEST_F(TcTest, ContentionAccruesWaitTime)
+{
+    tc.transact(100, [] {});
+    tc.transact(100, [] {});
+    sys.events().run();
+    EXPECT_EQ(tc.waitTicks(), 100u); // second waited for the first
+}
+
+TEST_F(TcTest, TransactionsCanChain)
+{
+    Tick second_done = 0;
+    tc.transact(10, [&] {
+        tc.transact(10, [&] { second_done = sys.now(); });
+    });
+    sys.events().run();
+    EXPECT_EQ(second_done, 20u);
+}
+
+TEST(TcConfig, TransactionCostsMatchBusCycles)
+{
+    Config cfg;
+    // Write of 2 words: (3 setup + 2 word) * 80 ns.
+    EXPECT_EQ(cfg.tcWriteTxn(2), Tick(5 * 80));
+    // Read request: (3 setup + 16 wait) * 80 ns.
+    EXPECT_EQ(cfg.tcReadTxn(), Tick(19 * 80));
+}
+
+} // namespace
+} // namespace tg::node

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests of the OS layer: fault dispatch, kill semantics, alarm-driven
+ * replication policy end to end (section 2.2.6 + ref [5]).
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/cluster.hpp"
+#include "api/context.hpp"
+#include "api/segment.hpp"
+#include "os/replication_policy.hpp"
+
+namespace tg {
+namespace {
+
+TEST(Os, UnhandledFaultKillsWithTrapCharge)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 1;
+    Cluster c(spec);
+
+    Tick start = 0;
+    c.spawn(0, [&](Ctx &ctx) -> Task<void> {
+        start = ctx.now();
+        co_await ctx.read(0xbad'0000);
+    });
+    c.run(1'000'000'000ULL);
+    EXPECT_TRUE(c.anyKilled());
+    EXPECT_EQ(c.os(0).faults(), 1u);
+}
+
+TEST(Os, FaultServicesAreTriedInOrder)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 1;
+    Cluster c(spec);
+    const VAddr priv = c.allocPrivate(0, 8192);
+
+    int first = 0, second = 0;
+    c.os(0).addFaultService([&](VAddr, bool, std::function<void()>,
+                                std::function<void(std::string)>) {
+        ++first;
+        return false; // decline
+    });
+    c.os(0).addFaultService(
+        [&](VAddr va, bool, std::function<void()> retry,
+            std::function<void(std::string)>) {
+            ++second;
+            // "Fix" the fault by mapping the page, then retry.
+            node::Pte pte;
+            pte.frame = node::makePAddr(0, 0x8000);
+            pte.mode = node::PageMode::Private;
+            c.node(0).defaultAddressSpace().map(va, pte);
+            retry();
+            return true;
+        });
+
+    Word v = 99;
+    c.spawn(0, [&](Ctx &ctx) -> Task<void> {
+        (void)priv;
+        v = co_await ctx.read(0x5550'0000); // unmapped -> fixed by svc 2
+    });
+    c.run(1'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+    EXPECT_FALSE(c.anyKilled());
+    EXPECT_EQ(first, 1);
+    EXPECT_EQ(second, 1);
+    EXPECT_EQ(v, 0u);
+}
+
+TEST(Os, AlarmReplicatorReplicatesHotPage)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 2;
+    Cluster c(spec);
+    Segment &seg = c.allocShared("s", 8192, 0);
+    seg.poke(0, 7);
+
+    os::AlarmReplicator repl(c.os(1), /*threshold=*/8,
+                             [&](PAddr page, bool) {
+                                 c.replicatePageLive(1, page);
+                             });
+    seg.armCounters(1, 8, 8);
+    repl.arm(seg.homePage(0));
+
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        // Hammer the remote page until the alarm replicates it locally.
+        for (int i = 0; i < 200; ++i) {
+            (void)co_await ctx.read(seg.word(0));
+            co_await ctx.compute(2000);
+        }
+    });
+    c.run(100'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+
+    EXPECT_EQ(repl.replications(), 1u);
+    auto *e = c.directory().byHome(seg.homePage(0));
+    ASSERT_NE(e, nullptr);
+    EXPECT_TRUE(e->hasCopy(1));
+    EXPECT_EQ(c.node(1).defaultAddressSpace().lookup(seg.base()).mode,
+              node::PageMode::SharedLocal);
+    EXPECT_EQ(seg.peekCopy(1, 0), 7u);
+}
+
+TEST(Os, AlarmRepliesOnlyOncePerPage)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 2;
+    Cluster c(spec);
+    Segment &seg = c.allocShared("s", 8192, 0);
+
+    int calls = 0;
+    os::AlarmReplicator repl(c.os(1), 2, [&](PAddr, bool) { ++calls; });
+    repl.arm(seg.homePage(0));
+    seg.armCounters(1, 2, 2);
+
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        for (int i = 0; i < 10; ++i)
+            co_await ctx.write(seg.word(0), 1);
+        co_await ctx.fence();
+    });
+    c.run(10'000'000'000ULL);
+    ASSERT_TRUE(c.allDone());
+    EXPECT_EQ(calls, 1);
+}
+
+} // namespace
+} // namespace tg

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests of the deterministic event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace tg {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.scheduleAbs(30, [&] { order.push_back(3); });
+    q.scheduleAbs(10, [&] { order.push_back(1); });
+    q.scheduleAbs(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFiresInScheduleOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.scheduleAbs(5, [&order, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] {
+        ++fired;
+        q.schedule(1, [&] {
+            ++fired;
+            q.schedule(1, [&] { ++fired; });
+        });
+    });
+    q.run();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(q.now(), 3u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    q.scheduleAbs(10, [&] { ++fired; });
+    q.scheduleAbs(20, [&] { ++fired; });
+    q.scheduleAbs(30, [&] { ++fired; });
+
+    q.runUntil(20);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.now(), 20u);
+    EXPECT_EQ(q.pending(), 1u);
+
+    q.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenIdle)
+{
+    EventQueue q;
+    q.runUntil(100);
+    EXPECT_EQ(q.now(), 100u);
+}
+
+TEST(EventQueue, MaxEventsBoundsExecution)
+{
+    EventQueue q;
+    int fired = 0;
+    for (int i = 0; i < 100; ++i)
+        q.scheduleAbs(Tick(i), [&] { ++fired; });
+    EXPECT_EQ(q.run(10), 10u);
+    EXPECT_EQ(fired, 10);
+    EXPECT_EQ(q.pending(), 90u);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastPanics)
+{
+    EventQueue q;
+    q.scheduleAbs(10, [] {});
+    q.run();
+    EXPECT_DEATH(q.scheduleAbs(5, [] {}), "past");
+}
+
+TEST(EventQueue, ExecutedCountsAllEvents)
+{
+    EventQueue q;
+    for (int i = 0; i < 7; ++i)
+        q.schedule(Tick(i), [] {});
+    q.run();
+    EXPECT_EQ(q.executed(), 7u);
+}
+
+} // namespace
+} // namespace tg

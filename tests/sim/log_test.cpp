@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Unit tests of the trace switchboard.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/log.hpp"
+
+namespace tg {
+namespace {
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { Trace::disableAll(); }
+};
+
+TEST_F(TraceTest, DisabledByDefault)
+{
+    EXPECT_FALSE(Trace::enabled("net"));
+    EXPECT_FALSE(Trace::enabled("hib"));
+}
+
+TEST_F(TraceTest, EnablePerComponent)
+{
+    Trace::enable("net");
+    EXPECT_TRUE(Trace::enabled("net"));
+    EXPECT_FALSE(Trace::enabled("hib"));
+}
+
+TEST_F(TraceTest, EnableAll)
+{
+    Trace::enable("all");
+    EXPECT_TRUE(Trace::enabled("net"));
+    EXPECT_TRUE(Trace::enabled("anything"));
+}
+
+TEST_F(TraceTest, DisableAllResets)
+{
+    Trace::enable("net");
+    Trace::enable("all");
+    Trace::disableAll();
+    EXPECT_FALSE(Trace::enabled("net"));
+    EXPECT_FALSE(Trace::enabled("other"));
+}
+
+TEST_F(TraceTest, LogWhenDisabledIsCheapNoop)
+{
+    // Must not crash and must not print (we can't capture stderr
+    // portably here; this is a smoke check of the fast path).
+    Trace::log(123, "quiet", "should not appear %d", 1);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace tg

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests of the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/random.hpp"
+
+namespace tg {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng r(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(3);
+    bool lo = false, hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = r.range(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        lo |= (v == -2);
+        hi |= (v == 2);
+    }
+    EXPECT_TRUE(lo);
+    EXPECT_TRUE(hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceIsCalibrated)
+{
+    Rng r(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean)
+{
+    Rng r(17);
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i)
+        sum += r.exponential(50.0);
+    EXPECT_NEAR(sum / 20000, 50.0, 2.0);
+}
+
+TEST(Rng, ForkIsIndependentButDeterministic)
+{
+    Rng a(5);
+    Rng fork1 = a.fork();
+    Rng b(5);
+    Rng fork2 = b.fork();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(fork1.next(), fork2.next());
+}
+
+} // namespace
+} // namespace tg

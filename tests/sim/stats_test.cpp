@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests of the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hpp"
+
+namespace tg {
+namespace {
+
+TEST(Scalar, Accumulates)
+{
+    Scalar s;
+    ++s;
+    s += 4.5;
+    EXPECT_DOUBLE_EQ(s.value(), 5.5);
+    s -= 0.5;
+    EXPECT_DOUBLE_EQ(s.value(), 5.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Sampler, BasicMoments)
+{
+    Sampler s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.sample(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.stddev(), 2.138, 0.01);
+    EXPECT_DOUBLE_EQ(s.total(), 40.0);
+}
+
+TEST(Sampler, ExactQuantiles)
+{
+    Sampler s;
+    for (int i = 1; i <= 100; ++i)
+        s.sample(i);
+    EXPECT_NEAR(s.quantile(0.5), 50, 1);
+    EXPECT_NEAR(s.quantile(0.99), 99, 1);
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 1);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 100);
+}
+
+TEST(Sampler, QuantileInterleavedWithSampling)
+{
+    Sampler s;
+    s.sample(3);
+    s.sample(1);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 3);
+    s.sample(10); // re-sorts lazily
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 10);
+}
+
+TEST(Sampler, EmptyIsSafe)
+{
+    Sampler s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(10.0, 4); // [0,10) [10,20) [20,30) [30,inf)
+    h.sample(5);
+    h.sample(15);
+    h.sample(25);
+    h.sample(1000);
+    h.sample(-3); // clamps to first bucket
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.buckets()[0], 2u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[2], 1u);
+    EXPECT_EQ(h.buckets()[3], 1u);
+}
+
+TEST(StatRegistry, DumpAndLookup)
+{
+    StatRegistry reg;
+    Scalar a;
+    a += 3;
+    Sampler s;
+    s.sample(1);
+    s.sample(2);
+    reg.add("alpha.count", &a);
+    reg.add("beta.latency", &s);
+
+    EXPECT_DOUBLE_EQ(reg.scalar("alpha.count"), 3.0);
+    EXPECT_DOUBLE_EQ(reg.scalar("missing"), 0.0);
+
+    std::ostringstream os;
+    reg.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("alpha.count"), std::string::npos);
+    EXPECT_NE(out.find("beta.latency.mean"), std::string::npos);
+}
+
+} // namespace
+} // namespace tg
