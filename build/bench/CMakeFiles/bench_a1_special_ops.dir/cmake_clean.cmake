@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_special_ops.dir/bench_a1_special_ops.cpp.o"
+  "CMakeFiles/bench_a1_special_ops.dir/bench_a1_special_ops.cpp.o.d"
+  "bench_a1_special_ops"
+  "bench_a1_special_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_special_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_access_counters.dir/bench_a2_access_counters.cpp.o"
+  "CMakeFiles/bench_a2_access_counters.dir/bench_a2_access_counters.cpp.o.d"
+  "bench_a2_access_counters"
+  "bench_a2_access_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_access_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_update_vs_invalidate.dir/bench_a3_update_vs_invalidate.cpp.o"
+  "CMakeFiles/bench_a3_update_vs_invalidate.dir/bench_a3_update_vs_invalidate.cpp.o.d"
+  "bench_a3_update_vs_invalidate"
+  "bench_a3_update_vs_invalidate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_update_vs_invalidate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a6_alignment.dir/bench_a6_alignment.cpp.o"
+  "CMakeFiles/bench_a6_alignment.dir/bench_a6_alignment.cpp.o.d"
+  "bench_a6_alignment"
+  "bench_a6_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a6_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a7_messaging.dir/bench_a7_messaging.cpp.o"
+  "CMakeFiles/bench_a7_messaging.dir/bench_a7_messaging.cpp.o.d"
+  "bench_a7_messaging"
+  "bench_a7_messaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a7_messaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_multicast_inconsistency.dir/bench_f2_multicast_inconsistency.cpp.o"
+  "CMakeFiles/bench_f2_multicast_inconsistency.dir/bench_f2_multicast_inconsistency.cpp.o.d"
+  "bench_f2_multicast_inconsistency"
+  "bench_f2_multicast_inconsistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_multicast_inconsistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

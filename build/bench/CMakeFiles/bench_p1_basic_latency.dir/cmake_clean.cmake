@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_p1_basic_latency.dir/bench_p1_basic_latency.cpp.o"
+  "CMakeFiles/bench_p1_basic_latency.dir/bench_p1_basic_latency.cpp.o.d"
+  "bench_p1_basic_latency"
+  "bench_p1_basic_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p1_basic_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

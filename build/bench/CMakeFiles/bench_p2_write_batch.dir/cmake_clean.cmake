@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_p2_write_batch.dir/bench_p2_write_batch.cpp.o"
+  "CMakeFiles/bench_p2_write_batch.dir/bench_p2_write_batch.cpp.o.d"
+  "bench_p2_write_batch"
+  "bench_p2_write_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p2_write_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s1_read_your_writes.dir/bench_s1_read_your_writes.cpp.o"
+  "CMakeFiles/bench_s1_read_your_writes.dir/bench_s1_read_your_writes.cpp.o.d"
+  "bench_s1_read_your_writes"
+  "bench_s1_read_your_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s1_read_your_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s2_counter_cache.dir/bench_s2_counter_cache.cpp.o"
+  "CMakeFiles/bench_s2_counter_cache.dir/bench_s2_counter_cache.cpp.o.d"
+  "bench_s2_counter_cache"
+  "bench_s2_counter_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s2_counter_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

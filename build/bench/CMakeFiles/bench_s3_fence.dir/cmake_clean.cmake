@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s3_fence.dir/bench_s3_fence.cpp.o"
+  "CMakeFiles/bench_s3_fence.dir/bench_s3_fence.cpp.o.d"
+  "bench_s3_fence"
+  "bench_s3_fence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s3_fence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

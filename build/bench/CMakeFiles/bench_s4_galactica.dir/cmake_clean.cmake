@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s4_galactica.dir/bench_s4_galactica.cpp.o"
+  "CMakeFiles/bench_s4_galactica.dir/bench_s4_galactica.cpp.o.d"
+  "bench_s4_galactica"
+  "bench_s4_galactica.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s4_galactica.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_gatecount.dir/bench_table1_gatecount.cpp.o"
+  "CMakeFiles/bench_table1_gatecount.dir/bench_table1_gatecount.cpp.o.d"
+  "bench_table1_gatecount"
+  "bench_table1_gatecount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_gatecount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_reduction.dir/global_reduction.cpp.o"
+  "CMakeFiles/global_reduction.dir/global_reduction.cpp.o.d"
+  "global_reduction"
+  "global_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiling.dir/profiling.cpp.o"
+  "CMakeFiles/profiling.dir/profiling.cpp.o.d"
+  "profiling"
+  "profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

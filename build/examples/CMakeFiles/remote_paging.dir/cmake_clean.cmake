@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_paging.dir/remote_paging.cpp.o"
+  "CMakeFiles/remote_paging.dir/remote_paging.cpp.o.d"
+  "remote_paging"
+  "remote_paging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/cluster.cpp" "src/CMakeFiles/telegraphos.dir/api/cluster.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/api/cluster.cpp.o.d"
+  "/root/repo/src/api/collectives.cpp" "src/CMakeFiles/telegraphos.dir/api/collectives.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/api/collectives.cpp.o.d"
+  "/root/repo/src/api/context.cpp" "src/CMakeFiles/telegraphos.dir/api/context.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/api/context.cpp.o.d"
+  "/root/repo/src/api/measure.cpp" "src/CMakeFiles/telegraphos.dir/api/measure.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/api/measure.cpp.o.d"
+  "/root/repo/src/api/msg.cpp" "src/CMakeFiles/telegraphos.dir/api/msg.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/api/msg.cpp.o.d"
+  "/root/repo/src/api/segment.cpp" "src/CMakeFiles/telegraphos.dir/api/segment.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/api/segment.cpp.o.d"
+  "/root/repo/src/api/sync.cpp" "src/CMakeFiles/telegraphos.dir/api/sync.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/api/sync.cpp.o.d"
+  "/root/repo/src/baseline/sockets.cpp" "src/CMakeFiles/telegraphos.dir/baseline/sockets.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/baseline/sockets.cpp.o.d"
+  "/root/repo/src/baseline/vsm.cpp" "src/CMakeFiles/telegraphos.dir/baseline/vsm.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/baseline/vsm.cpp.o.d"
+  "/root/repo/src/coherence/directory.cpp" "src/CMakeFiles/telegraphos.dir/coherence/directory.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/coherence/directory.cpp.o.d"
+  "/root/repo/src/coherence/galactica_ring.cpp" "src/CMakeFiles/telegraphos.dir/coherence/galactica_ring.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/coherence/galactica_ring.cpp.o.d"
+  "/root/repo/src/coherence/invalidate.cpp" "src/CMakeFiles/telegraphos.dir/coherence/invalidate.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/coherence/invalidate.cpp.o.d"
+  "/root/repo/src/coherence/naive_multicast.cpp" "src/CMakeFiles/telegraphos.dir/coherence/naive_multicast.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/coherence/naive_multicast.cpp.o.d"
+  "/root/repo/src/coherence/owner_counter.cpp" "src/CMakeFiles/telegraphos.dir/coherence/owner_counter.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/coherence/owner_counter.cpp.o.d"
+  "/root/repo/src/coherence/protocol.cpp" "src/CMakeFiles/telegraphos.dir/coherence/protocol.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/coherence/protocol.cpp.o.d"
+  "/root/repo/src/hib/atomic_unit.cpp" "src/CMakeFiles/telegraphos.dir/hib/atomic_unit.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/hib/atomic_unit.cpp.o.d"
+  "/root/repo/src/hib/counter_cache.cpp" "src/CMakeFiles/telegraphos.dir/hib/counter_cache.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/hib/counter_cache.cpp.o.d"
+  "/root/repo/src/hib/hib.cpp" "src/CMakeFiles/telegraphos.dir/hib/hib.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/hib/hib.cpp.o.d"
+  "/root/repo/src/hib/multicast_unit.cpp" "src/CMakeFiles/telegraphos.dir/hib/multicast_unit.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/hib/multicast_unit.cpp.o.d"
+  "/root/repo/src/hib/outstanding.cpp" "src/CMakeFiles/telegraphos.dir/hib/outstanding.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/hib/outstanding.cpp.o.d"
+  "/root/repo/src/hib/page_counters.cpp" "src/CMakeFiles/telegraphos.dir/hib/page_counters.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/hib/page_counters.cpp.o.d"
+  "/root/repo/src/hib/special_ops.cpp" "src/CMakeFiles/telegraphos.dir/hib/special_ops.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/hib/special_ops.cpp.o.d"
+  "/root/repo/src/hwcost/directory_cost.cpp" "src/CMakeFiles/telegraphos.dir/hwcost/directory_cost.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/hwcost/directory_cost.cpp.o.d"
+  "/root/repo/src/hwcost/gate_count.cpp" "src/CMakeFiles/telegraphos.dir/hwcost/gate_count.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/hwcost/gate_count.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/telegraphos.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/telegraphos.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/telegraphos.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/net/packet.cpp.o.d"
+  "/root/repo/src/net/switch.cpp" "src/CMakeFiles/telegraphos.dir/net/switch.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/net/switch.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/telegraphos.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/net/topology.cpp.o.d"
+  "/root/repo/src/node/address.cpp" "src/CMakeFiles/telegraphos.dir/node/address.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/node/address.cpp.o.d"
+  "/root/repo/src/node/cache.cpp" "src/CMakeFiles/telegraphos.dir/node/cache.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/node/cache.cpp.o.d"
+  "/root/repo/src/node/cpu.cpp" "src/CMakeFiles/telegraphos.dir/node/cpu.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/node/cpu.cpp.o.d"
+  "/root/repo/src/node/main_memory.cpp" "src/CMakeFiles/telegraphos.dir/node/main_memory.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/node/main_memory.cpp.o.d"
+  "/root/repo/src/node/mmu.cpp" "src/CMakeFiles/telegraphos.dir/node/mmu.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/node/mmu.cpp.o.d"
+  "/root/repo/src/node/turbochannel.cpp" "src/CMakeFiles/telegraphos.dir/node/turbochannel.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/node/turbochannel.cpp.o.d"
+  "/root/repo/src/node/workstation.cpp" "src/CMakeFiles/telegraphos.dir/node/workstation.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/node/workstation.cpp.o.d"
+  "/root/repo/src/os/os_kernel.cpp" "src/CMakeFiles/telegraphos.dir/os/os_kernel.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/os/os_kernel.cpp.o.d"
+  "/root/repo/src/os/replication_policy.cpp" "src/CMakeFiles/telegraphos.dir/os/replication_policy.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/os/replication_policy.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/telegraphos.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/log.cpp" "src/CMakeFiles/telegraphos.dir/sim/log.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/sim/log.cpp.o.d"
+  "/root/repo/src/sim/random.cpp" "src/CMakeFiles/telegraphos.dir/sim/random.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/sim/random.cpp.o.d"
+  "/root/repo/src/sim/sim_object.cpp" "src/CMakeFiles/telegraphos.dir/sim/sim_object.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/sim/sim_object.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/telegraphos.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sim/system.cpp" "src/CMakeFiles/telegraphos.dir/sim/system.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/sim/system.cpp.o.d"
+  "/root/repo/src/workload/chaotic.cpp" "src/CMakeFiles/telegraphos.dir/workload/chaotic.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/workload/chaotic.cpp.o.d"
+  "/root/repo/src/workload/hotspot.cpp" "src/CMakeFiles/telegraphos.dir/workload/hotspot.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/workload/hotspot.cpp.o.d"
+  "/root/repo/src/workload/producer_consumer.cpp" "src/CMakeFiles/telegraphos.dir/workload/producer_consumer.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/workload/producer_consumer.cpp.o.d"
+  "/root/repo/src/workload/remote_paging.cpp" "src/CMakeFiles/telegraphos.dir/workload/remote_paging.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/workload/remote_paging.cpp.o.d"
+  "/root/repo/src/workload/stencil.cpp" "src/CMakeFiles/telegraphos.dir/workload/stencil.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/workload/stencil.cpp.o.d"
+  "/root/repo/src/workload/trace_replay.cpp" "src/CMakeFiles/telegraphos.dir/workload/trace_replay.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/workload/trace_replay.cpp.o.d"
+  "/root/repo/src/workload/traffic.cpp" "src/CMakeFiles/telegraphos.dir/workload/traffic.cpp.o" "gcc" "src/CMakeFiles/telegraphos.dir/workload/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

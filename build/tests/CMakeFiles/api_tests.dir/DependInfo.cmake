@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/api/cluster_test.cpp" "tests/CMakeFiles/api_tests.dir/api/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/api_tests.dir/api/cluster_test.cpp.o.d"
+  "/root/repo/tests/api/collectives_test.cpp" "tests/CMakeFiles/api_tests.dir/api/collectives_test.cpp.o" "gcc" "tests/CMakeFiles/api_tests.dir/api/collectives_test.cpp.o.d"
+  "/root/repo/tests/api/isolation_test.cpp" "tests/CMakeFiles/api_tests.dir/api/isolation_test.cpp.o" "gcc" "tests/CMakeFiles/api_tests.dir/api/isolation_test.cpp.o.d"
+  "/root/repo/tests/api/latency_sweep_test.cpp" "tests/CMakeFiles/api_tests.dir/api/latency_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/api_tests.dir/api/latency_sweep_test.cpp.o.d"
+  "/root/repo/tests/api/measure_test.cpp" "tests/CMakeFiles/api_tests.dir/api/measure_test.cpp.o" "gcc" "tests/CMakeFiles/api_tests.dir/api/measure_test.cpp.o.d"
+  "/root/repo/tests/api/msg_test.cpp" "tests/CMakeFiles/api_tests.dir/api/msg_test.cpp.o" "gcc" "tests/CMakeFiles/api_tests.dir/api/msg_test.cpp.o.d"
+  "/root/repo/tests/api/segment_test.cpp" "tests/CMakeFiles/api_tests.dir/api/segment_test.cpp.o" "gcc" "tests/CMakeFiles/api_tests.dir/api/segment_test.cpp.o.d"
+  "/root/repo/tests/api/sync_test.cpp" "tests/CMakeFiles/api_tests.dir/api/sync_test.cpp.o" "gcc" "tests/CMakeFiles/api_tests.dir/api/sync_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/telegraphos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_tests.dir/api/cluster_test.cpp.o"
+  "CMakeFiles/api_tests.dir/api/cluster_test.cpp.o.d"
+  "CMakeFiles/api_tests.dir/api/collectives_test.cpp.o"
+  "CMakeFiles/api_tests.dir/api/collectives_test.cpp.o.d"
+  "CMakeFiles/api_tests.dir/api/isolation_test.cpp.o"
+  "CMakeFiles/api_tests.dir/api/isolation_test.cpp.o.d"
+  "CMakeFiles/api_tests.dir/api/latency_sweep_test.cpp.o"
+  "CMakeFiles/api_tests.dir/api/latency_sweep_test.cpp.o.d"
+  "CMakeFiles/api_tests.dir/api/measure_test.cpp.o"
+  "CMakeFiles/api_tests.dir/api/measure_test.cpp.o.d"
+  "CMakeFiles/api_tests.dir/api/msg_test.cpp.o"
+  "CMakeFiles/api_tests.dir/api/msg_test.cpp.o.d"
+  "CMakeFiles/api_tests.dir/api/segment_test.cpp.o"
+  "CMakeFiles/api_tests.dir/api/segment_test.cpp.o.d"
+  "CMakeFiles/api_tests.dir/api/sync_test.cpp.o"
+  "CMakeFiles/api_tests.dir/api/sync_test.cpp.o.d"
+  "api_tests"
+  "api_tests.pdb"
+  "api_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

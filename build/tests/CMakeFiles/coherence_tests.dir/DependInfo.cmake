@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/coherence/galactica_test.cpp" "tests/CMakeFiles/coherence_tests.dir/coherence/galactica_test.cpp.o" "gcc" "tests/CMakeFiles/coherence_tests.dir/coherence/galactica_test.cpp.o.d"
+  "/root/repo/tests/coherence/invalidate_test.cpp" "tests/CMakeFiles/coherence_tests.dir/coherence/invalidate_test.cpp.o" "gcc" "tests/CMakeFiles/coherence_tests.dir/coherence/invalidate_test.cpp.o.d"
+  "/root/repo/tests/coherence/naive_multicast_test.cpp" "tests/CMakeFiles/coherence_tests.dir/coherence/naive_multicast_test.cpp.o" "gcc" "tests/CMakeFiles/coherence_tests.dir/coherence/naive_multicast_test.cpp.o.d"
+  "/root/repo/tests/coherence/owner_counter_test.cpp" "tests/CMakeFiles/coherence_tests.dir/coherence/owner_counter_test.cpp.o" "gcc" "tests/CMakeFiles/coherence_tests.dir/coherence/owner_counter_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/telegraphos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

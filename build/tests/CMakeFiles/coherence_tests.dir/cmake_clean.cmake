@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherence_tests.dir/coherence/galactica_test.cpp.o"
+  "CMakeFiles/coherence_tests.dir/coherence/galactica_test.cpp.o.d"
+  "CMakeFiles/coherence_tests.dir/coherence/invalidate_test.cpp.o"
+  "CMakeFiles/coherence_tests.dir/coherence/invalidate_test.cpp.o.d"
+  "CMakeFiles/coherence_tests.dir/coherence/naive_multicast_test.cpp.o"
+  "CMakeFiles/coherence_tests.dir/coherence/naive_multicast_test.cpp.o.d"
+  "CMakeFiles/coherence_tests.dir/coherence/owner_counter_test.cpp.o"
+  "CMakeFiles/coherence_tests.dir/coherence/owner_counter_test.cpp.o.d"
+  "coherence_tests"
+  "coherence_tests.pdb"
+  "coherence_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherence_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hib_tests.dir/hib/remote_ops_test.cpp.o"
+  "CMakeFiles/hib_tests.dir/hib/remote_ops_test.cpp.o.d"
+  "CMakeFiles/hib_tests.dir/hib/special_ops_test.cpp.o"
+  "CMakeFiles/hib_tests.dir/hib/special_ops_test.cpp.o.d"
+  "CMakeFiles/hib_tests.dir/hib/units_test.cpp.o"
+  "CMakeFiles/hib_tests.dir/hib/units_test.cpp.o.d"
+  "hib_tests"
+  "hib_tests.pdb"
+  "hib_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hib_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/determinism_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/determinism_test.cpp.o.d"
+  "/root/repo/tests/integration/directory_cost_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/directory_cost_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/directory_cost_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/failure_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/failure_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/failure_test.cpp.o.d"
+  "/root/repo/tests/integration/hwcost_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/hwcost_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/hwcost_test.cpp.o.d"
+  "/root/repo/tests/integration/property_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/property_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/telegraphos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

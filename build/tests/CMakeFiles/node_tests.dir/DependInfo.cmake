@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/node/address_test.cpp" "tests/CMakeFiles/node_tests.dir/node/address_test.cpp.o" "gcc" "tests/CMakeFiles/node_tests.dir/node/address_test.cpp.o.d"
+  "/root/repo/tests/node/cache_test.cpp" "tests/CMakeFiles/node_tests.dir/node/cache_test.cpp.o" "gcc" "tests/CMakeFiles/node_tests.dir/node/cache_test.cpp.o.d"
+  "/root/repo/tests/node/cpu_sched_test.cpp" "tests/CMakeFiles/node_tests.dir/node/cpu_sched_test.cpp.o" "gcc" "tests/CMakeFiles/node_tests.dir/node/cpu_sched_test.cpp.o.d"
+  "/root/repo/tests/node/memory_test.cpp" "tests/CMakeFiles/node_tests.dir/node/memory_test.cpp.o" "gcc" "tests/CMakeFiles/node_tests.dir/node/memory_test.cpp.o.d"
+  "/root/repo/tests/node/mmu_test.cpp" "tests/CMakeFiles/node_tests.dir/node/mmu_test.cpp.o" "gcc" "tests/CMakeFiles/node_tests.dir/node/mmu_test.cpp.o.d"
+  "/root/repo/tests/node/turbochannel_test.cpp" "tests/CMakeFiles/node_tests.dir/node/turbochannel_test.cpp.o" "gcc" "tests/CMakeFiles/node_tests.dir/node/turbochannel_test.cpp.o.d"
+  "/root/repo/tests/node/write_buffer_test.cpp" "tests/CMakeFiles/node_tests.dir/node/write_buffer_test.cpp.o" "gcc" "tests/CMakeFiles/node_tests.dir/node/write_buffer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/telegraphos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_tests.dir/node/address_test.cpp.o"
+  "CMakeFiles/node_tests.dir/node/address_test.cpp.o.d"
+  "CMakeFiles/node_tests.dir/node/cache_test.cpp.o"
+  "CMakeFiles/node_tests.dir/node/cache_test.cpp.o.d"
+  "CMakeFiles/node_tests.dir/node/cpu_sched_test.cpp.o"
+  "CMakeFiles/node_tests.dir/node/cpu_sched_test.cpp.o.d"
+  "CMakeFiles/node_tests.dir/node/memory_test.cpp.o"
+  "CMakeFiles/node_tests.dir/node/memory_test.cpp.o.d"
+  "CMakeFiles/node_tests.dir/node/mmu_test.cpp.o"
+  "CMakeFiles/node_tests.dir/node/mmu_test.cpp.o.d"
+  "CMakeFiles/node_tests.dir/node/turbochannel_test.cpp.o"
+  "CMakeFiles/node_tests.dir/node/turbochannel_test.cpp.o.d"
+  "CMakeFiles/node_tests.dir/node/write_buffer_test.cpp.o"
+  "CMakeFiles/node_tests.dir/node/write_buffer_test.cpp.o.d"
+  "node_tests"
+  "node_tests.pdb"
+  "node_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
