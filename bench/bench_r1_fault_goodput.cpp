@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Experiment R1: goodput and tail latency under injected wire faults.
+ *
+ * The reliability layer (CRC + go-back-N retransmission, see DESIGN.md
+ * "Fault model & reliability protocol") keeps Telegraphos usable on a
+ * lossy ribbon cable at the cost of retransmission bandwidth and tail
+ * latency.  This bench quantifies that cost: a 2-node cluster runs a
+ * remote-write stream (goodput) and a remote-read loop (p50/p99
+ * latency) at increasing per-hop loss rates.
+ *
+ * Output: a human-readable table plus one machine-readable JSON line
+ * (prefix "JSON:") for plotting scripts.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "api/cluster.hpp"
+#include "api/context.hpp"
+#include "api/measure.hpp"
+#include "api/segment.hpp"
+#include "sim/stats.hpp"
+
+using namespace tg;
+
+namespace {
+
+struct Result
+{
+    double lossRate = 0;
+    double goodputMBs = 0;   ///< delivered payload MB/s of the write stream
+    double p50ReadUs = 0;
+    double p99ReadUs = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t crcErrors = 0;
+    std::uint64_t wireFailures = 0;
+};
+
+Result
+run(double loss_rate, int writes, int reads)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 2;
+    spec.config.seed = 1;
+    spec.config.fault.dropRate = loss_rate;
+    spec.config.fault.bitErrorRate = loss_rate;
+    Cluster cluster(spec);
+    Segment &seg = cluster.allocShared("target", 8192, /*owner=*/0);
+
+    Result out;
+    out.lossRate = loss_rate;
+
+    Sampler read_lat;
+    cluster.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        // Goodput: a long write stream, fenced, total payload over time.
+        const Tick w0 = ctx.now();
+        for (int i = 0; i < writes; ++i)
+            co_await ctx.write(seg.word(i % 64), Word(i));
+        co_await ctx.fence();
+        const double us = toUs(ctx.now() - w0);
+        out.goodputMBs = (double(writes) * 8.0) / us; // B/us == MB/s
+
+        // Tail latency: blocking remote reads, sampled individually.
+        for (int i = 0; i < reads; ++i) {
+            const Tick t0 = ctx.now();
+            (void)co_await ctx.read(seg.word(i % 64));
+            read_lat.sample(toUs(ctx.now() - t0));
+        }
+    });
+    cluster.run(400'000'000'000ULL);
+
+    out.p50ReadUs = read_lat.quantile(0.50);
+    out.p99ReadUs = read_lat.quantile(0.99);
+    out.retransmissions = cluster.network().retransmissions();
+    out.crcErrors = cluster.network().corruptions();
+    out.wireFailures = cluster.network().wireFailures();
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<double> rates = {0.0, 1e-6, 1e-4, 1e-2};
+    const int writes = 20000;
+    const int reads = 2000;
+
+    std::printf("R1: goodput and read latency vs per-hop loss rate "
+                "(%d writes, %d reads, 2 nodes)\n\n",
+                writes, reads);
+    std::printf("  %-10s %12s %12s %12s %10s %10s %8s\n", "loss", "MB/s",
+                "p50 rd us", "p99 rd us", "retx", "crc_err", "failed");
+
+    std::vector<Result> results;
+    for (double r : rates) {
+        results.push_back(run(r, writes, reads));
+        const Result &x = results.back();
+        std::printf("  %-10g %12.2f %12.3f %12.3f %10llu %10llu %8llu\n",
+                    x.lossRate, x.goodputMBs, x.p50ReadUs, x.p99ReadUs,
+                    (unsigned long long)x.retransmissions,
+                    (unsigned long long)x.crcErrors,
+                    (unsigned long long)x.wireFailures);
+    }
+
+    std::printf("\nJSON: {\"bench\":\"r1_fault_goodput\",\"results\":[");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const Result &x = results[i];
+        std::printf("%s{\"loss\":%g,\"goodput_mbs\":%.3f,"
+                    "\"p50_read_us\":%.4f,\"p99_read_us\":%.4f,"
+                    "\"retransmissions\":%llu,\"crc_errors\":%llu,"
+                    "\"wire_failures\":%llu}",
+                    i ? "," : "", x.lossRate, x.goodputMBs, x.p50ReadUs,
+                    x.p99ReadUs, (unsigned long long)x.retransmissions,
+                    (unsigned long long)x.crcErrors,
+                    (unsigned long long)x.wireFailures);
+    }
+    std::printf("]}\n");
+    return 0;
+}

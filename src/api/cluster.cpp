@@ -44,6 +44,48 @@ Cluster::Cluster(const ClusterSpec &spec)
         std::make_unique<coherence::GalacticaRingProtocol>(*_sys, *this));
     _protocols.push_back(
         std::make_unique<coherence::InvalidateProtocol>(*_sys, *this));
+
+    if (spec.config.fault.enabled()) {
+        _net->setFailureHandler(
+            [this](net::Packet &&pkt) { wireFailure(std::move(pkt)); });
+    }
+}
+
+void
+Cluster::wireFailure(net::Packet &&pkt)
+{
+    // Who loses an expected completion when this packet vanishes?  For
+    // replies and acks it is the node still waiting for them (dst); for
+    // coherence updates it is the write's origin (whose outstanding
+    // counter tracks the reflected copies); for requests it is the
+    // sender.
+    NodeId victim;
+    switch (pkt.type) {
+      case net::PacketType::WriteAck:
+      case net::PacketType::UpdateAck:
+      case net::PacketType::ReadReply:
+      case net::PacketType::AtomicReply:
+      case net::PacketType::CopyData:
+      case net::PacketType::InvAck:
+      case net::PacketType::PageData:
+        victim = pkt.dst;
+        break;
+      case net::PacketType::Update:
+      case net::PacketType::RingUpdate:
+      case net::PacketType::WriteOwner:
+        victim = pkt.origin;
+        break;
+      default:
+        victim = pkt.src;
+        break;
+    }
+
+    for (auto &ctx : _ctxs) {
+        if (ctx->self() == victim)
+            ctx->noteWireFailure();
+    }
+    _kernels[victim]->onWireFailure(pkt);
+    hibOf(victim).onWireFailure(pkt);
 }
 
 Cluster::~Cluster() = default;
@@ -317,6 +359,12 @@ Cluster::statsReport(std::ostream &os)
        << toUs(_sys->now()) << " us) ===\n";
     os << "events executed: " << _sys->events().executed() << "\n";
     os << "switch packets forwarded: " << _net->switchForwarded() << "\n";
+    if (config().fault.enabled()) {
+        os << "net.crc_errors: " << _net->corruptions() << "\n";
+        os << "net.retransmissions: " << _net->retransmissions() << "\n";
+        os << "net.dup_discards: " << _net->duplicateDiscards() << "\n";
+        os << "net.wire_failures: " << _net->wireFailures() << "\n";
+    }
 
     for (auto &ws : _nodes) {
         const auto &cpu = ws->cpu();
@@ -357,6 +405,12 @@ Cluster::statsReport(std::ostream &os)
            << "\n";
         os << "  hib.key_violations        "
            << hib.specialOps().keyViolations() << "\n";
+        if (config().fault.enabled()) {
+            os << "  hib.wire_failures         " << hib.wireFailures()
+               << "\n";
+            os << "  hib.outstanding.lost      "
+               << hib.outstanding().lost() << "\n";
+        }
         os << "  mem.touched_bytes         " << ws->mem().touchedBytes()
            << "\n";
     }

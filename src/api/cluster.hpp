@@ -167,6 +167,11 @@ class Cluster : public coherence::Fabric
     VAddr allocVa(std::size_t pages);
     int spawnIn(NodeId n, node::AddressSpace &as, Body body);
 
+    /** Network failure handler: the reliability layer permanently gave
+     *  up on @p pkt.  Routes the loss to the victim node's HIB (counter
+     *  conservation) and marks that node's contexts with LinkFailure. */
+    void wireFailure(net::Packet &&pkt);
+
     std::unique_ptr<System> _sys;
     std::unique_ptr<coherence::Directory> _dir;
     std::unique_ptr<net::Network> _net;

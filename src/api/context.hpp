@@ -40,6 +40,13 @@ shadowOf(VAddr va)
     return va | node::kShadowBit;
 }
 
+/** Error status of a context's remote operations. */
+enum class OpError
+{
+    None,        ///< all operations so far delivered normally
+    LinkFailure, ///< a remote operation was lost by the network
+};
+
 /** Per-thread program context. */
 class Ctx
 {
@@ -54,6 +61,33 @@ class Ctx
     Tick now() const;
 
     void setLaunchMode(LaunchMode m) { _mode = m; }
+
+    // ------------------------------------------------------------------
+    // Error status (fault model; see DESIGN.md "Fault model")
+    // ------------------------------------------------------------------
+
+    /**
+     * Sticky status of this node's remote operations.  LinkFailure means
+     * at least one operation since the last clearError() was lost by the
+     * network after exhausting its retry budget (or was failed over
+     * during an administrative outage): the operation completed — the
+     * fence drained, a blocked read unblocked with value 0 — but its
+     * effect did not happen remotely.
+     */
+    OpError lastError() const { return _lastError; }
+
+    /** Reset lastError() to OpError::None. */
+    void clearError() { _lastError = OpError::None; }
+
+    /** Wire failures charged to this node so far. */
+    std::uint64_t wireFailures() const { return _wireFailureCount; }
+
+    /** Record a wire failure against this context (Cluster failure path). */
+    void noteWireFailure()
+    {
+        _lastError = OpError::LinkFailure;
+        ++_wireFailureCount;
+    }
 
     // ------------------------------------------------------------------
     // Single-instruction operations
@@ -135,6 +169,8 @@ class Ctx
     VAddr _specialRegVa; ///< where the Telegraphos I register page is mapped
     Rng _rng;
     LaunchMode _mode = LaunchMode::Default;
+    OpError _lastError = OpError::None;
+    std::uint64_t _wireFailureCount = 0;
 };
 
 } // namespace tg

@@ -31,6 +31,8 @@ Hib::Hib(System &sys, const std::string &name, NodeId node,
 {
     _egress.onSpace([this] { pumpEgressBacklog(); });
     _ingress.onData([this] { pumpIngress(); });
+    if (sys.config().fault.enabled())
+        sys.stats().add(name + ".wire_failures", &_wireFailures);
 }
 
 void
@@ -53,6 +55,7 @@ void
 Hib::inject(Packet &&pkt, bool track)
 {
     pkt.src = _node;
+    pkt.tracked = track;
     if (track)
         _outstanding.add();
     Trace::log(now(), "hib", "%s inject %s", _name.c_str(),
@@ -442,6 +445,130 @@ Hib::deliverReply(const Packet &pkt)
     OnWord cb = std::move(it->second);
     _pendingReplies.erase(it);
     cb(pkt.value);
+}
+
+void
+Hib::failReply(std::uint64_t ticket)
+{
+    auto it = _pendingReplies.find(ticket);
+    if (it == _pendingReplies.end())
+        return;
+    OnWord cb = std::move(it->second);
+    _pendingReplies.erase(it);
+    // The operation's result is gone; deliver 0 so the blocked CPU
+    // unblocks.  The error itself is visible through the wire-failure
+    // counters and the owning context's lastError().
+    cb(0);
+}
+
+void
+Hib::copyFailed(std::uint64_t ticket)
+{
+    auto it = _copyDone.find(ticket);
+    if (it == _copyDone.end())
+        return;
+    OnDone cb = std::move(it->second);
+    _copyDone.erase(it);
+    cb();
+}
+
+void
+Hib::onWireFailure(const Packet &pkt)
+{
+    ++_wireFailures;
+    warn("%s: wire failure victim of lost %s", _name.c_str(),
+         pkt.toString().c_str());
+
+    switch (pkt.type) {
+      case PacketType::WriteReq:
+      case PacketType::EagerWrite:
+        // We were charged at injection; the ack will never come.
+        _outstanding.drainLost();
+        return;
+
+      case PacketType::WriteAck:
+      case PacketType::UpdateAck:
+        // The remote side completed the work but the ack was lost.
+        _outstanding.drainLost();
+        return;
+
+      case PacketType::ReadReq:
+      case PacketType::ReadReply:
+      case PacketType::AtomicReq:
+      case PacketType::AtomicReply:
+        failReply(pkt.ticket);
+        return;
+
+      case PacketType::CopyReq:
+      case PacketType::CopyData:
+        _outstanding.drainLost();
+        copyFailed(pkt.ticket);
+        return;
+
+      case PacketType::Update:
+        // The origin expected one completion per reflected update (an
+        // UpdateAck, or — for its own reflected write — the update
+        // itself, which also carries the pending-counter decrement).
+        _outstanding.drainLost();
+        if (pkt.dst == pkt.origin && _counterCache.enabled())
+            _counterCache.decrement(pkt.addr);
+        return;
+
+      case PacketType::WriteOwner: {
+        // The writer charged itself copies-1 completions and bumped its
+        // pending-write counter when it sent the value to the owner; the
+        // owner will never reflect it.
+        std::uint64_t expect = 1;
+        if (_dir) {
+            if (const auto *e = _dir->byHome(_dir->pageOf(pkt.addr));
+                e && e->copies.size() > 1)
+                expect = e->copies.size() - 1;
+        }
+        _outstanding.drainLost(expect);
+        if (_counterCache.enabled())
+            _counterCache.decrement(pkt.addr);
+        return;
+      }
+
+      case PacketType::RingUpdate:
+        // Our update will never complete the loop around the ring.
+        _outstanding.drainLost();
+        return;
+
+      case PacketType::InvReq: {
+        // The holder will never ack.  Synthesize the ack so the pending
+        // invalidation round completes; the not-invalidated stale copy
+        // is the visible damage, accounted by the failure counters.
+        if (_dir) {
+            if (auto *e = _dir->byHome(_dir->pageOf(pkt.addr));
+                e && e->protocol) {
+                Packet ack;
+                ack.type = PacketType::InvAck;
+                ack.dst = _node;
+                ack.src = pkt.dst;
+                ack.addr = pkt.addr;
+                e->protocol->handlePacket(_node, ack);
+            }
+        }
+        return;
+      }
+
+      case PacketType::InvAck:
+        // The ack itself was lost: process it here as if it arrived.
+        if (_dir) {
+            if (auto *e = _dir->byHome(_dir->pageOf(pkt.addr));
+                e && e->protocol)
+                e->protocol->handlePacket(_node, pkt);
+        }
+        return;
+
+      case PacketType::PageReq:
+      case PacketType::PageData:
+      case PacketType::Message:
+        // Software-layer traffic: no hardware counters to restore; the
+        // software layers see the failure through the stats.
+        return;
+    }
 }
 
 void

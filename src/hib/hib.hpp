@@ -174,6 +174,26 @@ class Hib : public SimObject, public net::NodeEndpoint
 
     std::uint64_t packetsHandled() const { return _handled; }
 
+    // ------------------------------------------------------------------
+    // Failure path (link-level reliability gave up on a packet)
+    // ------------------------------------------------------------------
+
+    /**
+     * The network permanently failed to deliver @p pkt and this node is
+     * the victim of the loss (sender awaiting an ack, reader awaiting a
+     * reply, ...).  Restores the conservation invariant: every expected
+     * completion the lost packet represented is drained or failed, so
+     * fences still drain and blocked CPUs still unblock — with a visible
+     * error instead of silently wrong data.
+     */
+    void onWireFailure(const net::Packet &pkt);
+
+    /** Remote operations this node lost to wire failures. */
+    std::uint64_t wireFailures() const
+    {
+        return static_cast<std::uint64_t>(_wireFailures.value());
+    }
+
   private:
     void pumpEgressBacklog();
     void pumpIngress();
@@ -190,6 +210,14 @@ class Hib : public SimObject, public net::NodeEndpoint
     void handleCopyReq(net::Packet &&pkt, OnDone finished);
     void handleCopyData(net::Packet &&pkt, OnDone finished);
     void deliverReply(const net::Packet &pkt);
+
+    /** Fail a pending reply ticket: its callback fires with 0 after the
+     *  error has been counted.  No-op if the ticket is unknown. */
+    void failReply(std::uint64_t ticket);
+
+    /** Fail a pending copy-completion ticket (fires its done callback so
+     *  waiters unblock).  No-op if the ticket is unknown. */
+    void copyFailed(std::uint64_t ticket);
 
     NodeId _node;
     node::MainMemory &_storage;
@@ -218,6 +246,7 @@ class Hib : public SimObject, public net::NodeEndpoint
     std::uint64_t _nextSeq = 1;
     std::uint64_t _handled = 0;
     std::uint32_t _readsInFlight = 0;
+    Scalar _wireFailures;
 };
 
 } // namespace tg::hib

@@ -24,21 +24,52 @@ Outstanding::complete(std::uint64_t n)
               _name.c_str(), (unsigned long long)n,
               (unsigned long long)_current);
     _current -= n;
-    if (_current == 0 && !_waiters.empty()) {
-        auto waiters = std::move(_waiters);
-        _waiters.clear();
-        for (auto &w : waiters)
-            w();
+    wakeWaiters();
+}
+
+std::uint64_t
+Outstanding::drainLost(std::uint64_t n)
+{
+    const std::uint64_t drained = n < _current ? n : _current;
+    if (drained < n)
+        warn("%s: loss path drained %llu of %llu (counter at zero)",
+             _name.c_str(), (unsigned long long)drained,
+             (unsigned long long)n);
+    _current -= drained;
+    _lost += drained;
+    wakeWaiters();
+    return drained;
+}
+
+void
+Outstanding::wakeWaiters()
+{
+    if (_draining)
+        return;
+    // One waiter at a time, re-checking the counter before each: a woken
+    // fence may launch new remote operations (or register a new fence),
+    // and later waiters must then keep waiting rather than fire while the
+    // counter is non-zero.
+    _draining = true;
+    while (_current == 0 && !_waiters.empty()) {
+        auto w = std::move(_waiters.front());
+        _waiters.pop_front();
+        w();
     }
+    _draining = false;
 }
 
 void
 Outstanding::waitDrain(std::function<void()> cb)
 {
-    if (_current == 0) {
+    if (_current == 0 && !_draining) {
         cb();
         return;
     }
+    // If a drain is in progress this queues behind the waiter currently
+    // running (FIFO even for re-entrant registrations); the drain loop
+    // picks it up once that waiter returns, provided the counter is
+    // still zero.
     _waiters.push_back(std::move(cb));
 }
 

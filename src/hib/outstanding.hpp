@@ -13,8 +13,8 @@
 #define TELEGRAPHOS_HIB_OUTSTANDING_HPP
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <vector>
 
 #include "sim/sim_object.hpp"
 
@@ -32,6 +32,15 @@ class Outstanding : public SimObject
     /** Record @p n completions; wakes fence waiters at zero. */
     void complete(std::uint64_t n = 1);
 
+    /**
+     * Record @p n operations lost by the network (reliability layer gave
+     * up on their packets).  Like complete(), but clamps instead of
+     * panicking when the failure path's estimate over-counts — a lost
+     * packet must never wedge a fence, and must never drain more than is
+     * outstanding.  Returns the amount actually drained.
+     */
+    std::uint64_t drainLost(std::uint64_t n = 1);
+
     /** Currently outstanding operations. */
     std::uint64_t current() const { return _current; }
 
@@ -44,11 +53,18 @@ class Outstanding : public SimObject
     /** Total operations ever tracked (stat). */
     std::uint64_t total() const { return _total; }
 
+    /** Operations drained via the loss path (stat). */
+    std::uint64_t lost() const { return _lost; }
+
   private:
+    void wakeWaiters();
+
     std::uint64_t _current = 0;
     std::uint64_t _peak = 0;
     std::uint64_t _total = 0;
-    std::vector<std::function<void()>> _waiters;
+    std::uint64_t _lost = 0;
+    std::deque<std::function<void()>> _waiters;
+    bool _draining = false;
 };
 
 } // namespace tg::hib

@@ -1,0 +1,114 @@
+#include "net/fault.hpp"
+
+namespace tg::net {
+
+namespace {
+
+/** FNV-1a over the link name: a stable identity hash so per-link RNG
+ *  streams do not depend on component construction order. */
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(const FaultSpec &spec, std::uint64_t seed,
+                             const std::string &link_name)
+    : _spec(spec), _rng(seed ^ fnv1a(link_name))
+{
+    _active = spec.enabled() &&
+              (spec.linkFilter.empty() ||
+               link_name.find(spec.linkFilter) != std::string::npos);
+}
+
+bool
+FaultInjector::dropNow()
+{
+    return _spec.dropRate > 0 && _rng.chance(_spec.dropRate);
+}
+
+bool
+FaultInjector::corruptNow()
+{
+    return _spec.bitErrorRate > 0 && _rng.chance(_spec.bitErrorRate);
+}
+
+bool
+FaultInjector::duplicateNow()
+{
+    return _spec.duplicateRate > 0 && _rng.chance(_spec.duplicateRate);
+}
+
+std::uint32_t
+FaultInjector::corruptBit(std::uint32_t bits)
+{
+    return static_cast<std::uint32_t>(_rng.below(bits));
+}
+
+bool
+FaultInjector::isDown(Tick now) const
+{
+    if (!_active)
+        return false;
+    for (const auto &w : _spec.downWindows) {
+        if (now >= w.from && now < w.until)
+            return true;
+    }
+    return false;
+}
+
+Tick
+FaultInjector::downUntil(Tick now) const
+{
+    Tick until = now;
+    // Windows may overlap or abut; extend across the union of windows
+    // covering `until` so one wake-up lands past the whole outage.
+    bool grew = true;
+    while (grew) {
+        grew = false;
+        for (const auto &w : _spec.downWindows) {
+            if (until >= w.from && until < w.until) {
+                until = w.until;
+                grew = true;
+            }
+        }
+    }
+    return until;
+}
+
+Tick
+FaultInjector::downStart(Tick now) const
+{
+    if (!isDown(now))
+        return now;
+    // Start of the union of windows covering `now`.
+    Tick start = now;
+    bool grew = true;
+    while (grew) {
+        grew = false;
+        for (const auto &w : _spec.downWindows) {
+            if (w.from < start && w.until > start) {
+                start = w.from;
+                grew = true;
+            }
+        }
+    }
+    return start;
+}
+
+bool
+FaultInjector::downPastDeadline(Tick now) const
+{
+    if (!isDown(now))
+        return false;
+    return now - downStart(now) > _spec.linkDownDeadline;
+}
+
+} // namespace tg::net

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Deterministic per-link fault injector.
+ *
+ * Telegraphos links are FPGA-clocked parallel ribbon cables between
+ * workstations — a medium where bit errors, dropped transfers and
+ * unplugged cables are routine, not exceptional.  The FaultInjector
+ * decides, per packet transmission on one link hop, whether the wire
+ * corrupts, drops or duplicates the transfer, and whether the link is
+ * administratively down at a given instant.
+ *
+ * Determinism: every injector owns a private RNG seeded from
+ * (Config::seed, FNV-1a hash of the link name).  Decisions therefore
+ * depend only on the seed, the link identity and the order of
+ * transmissions on that link — never on the construction order of other
+ * components or on draws from other streams — so any fault run replays
+ * bit-identically.
+ */
+
+#ifndef TELEGRAPHOS_NET_FAULT_HPP
+#define TELEGRAPHOS_NET_FAULT_HPP
+
+#include <string>
+
+#include "sim/config.hpp"
+#include "sim/random.hpp"
+#include "sim/types.hpp"
+
+namespace tg::net {
+
+/** Per-link source of injected wire faults, driven by Config::fault. */
+class FaultInjector
+{
+  public:
+    /**
+     * @param spec       the cluster-wide fault specification (must outlive
+     *                   the injector; it lives in System's Config)
+     * @param seed       Config::seed
+     * @param link_name  name of the link this injector is attached to
+     */
+    FaultInjector(const FaultSpec &spec, std::uint64_t seed,
+                  const std::string &link_name);
+
+    /** True when this link can experience injected faults (spec enabled
+     *  and the link name matches the spec's filter). */
+    bool active() const { return _active; }
+
+    // ------------------------------------------------------------------
+    // Per-transmission decisions (each consumes RNG state; call exactly
+    // once per transmission to keep replays aligned)
+    // ------------------------------------------------------------------
+
+    /** Should this transmission vanish on the wire? */
+    bool dropNow();
+
+    /** Should this transmission arrive with a flipped bit? */
+    bool corruptNow();
+
+    /** Should this transmission be delivered twice? */
+    bool duplicateNow();
+
+    /** Bit index to flip when corrupting (uniform in [0, bits)). */
+    std::uint32_t corruptBit(std::uint32_t bits);
+
+    // ------------------------------------------------------------------
+    // Administrative link state (pure functions of time; no RNG)
+    // ------------------------------------------------------------------
+
+    /** Is the link administratively down at @p now? */
+    bool isDown(Tick now) const;
+
+    /** End of the outage covering @p now (returns @p now if the link is
+     *  up). */
+    Tick downUntil(Tick now) const;
+
+    /** Start of the outage covering @p now (returns @p now if the link
+     *  is up). */
+    Tick downStart(Tick now) const;
+
+    /** Has the outage covering @p now lasted longer than the spec's
+     *  linkDownDeadline? */
+    bool downPastDeadline(Tick now) const;
+
+    const FaultSpec &spec() const { return _spec; }
+
+  private:
+    const FaultSpec &_spec;
+    bool _active;
+    Rng _rng;
+};
+
+} // namespace tg::net
+
+#endif // TELEGRAPHOS_NET_FAULT_HPP

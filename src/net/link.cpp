@@ -1,5 +1,6 @@
 #include "net/link.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace tg::net {
@@ -7,12 +8,25 @@ namespace tg::net {
 Channel::Channel(System &sys, const std::string &name,
                  std::vector<Lane> lanes, double bytes_per_tick, Tick delay)
     : SimObject(sys, name), _lanes(std::move(lanes)), _bw(bytes_per_tick),
-      _delay(delay)
+      _delay(delay),
+      _inj(sys.config().fault, sys.config().seed, name)
 {
     if (_bw <= 0)
         fatal("%s: link bandwidth must be positive", name.c_str());
     if (_lanes.empty())
         fatal("%s: channel needs at least one lane", name.c_str());
+
+    _reliable = sys.config().fault.enabled();
+    if (_reliable) {
+        _ls.resize(_lanes.size());
+        auto &reg = sys.stats();
+        reg.add(_name + ".crc_errors", &_crcErrors);
+        reg.add(_name + ".retransmissions", &_retransmissions);
+        reg.add(_name + ".dup_discards", &_dupDiscards);
+        reg.add(_name + ".out_of_window", &_outOfWindow);
+        reg.add(_name + ".wire_failures", &_wireFailures);
+    }
+
     for (auto &lane : _lanes) {
         lane.up->onData([this] { pump(); });
         lane.down->onSpace([this] { pump(); });
@@ -27,9 +41,21 @@ Channel::Channel(System &sys, const std::string &name,
 {
 }
 
+Tick
+Channel::serTicks(std::uint32_t wire_bytes) const
+{
+    return static_cast<Tick>(
+        std::ceil(static_cast<double>(wire_bytes) / _bw));
+}
+
 void
 Channel::pump()
 {
+    if (_reliable) {
+        pumpReliable();
+        return;
+    }
+
     if (_busy)
         return;
 
@@ -51,8 +77,7 @@ Channel::pump()
 
     Packet pkt = lane->up->pop();
     const std::uint32_t bytes = pkt.wireBytes(config().packetHeaderBytes);
-    const Tick ser =
-        static_cast<Tick>(std::ceil(static_cast<double>(bytes) / _bw));
+    const Tick ser = serTicks(bytes);
 
     _busy = true;
     ++_packets;
@@ -71,6 +96,308 @@ Channel::pump()
     schedule(ser + _delay, [down = lane->down, pkt = std::move(pkt)]() mutable {
         down->pushReserved(std::move(pkt));
     });
+}
+
+// ---------------------------------------------------------------------
+// Reliable (fault-model) path
+// ---------------------------------------------------------------------
+
+void
+Channel::pumpReliable()
+{
+    if (_busy)
+        return;
+
+    // Administrative outage: the wire transmits nothing.  Past the
+    // deadline everything pending fails over to the error path; otherwise
+    // wake up when the link comes back (or when the deadline passes).
+    if (_inj.active() && _inj.isDown(now())) {
+        if (_inj.downPastDeadline(now())) {
+            failFast();
+            return;
+        }
+        if (!_downWakeArmed) {
+            _downWakeArmed = true;
+            const Tick until = _inj.downUntil(now());
+            const Tick deadline =
+                _inj.downStart(now()) + _inj.spec().linkDownDeadline + 1;
+            schedule(std::min(until, deadline) - now(), [this] {
+                _downWakeArmed = false;
+                pump();
+            });
+        }
+        return;
+    }
+
+    // Fail entries whose retry budget is spent before committing any
+    // downstream reservation to them.
+    for (std::size_t li = 0; li < _lanes.size(); ++li) {
+        LaneState &ls = _ls[li];
+        while (ls.resend < ls.unacked.size() &&
+               ls.unacked[ls.resend].tries > _inj.spec().maxRetries)
+            failEntry(li, ls.resend);
+    }
+
+    // Round-robin lane selection: a lane is eligible when it has either a
+    // retransmission pending or a fresh packet and window headroom, plus
+    // a reservable downstream slot.
+    std::size_t li = _lanes.size();
+    for (std::size_t i = 0; i < _lanes.size(); ++i) {
+        const std::size_t c = (_rr + i) % _lanes.size();
+        Lane &cand = _lanes[c];
+        LaneState &ls = _ls[c];
+        const bool retx = ls.resend < ls.unacked.size();
+        const bool fresh = !cand.up->empty() &&
+                           ls.unacked.size() < _inj.spec().windowPackets;
+        if ((retx || fresh) && cand.down->reserve()) {
+            li = c;
+            _rr = (c + 1) % _lanes.size();
+            break;
+        }
+    }
+    if (li == _lanes.size())
+        return;
+
+    Lane &lane = _lanes[li];
+    LaneState &ls = _ls[li];
+
+    // Claim the wire before popping: the pop can re-enter pump() through
+    // the queue's listener chain and must find the server busy.
+    _busy = true;
+
+    if (ls.resend == ls.unacked.size()) {
+        TxEntry e;
+        e.pkt = lane.up->pop();
+        e.pkt.lseq = ls.txNext++;
+        e.pkt.crc = e.pkt.computeCrc();
+        const bool was_empty = ls.unacked.empty();
+        ls.unacked.push_back(std::move(e));
+        if (was_empty)
+            armTimer(li);
+    }
+
+    TxEntry &e = ls.unacked[ls.resend];
+    ++ls.resend;
+    if (e.tries > 0)
+        ++_retransmissions;
+    ++e.tries;
+
+    Packet wire = e.pkt;
+
+    bool drop = false, dup = false;
+    if (_inj.active()) {
+        drop = _inj.dropNow();
+        if (!drop && _inj.corruptNow()) {
+            // Flip one wire bit across the address/value fields; the
+            // stored CRC goes stale and the receiver detects it.
+            const std::uint32_t bit = _inj.corruptBit(128);
+            if (bit < 64)
+                wire.value ^= Word(1) << bit;
+            else
+                wire.addr ^= Word(1) << (bit - 64);
+        }
+        if (!drop)
+            dup = _inj.duplicateNow();
+    }
+
+    const std::uint32_t bytes = wire.wireBytes(config().packetHeaderBytes);
+    const Tick ser = serTicks(bytes);
+
+    ++_packets;
+    _bytes += bytes;
+    _busyTicks += ser;
+
+    Trace::log(now(), "net", "%s xmit %s lseq=%llu try=%u%s (%u B)",
+               _name.c_str(), wire.toString().c_str(),
+               (unsigned long long)wire.lseq, e.tries, drop ? " DROP" : "",
+               bytes);
+
+    schedule(ser, [this] {
+        _busy = false;
+        pump();
+    });
+    if (drop) {
+        // The transfer vanishes on the wire; the reserved slot frees when
+        // the (never-arriving) packet would have landed.
+        schedule(ser + _delay,
+                 [down = lane.down] { down->cancelReservation(); });
+    } else {
+        schedule(ser + _delay,
+                 [this, li, wire = std::move(wire), dup]() mutable {
+                     deliver(li, std::move(wire), dup);
+                 });
+    }
+}
+
+void
+Channel::deliver(std::size_t li, Packet &&wire, bool dup_follows)
+{
+    Lane &lane = _lanes[li];
+    LaneState &ls = _ls[li];
+
+    if (dup_follows) {
+        // The duplicated copy lands right behind the original if the
+        // downstream buffer can take it (otherwise the wire glitch is
+        // absorbed by back-pressure).
+        if (lane.down->reserve()) {
+            schedule(1, [this, li, copy = wire]() mutable {
+                deliver(li, std::move(copy), false);
+            });
+        }
+    }
+
+    if (wire.crc != wire.computeCrc()) {
+        ++_crcErrors;
+        Trace::log(now(), "net", "%s rx CRC error lseq=%llu", _name.c_str(),
+                   (unsigned long long)wire.lseq);
+        lane.down->cancelReservation();
+        schedule(_delay, [this, li] { onNack(li); });
+        return;
+    }
+
+    if (wire.lseq == ls.rxExpected) {
+        ++ls.rxExpected;
+        const std::uint64_t acked = wire.lseq;
+        lane.down->pushReserved(std::move(wire));
+        schedule(_delay, [this, li, acked] { onAck(li, acked); });
+        return;
+    }
+
+    if (wire.lseq < ls.rxExpected) {
+        // Duplicate: discard, but re-ack cumulatively so a lost ACK does
+        // not stall the sender.
+        ++_dupDiscards;
+        lane.down->cancelReservation();
+        const std::uint64_t acked = ls.rxExpected - 1;
+        schedule(_delay, [this, li, acked] { onAck(li, acked); });
+        return;
+    }
+
+    // Gap: an earlier transmission was lost; go-back-N discards
+    // out-of-window arrivals and NACKs.
+    ++_outOfWindow;
+    lane.down->cancelReservation();
+    schedule(_delay, [this, li] { onNack(li); });
+}
+
+void
+Channel::onAck(std::size_t li, std::uint64_t lseq)
+{
+    LaneState &ls = _ls[li];
+    std::size_t popped = 0;
+    while (!ls.unacked.empty() && ls.unacked.front().pkt.lseq <= lseq) {
+        ls.unacked.pop_front();
+        ++popped;
+    }
+    if (popped == 0)
+        return;
+    ls.resend = ls.resend > popped ? ls.resend - popped : 0;
+    ls.backoff = 0;
+    if (ls.unacked.empty())
+        cancelTimer(li);
+    else
+        armTimer(li);
+    pump();
+}
+
+void
+Channel::onNack(std::size_t li)
+{
+    LaneState &ls = _ls[li];
+    if (ls.unacked.empty())
+        return;
+    // One go-back per round trip: a burst of in-flight packets behind a
+    // single corruption produces a NACK each, but only the first may
+    // rewind the resend pointer — otherwise the head packet would be
+    // retransmitted once per NACK and spuriously burn its retry budget.
+    if (now() < ls.nackMuteUntil)
+        return;
+    const std::uint32_t head_bytes =
+        ls.unacked.front().pkt.wireBytes(config().packetHeaderBytes);
+    ls.nackMuteUntil = now() + serTicks(head_bytes) + 2 * _delay;
+    ls.resend = 0;
+    armTimer(li);
+    pump();
+}
+
+void
+Channel::armTimer(std::size_t li)
+{
+    LaneState &ls = _ls[li];
+    const std::uint64_t gen = ++ls.timerGen;
+    ls.timerArmed = true;
+    const std::uint32_t shift =
+        std::min(ls.backoff, _inj.spec().backoffCap);
+    schedule(_inj.spec().retryTimeout << shift, [this, li, gen] {
+        LaneState &l = _ls[li];
+        if (l.timerGen != gen || l.unacked.empty())
+            return;
+        // Timeout: exponential backoff, then go back to the oldest
+        // unacknowledged packet.
+        l.backoff = std::min(l.backoff + 1, _inj.spec().backoffCap);
+        l.resend = 0;
+        armTimer(li);
+        pump();
+    });
+}
+
+void
+Channel::cancelTimer(std::size_t li)
+{
+    LaneState &ls = _ls[li];
+    ++ls.timerGen;
+    ls.timerArmed = false;
+    ls.backoff = 0;
+}
+
+void
+Channel::failEntry(std::size_t li, std::size_t pos)
+{
+    LaneState &ls = _ls[li];
+    Packet pkt = std::move(ls.unacked[pos].pkt);
+    ls.unacked.erase(ls.unacked.begin() +
+                     static_cast<std::ptrdiff_t>(pos));
+    if (ls.resend > pos)
+        --ls.resend;
+    ++_wireFailures;
+    warn("%s: giving up on %s after %u retries", _name.c_str(),
+         pkt.toString().c_str(), _inj.spec().maxRetries);
+    if (ls.unacked.empty())
+        cancelTimer(li);
+    if (_failHandler) {
+        // Deferred: the handler drains counters and may wake programs
+        // that inject new traffic, which must not re-enter a pump that is
+        // mid-iteration.
+        schedule(0, [this, p = std::move(pkt)]() mutable {
+            _failHandler(std::move(p));
+        });
+    }
+}
+
+void
+Channel::failFast()
+{
+    // The link has been administratively down past the deadline: fail
+    // everything queued or awaiting acknowledgement so in-flight
+    // operations complete with a visible error instead of waiting out
+    // the outage.
+    for (std::size_t li = 0; li < _lanes.size(); ++li) {
+        LaneState &ls = _ls[li];
+        while (!ls.unacked.empty())
+            failEntry(li, 0);
+        ls.resend = 0;
+        while (!_lanes[li].up->empty()) {
+            Packet pkt = _lanes[li].up->pop();
+            ++_wireFailures;
+            warn("%s: link down past deadline, failing %s", _name.c_str(),
+                 pkt.toString().c_str());
+            if (_failHandler) {
+                schedule(0, [this, p = std::move(pkt)]() mutable {
+                    _failHandler(std::move(p));
+                });
+            }
+        }
+    }
 }
 
 double

@@ -142,6 +142,55 @@ Network::switchForwarded() const
     return total;
 }
 
+void
+Network::setFailureHandler(Channel::FailureHandler h)
+{
+    // Channels share the handler; wrap it so each channel's copy routes
+    // through the same callable.
+    auto shared = std::make_shared<Channel::FailureHandler>(std::move(h));
+    for (auto &ch : _channels) {
+        ch->setFailureHandler([shared](Packet &&pkt) {
+            (*shared)(std::move(pkt));
+        });
+    }
+}
+
+std::uint64_t
+Network::corruptions() const
+{
+    std::uint64_t total = 0;
+    for (const auto &ch : _channels)
+        total += ch->corruptions();
+    return total;
+}
+
+std::uint64_t
+Network::retransmissions() const
+{
+    std::uint64_t total = 0;
+    for (const auto &ch : _channels)
+        total += ch->retransmissions();
+    return total;
+}
+
+std::uint64_t
+Network::duplicateDiscards() const
+{
+    std::uint64_t total = 0;
+    for (const auto &ch : _channels)
+        total += ch->duplicateDiscards();
+    return total;
+}
+
+std::uint64_t
+Network::wireFailures() const
+{
+    std::uint64_t total = 0;
+    for (const auto &ch : _channels)
+        total += ch->wireFailures();
+    return total;
+}
+
 std::size_t
 Network::hops(NodeId a, NodeId b) const
 {

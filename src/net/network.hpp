@@ -53,6 +53,27 @@ class Network : public SimObject
     /** Number of hops between two nodes (for analytical latency checks). */
     std::size_t hops(NodeId a, NodeId b) const;
 
+    /** Install @p h on every channel: called with each packet the
+     *  reliability layer permanently failed to deliver. */
+    void setFailureHandler(Channel::FailureHandler h);
+
+    // ------------------------------------------------------------------
+    // Reliability-layer statistics aggregated over all channels (all
+    // zero when the fault model is inert)
+    // ------------------------------------------------------------------
+
+    /** CRC-failed arrivals discarded, all links. */
+    std::uint64_t corruptions() const;
+
+    /** Link-level retransmissions, all links. */
+    std::uint64_t retransmissions() const;
+
+    /** Duplicate arrivals discarded, all links. */
+    std::uint64_t duplicateDiscards() const;
+
+    /** Packets permanently failed by the links, all links. */
+    std::uint64_t wireFailures() const;
+
   private:
     void buildRoutes();
     /** Trunk direction from switch s towards switch t: +1 right, -1 left. */

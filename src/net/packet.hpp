@@ -74,12 +74,33 @@ struct Packet
     std::uint64_t ticket = 0;  ///< requester-side matching ticket
     std::uint32_t payloadBytes = 8; ///< payload size for serialization
 
+    // ------------------------------------------------------------------
+    // Link-level reliability (set per hop by net::Channel when the fault
+    // model is active; both live inside the existing header budget)
+    // ------------------------------------------------------------------
+    /** Go-back-N sequence number on the current link hop. */
+    std::uint64_t lseq = 0;
+    /** CRC over header + payload as computed by the hop's sender. */
+    std::uint32_t crc = 0;
+    /** True when the injecting HIB charged this packet to its
+     *  outstanding-operation counter (fence conservation on loss). */
+    bool tracked = false;
+
     /** Bulk word data for CopyData / PageData transfers.  Shared so that
      *  copying packets through queues stays cheap. */
     std::shared_ptr<std::vector<Word>> bulk;
 
     /** Total wire size (header + payload) given header size @p hdr. */
     std::uint32_t wireBytes(std::uint32_t hdr) const { return hdr + payloadBytes; }
+
+    /**
+     * CRC-32C over every end-to-end field and the bulk payload (lseq and
+     * the stored crc itself are excluded: lseq is protected implicitly by
+     * the go-back-N window, and a corrupted lseq shows up as an
+     * out-of-window discard).  A wire bit flip makes the recomputed value
+     * disagree with the stored one.
+     */
+    std::uint32_t computeCrc() const;
 
     /** Human-readable form for traces. */
     std::string toString() const;

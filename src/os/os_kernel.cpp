@@ -36,6 +36,16 @@ OsKernel::setAlarmPolicy(AlarmPolicy policy)
 }
 
 void
+OsKernel::onWireFailure(const net::Packet &pkt)
+{
+    // Pure accounting: the handler's interrupt cost is not charged, so
+    // the counter is observable regardless of when the run stops.
+    ++_linkFailIrqs;
+    Trace::log(now(), "os", "%s link-failure interrupt: %s", _name.c_str(),
+               pkt.toString().c_str());
+}
+
+void
 OsKernel::handleFault(VAddr va, bool is_write, std::function<void()> retry,
                       std::function<void(std::string)> kill)
 {

@@ -19,10 +19,74 @@
 #define TELEGRAPHOS_SIM_CONFIG_HPP
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "sim/types.hpp"
 
 namespace tg {
+
+/** One scheduled administrative link outage: down in [from, until). */
+struct FaultWindow
+{
+    Tick from = 0;
+    Tick until = 0;
+};
+
+/**
+ * Fault model of the ribbon-cable links plus the link-level reliability
+ * protocol that recovers from it (DESIGN.md, "Fault model & reliability
+ * protocol").
+ *
+ * All probabilities are per packet transmission on one link hop, drawn
+ * from a per-link RNG that is a pure function of Config::seed and the
+ * link name — fault runs replay bit-identically.  The default spec is
+ * inert: enabled() is false and every link uses the original zero-cost
+ * fast path, preserving the paper's latency calibration exactly.
+ */
+struct FaultSpec
+{
+    /** Probability a transmission arrives with a flipped payload bit
+     *  (detected by the receiver's CRC check). */
+    double bitErrorRate = 0;
+    /** Probability a transmission vanishes on the wire. */
+    double dropRate = 0;
+    /** Probability a transmission is delivered twice. */
+    double duplicateRate = 0;
+    /** Scheduled link-down/up windows (administrative outages). */
+    std::vector<FaultWindow> downWindows;
+    /** Restrict faults to links whose name contains this substring
+     *  (empty: faults apply to every link).  The reliability protocol
+     *  itself engages on every link whenever the spec is enabled. */
+    std::string linkFilter;
+
+    // ------------------------------------------------------------------
+    // Reliability protocol (go-back-N), active when enabled()
+    // ------------------------------------------------------------------
+    /** Sender window: max unacknowledged packets per lane. */
+    std::uint32_t windowPackets = 16;
+    /** Base retransmit timeout before exponential backoff (ticks). */
+    Tick retryTimeout = 20'000;
+    /** Backoff doublings cap: timeout <= retryTimeout << backoffCap. */
+    std::uint32_t backoffCap = 6;
+    /** Retransmit budget per packet; one more failure is permanent. */
+    std::uint32_t maxRetries = 8;
+    /** A link administratively down longer than this fails queued and
+     *  unacknowledged traffic immediately (visible-error failover path)
+     *  instead of letting it ride out the retry budget. */
+    Tick linkDownDeadline = 2'000'000;
+
+    /** True when any fault can ever occur under this spec. */
+    bool
+    enabled() const
+    {
+        return bitErrorRate > 0 || dropRate > 0 || duplicateRate > 0 ||
+               !downWindows.empty();
+    }
+
+    /** Sanity checks; fatal() on nonsense.  Called by Config::validate. */
+    void validate() const;
+};
 
 /** Which hardware prototype is modelled (section 2.2.4 of the paper). */
 enum class Prototype
@@ -165,6 +229,12 @@ struct Config
     Tick osInterrupt = 10'000;
     /** Entering/leaving a PAL-code sequence (Telegraphos I launch path). */
     Tick palCall = 600;
+
+    // ------------------------------------------------------------------
+    // Fault injection & link-level reliability
+    // ------------------------------------------------------------------
+    /** Link fault model; inert by default (perfectly reliable wires). */
+    FaultSpec fault;
 
     // ------------------------------------------------------------------
     // Misc

@@ -5,6 +5,30 @@
 namespace tg {
 
 void
+FaultSpec::validate() const
+{
+    auto rate = [](const char *what, double p) {
+        if (p < 0 || p > 1)
+            fatal("fault.%s must be a probability in [0,1] (got %g)", what,
+                  p);
+    };
+    rate("bitErrorRate", bitErrorRate);
+    rate("dropRate", dropRate);
+    rate("duplicateRate", duplicateRate);
+    for (const auto &w : downWindows) {
+        if (w.until <= w.from)
+            fatal("fault.downWindows: window [%llu, %llu) is empty",
+                  (unsigned long long)w.from, (unsigned long long)w.until);
+    }
+    if (windowPackets == 0)
+        fatal("fault.windowPackets must be >= 1");
+    if (retryTimeout == 0)
+        fatal("fault.retryTimeout must be positive");
+    if (linkDownDeadline == 0)
+        fatal("fault.linkDownDeadline must be positive");
+}
+
+void
 Config::validate() const
 {
     if (pageBytes == 0 || (pageBytes & (pageBytes - 1)) != 0)
@@ -25,6 +49,7 @@ Config::validate() const
         fatal("tlbEntries must be >= 1");
     if (hibContexts == 0)
         fatal("hibContexts must be >= 1");
+    fault.validate();
 }
 
 System::System(const Config &cfg) : _config(cfg), _rng(cfg.seed)

@@ -36,13 +36,14 @@ struct Fingerprint
 };
 
 Fingerprint
-runOnce(std::uint64_t seed)
+runOnce(std::uint64_t seed, FaultSpec fault = {})
 {
     ClusterSpec spec;
     spec.topology.kind = net::TopologyKind::Chain;
     spec.topology.nodes = 4;
     spec.topology.nodesPerSwitch = 2;
     spec.config.seed = seed;
+    spec.config.fault = std::move(fault);
     Cluster c(spec);
 
     Segment &shared = c.allocShared("s", 8192, 0);
@@ -92,6 +93,30 @@ TEST(Determinism, DifferentSeedDifferentSchedule)
     const Fingerprint a = runOnce(42);
     const Fingerprint b = runOnce(43);
     // Different seeds randomize the workloads: something must differ.
+    EXPECT_FALSE(a == b);
+}
+
+TEST(Determinism, FaultedSameSeedSameUniverse)
+{
+    // The full reliability machinery — injected corruption, drops,
+    // duplicates, retransmissions — must replay bit-identically too.
+    FaultSpec f;
+    f.bitErrorRate = 1e-3;
+    f.dropRate = 1e-3;
+    f.duplicateRate = 1e-3;
+    const Fingerprint a = runOnce(7, f);
+    const Fingerprint b = runOnce(7, f);
+    EXPECT_TRUE(a == b);
+    EXPECT_GT(a.events, 0u);
+    EXPECT_GT(a.packets, 0u);
+}
+
+TEST(Determinism, FaultedDifferentSeedDiverges)
+{
+    FaultSpec f;
+    f.dropRate = 5e-3;
+    const Fingerprint a = runOnce(7, f);
+    const Fingerprint b = runOnce(8, f);
     EXPECT_FALSE(a == b);
 }
 

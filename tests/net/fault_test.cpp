@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Fault injection + link-level reliability tests: deterministic injector
+ * streams, recovery from corruption/loss/duplication, administrative
+ * link-down windows, retry-budget exhaustion, and the end-to-end error
+ * path through the cluster (counter conservation, Ctx::lastError).
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "api/cluster.hpp"
+#include "api/context.hpp"
+#include "api/segment.hpp"
+#include "net/fault.hpp"
+#include "net/link.hpp"
+#include "sim/system.hpp"
+
+namespace tg::net {
+namespace {
+
+// ---------------------------------------------------------------------
+// FaultInjector
+// ---------------------------------------------------------------------
+
+TEST(FaultInjector, SameSeedSameLinkSameDecisions)
+{
+    FaultSpec spec;
+    spec.dropRate = 0.3;
+    spec.bitErrorRate = 0.2;
+    FaultInjector a(spec, 42, "net.up0");
+    FaultInjector b(spec, 42, "net.up0");
+    for (int i = 0; i < 200; ++i) {
+        EXPECT_EQ(a.dropNow(), b.dropNow());
+        EXPECT_EQ(a.corruptNow(), b.corruptNow());
+    }
+}
+
+TEST(FaultInjector, DifferentLinksIndependentStreams)
+{
+    FaultSpec spec;
+    spec.dropRate = 0.5;
+    FaultInjector a(spec, 42, "net.up0");
+    FaultInjector b(spec, 42, "net.up1");
+    int differ = 0;
+    for (int i = 0; i < 200; ++i) {
+        if (a.dropNow() != b.dropNow())
+            ++differ;
+    }
+    EXPECT_GT(differ, 0);
+}
+
+TEST(FaultInjector, LinkFilterRestrictsActivation)
+{
+    FaultSpec spec;
+    spec.dropRate = 1.0;
+    spec.linkFilter = "trunk";
+    FaultInjector trunk(spec, 1, "net.trunk0to1");
+    FaultInjector leaf(spec, 1, "net.up0");
+    EXPECT_TRUE(trunk.active());
+    EXPECT_FALSE(leaf.active());
+}
+
+TEST(FaultInjector, DownWindowsAndDeadline)
+{
+    FaultSpec spec;
+    spec.downWindows = {{100, 200}, {150, 300}};
+    spec.linkDownDeadline = 50;
+    FaultInjector inj(spec, 1, "ch");
+    EXPECT_FALSE(inj.isDown(99));
+    EXPECT_TRUE(inj.isDown(100));
+    EXPECT_TRUE(inj.isDown(250));
+    EXPECT_FALSE(inj.isDown(300));
+    // Overlapping windows merge into one outage [100, 300).
+    EXPECT_EQ(inj.downUntil(120), 300u);
+    EXPECT_EQ(inj.downStart(250), 100u);
+    EXPECT_FALSE(inj.downPastDeadline(120));
+    EXPECT_TRUE(inj.downPastDeadline(250));
+}
+
+// ---------------------------------------------------------------------
+// Channel reliability layer
+// ---------------------------------------------------------------------
+
+class FaultChannelTest : public ::testing::Test
+{
+  protected:
+    Packet
+    mkPkt(Word v, std::uint32_t payload = 8)
+    {
+        Packet p;
+        p.value = v;
+        p.payloadBytes = payload;
+        return p;
+    }
+
+    Config
+    cfg(const FaultSpec &f, std::uint64_t seed = 42)
+    {
+        Config c;
+        c.fault = f;
+        c.seed = seed;
+        return c;
+    }
+};
+
+TEST_F(FaultChannelTest, CrcDetectsCorruptionAndRetransmits)
+{
+    FaultSpec f;
+    f.bitErrorRate = 0.2;
+    System sys(cfg(f));
+    BoundedQueue up(32), down(64);
+    Channel ch(sys, "ch", up, down, 1.0, 10);
+
+    for (Word i = 0; i < 20; ++i)
+        up.push(mkPkt(i));
+    sys.events().run();
+
+    // Every packet arrives exactly once, in order, with intact contents.
+    ASSERT_EQ(down.size(), 20u);
+    for (Word i = 0; i < 20; ++i)
+        EXPECT_EQ(down.pop().value, i);
+    EXPECT_GT(ch.corruptions(), 0u);
+    EXPECT_GT(ch.retransmissions(), 0u);
+    EXPECT_EQ(ch.wireFailures(), 0u);
+}
+
+TEST_F(FaultChannelTest, DropsAreRetransmitted)
+{
+    FaultSpec f;
+    f.dropRate = 0.25;
+    System sys(cfg(f));
+    BoundedQueue up(32), down(64);
+    Channel ch(sys, "ch", up, down, 1.0, 10);
+
+    for (Word i = 0; i < 20; ++i)
+        up.push(mkPkt(i));
+    sys.events().run();
+
+    ASSERT_EQ(down.size(), 20u);
+    for (Word i = 0; i < 20; ++i)
+        EXPECT_EQ(down.pop().value, i);
+    EXPECT_GT(ch.retransmissions(), 0u);
+    EXPECT_EQ(ch.wireFailures(), 0u);
+}
+
+TEST_F(FaultChannelTest, DuplicatesAreDiscarded)
+{
+    FaultSpec f;
+    f.duplicateRate = 1.0; // every transmission delivered twice
+    System sys(cfg(f));
+    BoundedQueue up(32), down(64);
+    Channel ch(sys, "ch", up, down, 1.0, 10);
+
+    for (Word i = 0; i < 10; ++i)
+        up.push(mkPkt(i));
+    sys.events().run();
+
+    ASSERT_EQ(down.size(), 10u);
+    for (Word i = 0; i < 10; ++i)
+        EXPECT_EQ(down.pop().value, i);
+    EXPECT_GT(ch.duplicateDiscards(), 0u);
+    EXPECT_EQ(ch.wireFailures(), 0u);
+}
+
+TEST_F(FaultChannelTest, LinkDownWindowDelaysDelivery)
+{
+    FaultSpec f;
+    f.downWindows = {{0, 5000}};
+    System sys(cfg(f));
+    BoundedQueue up(8), down(8);
+    Channel ch(sys, "ch", up, down, 1.0, 10);
+
+    up.push(mkPkt(7));
+    sys.events().run();
+
+    ASSERT_EQ(down.size(), 1u);
+    EXPECT_EQ(down.pop().value, 7u);
+    EXPECT_GE(sys.now(), 5000u); // nothing crossed during the outage
+    EXPECT_EQ(ch.wireFailures(), 0u);
+}
+
+TEST_F(FaultChannelTest, DownPastDeadlineFailsOver)
+{
+    FaultSpec f;
+    f.downWindows = {{0, 1'000'000}};
+    f.linkDownDeadline = 100;
+    System sys(cfg(f));
+    BoundedQueue up(8), down(8);
+    Channel ch(sys, "ch", up, down, 1.0, 10);
+
+    std::vector<Packet> failed;
+    ch.setFailureHandler([&](Packet &&p) { failed.push_back(std::move(p)); });
+
+    up.push(mkPkt(1));
+    up.push(mkPkt(2));
+    sys.events().runUntil(10'000);
+
+    ASSERT_EQ(failed.size(), 2u);
+    EXPECT_EQ(failed[0].value, 1u);
+    EXPECT_EQ(failed[1].value, 2u);
+    EXPECT_EQ(down.size(), 0u);
+    EXPECT_EQ(ch.wireFailures(), 2u);
+}
+
+TEST_F(FaultChannelTest, RetryBudgetExhaustionFailsPacket)
+{
+    FaultSpec f;
+    f.dropRate = 1.0; // nothing ever arrives
+    f.retryTimeout = 100;
+    f.maxRetries = 3;
+    System sys(cfg(f));
+    BoundedQueue up(8), down(8);
+    Channel ch(sys, "ch", up, down, 1.0, 10);
+
+    std::vector<Packet> failed;
+    ch.setFailureHandler([&](Packet &&p) { failed.push_back(std::move(p)); });
+
+    up.push(mkPkt(9));
+    sys.events().run();
+
+    ASSERT_EQ(failed.size(), 1u);
+    EXPECT_EQ(failed[0].value, 9u);
+    EXPECT_EQ(ch.wireFailures(), 1u);
+    EXPECT_EQ(down.size(), 0u);
+}
+
+TEST_F(FaultChannelTest, StatsAreDeterministic)
+{
+    FaultSpec f;
+    f.bitErrorRate = 0.1;
+    f.dropRate = 0.1;
+    f.duplicateRate = 0.1;
+
+    auto runOnce = [&](std::uint64_t seed) {
+        System sys(cfg(f, seed));
+        BoundedQueue up(32), down(64);
+        Channel ch(sys, "ch", up, down, 1.0, 10);
+        for (Word i = 0; i < 30; ++i)
+            up.push(mkPkt(i));
+        sys.events().run();
+        return std::tuple{ch.corruptions(), ch.retransmissions(),
+                          ch.duplicateDiscards(), sys.now(), down.size()};
+    };
+
+    EXPECT_EQ(runOnce(7), runOnce(7));
+    EXPECT_NE(runOnce(7), runOnce(8));
+}
+
+// ---------------------------------------------------------------------
+// End-to-end error path through the cluster
+// ---------------------------------------------------------------------
+
+TEST(FaultCluster, LossyLinkStillCompletesAllOps)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 2;
+    spec.config.fault.dropRate = 0.05;
+    spec.config.fault.bitErrorRate = 0.05;
+    Cluster c(spec);
+    Segment &seg = c.allocShared("s", 8192, 0);
+
+    bool finished = false;
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        for (Word i = 0; i < 50; ++i)
+            co_await ctx.write(seg.word(i % 8), i);
+        co_await ctx.fence();
+        finished = true;
+    });
+    c.run(10'000'000'000ULL);
+
+    EXPECT_TRUE(finished);
+    EXPECT_TRUE(c.allDone());
+    // Conservation: the fence drained, so nothing is outstanding.
+    EXPECT_EQ(c.hibOf(1).outstanding().current(), 0u);
+    EXPECT_GT(c.network().retransmissions(), 0u);
+}
+
+TEST(FaultCluster, BudgetExhaustionSurfacesAsCtxError)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 2;
+    spec.config.fault.dropRate = 1.0; // every transfer lost
+    spec.config.fault.linkFilter = "up1"; // only node 1's egress link
+    spec.config.fault.retryTimeout = 1000;
+    spec.config.fault.maxRetries = 2;
+    Cluster c(spec);
+    Segment &seg = c.allocShared("s", 8192, 0);
+
+    OpError err = OpError::None;
+    bool finished = false;
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        co_await ctx.write(seg.word(0), 1);
+        co_await ctx.fence();
+        err = ctx.lastError();
+        finished = true;
+    });
+    c.run(10'000'000'000ULL);
+
+    // The write was lost for good — but the fence still drained and the
+    // failure is visible instead of silent.
+    EXPECT_TRUE(finished);
+    EXPECT_EQ(err, OpError::LinkFailure);
+    EXPECT_EQ(c.hibOf(1).outstanding().current(), 0u);
+    EXPECT_GT(c.network().wireFailures(), 0u);
+    EXPECT_GT(c.hibOf(1).wireFailures(), 0u);
+    EXPECT_GT(c.os(1).linkFailureInterrupts(), 0u);
+}
+
+TEST(FaultCluster, LostReadUnblocksWithError)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 2;
+    spec.config.fault.dropRate = 1.0;
+    spec.config.fault.linkFilter = "down0"; // replies towards node 0 die
+    spec.config.fault.retryTimeout = 1000;
+    spec.config.fault.maxRetries = 2;
+    Cluster c(spec);
+    Segment &seg = c.allocShared("s", 8192, 1);
+
+    bool finished = false;
+    Word got = 1234;
+    c.spawn(0, [&](Ctx &ctx) -> Task<void> {
+        got = co_await ctx.read(seg.word(0));
+        finished = true;
+    });
+    c.run(10'000'000'000ULL);
+
+    // The blocked CPU unblocked (with the error value 0) instead of
+    // hanging forever on a reply that will never come.
+    EXPECT_TRUE(finished);
+    EXPECT_EQ(got, 0u);
+}
+
+TEST(FaultCluster, InertSpecKeepsFastPath)
+{
+    ClusterSpec spec;
+    spec.topology.nodes = 2;
+    // All-zero FaultSpec: enabled() is false, stats stay unregistered.
+    ASSERT_FALSE(spec.config.fault.enabled());
+    Cluster c(spec);
+    Segment &seg = c.allocShared("s", 8192, 0);
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        co_await ctx.write(seg.word(0), 1);
+        co_await ctx.fence();
+    });
+    c.run(10'000'000'000ULL);
+    EXPECT_EQ(c.network().retransmissions(), 0u);
+    EXPECT_EQ(c.network().wireFailures(), 0u);
+}
+
+TEST(FaultSpecValidate, RejectsBadRates)
+{
+    FaultSpec f;
+    f.dropRate = 1.5;
+    EXPECT_DEATH(f.validate(), "probability");
+}
+
+} // namespace
+} // namespace tg::net
