@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Cluster implementation: builds the machine room (nodes,
+ * HIBs, network, directory, protocols), spawns programs and runs the
+ * simulation to completion.
+ */
+
 #include "api/cluster.hpp"
 
 #include "api/context.hpp"

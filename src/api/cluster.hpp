@@ -146,6 +146,31 @@ class Cluster : public coherence::Fabric
     /** Register a write-observation hook (tests/benches). */
     void observeWrites(std::function<void(const coherence::ApplyEvent &)> cb);
 
+    // ------------------------------------------------------------------
+    // Audit layer (DESIGN.md section 7)
+    // ------------------------------------------------------------------
+
+    /**
+     * FNV-1a digest of the run so far: every fired event plus every
+     * packet crossing a HIB boundary.  Two same-seed runs of the same
+     * program must produce equal digests — the determinism contract.
+     */
+    std::uint64_t traceHash() const { return _sys->events().trace().value(); }
+
+    /** Words folded into the trace hash (sanity: must be > 0 after run). */
+    std::uint64_t traceLength() const { return _sys->events().trace().mixed(); }
+
+    /**
+     * Packet-conservation check for a finished (quiescent) run: every
+     * injected packet was delivered or visibly dropped.  @return true
+     * when conserved; otherwise false with the imbalance in @p why.
+     */
+    bool
+    auditQuiescent(std::string *why = nullptr) const
+    {
+        return _sys->ledger().quiescent(why);
+    }
+
     /**
      * Write a structured end-of-run statistics report: per-node CPU,
      * cache, TLB, TurboChannel and HIB counters plus network totals.

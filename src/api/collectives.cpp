@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Collective operations (barrier, broadcast, reduction)
+ * built from Telegraphos special ops.
+ */
+
 #include "api/collectives.hpp"
 
 #include <algorithm>

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Ctx implementation: per-thread handle issuing remote
+ * reads/writes/atomics and fences through the node's HIB.
+ */
+
 #include "api/context.hpp"
 
 #include "api/cluster.hpp"

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Measurement helpers: latency tables and reporting in the
+ * paper's units.
+ */
+
 #include "api/measure.hpp"
 
 #include <cstdio>

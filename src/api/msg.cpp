@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Message-passing layer built on remote writes (send/receive
+ * mailboxes).
+ */
+
 #include "api/msg.hpp"
 
 namespace tg {

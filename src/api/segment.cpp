@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Segment implementation: shared-memory allocation,
+ * replication and peek/poke debugging access.
+ */
+
 #include "api/segment.hpp"
 
 #include "api/cluster.hpp"

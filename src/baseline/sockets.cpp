@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Socket-based message-passing baseline (OS trap +
+ * software protocol costs).
+ */
+
 #include "baseline/sockets.hpp"
 
 namespace tg::baseline {

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Virtual shared memory baseline: page-fault driven
+ * software DSM a la Li/Hudak.
+ */
+
 #include "baseline/vsm.hpp"
 
 #include "node/address.hpp"

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Shared-page directory implementation
+ * (see directory.hpp).
+ */
+
 #include "coherence/directory.hpp"
 
 namespace tg::coherence {

@@ -22,7 +22,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/sim_object.hpp"
@@ -124,8 +123,10 @@ class Directory : public SimObject
     PAddr pageOf(PAddr addr) const { return addr - (addr % pageBytes()); }
 
   private:
-    std::unordered_map<PAddr, std::unique_ptr<PageEntry>> _byHome;
-    std::unordered_map<PAddr, PageEntry *> _byFrame;
+    // Ordered maps by contract (DESIGN.md section 7): any future walk
+    // over directory state must enumerate pages deterministically.
+    std::map<PAddr, std::unique_ptr<PageEntry>> _byHome;
+    std::map<PAddr, PageEntry *> _byFrame;
     std::vector<std::function<void(const ApplyEvent &)>> _observers;
 };
 

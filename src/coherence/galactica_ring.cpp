@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Galactica Net style ring-update protocol
+ * with back-off (paper section 2.4).
+ */
+
 #include "coherence/galactica_ring.hpp"
 
 #include <algorithm>

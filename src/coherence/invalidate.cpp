@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Page-level invalidation protocol.
+ */
+
 #include "coherence/invalidate.hpp"
 
 #include <vector>

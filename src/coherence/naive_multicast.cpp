@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Naive eager-multicast protocol (figure 2
+ * inconsistency demonstrator).
+ */
+
 #include "coherence/naive_multicast.hpp"
 
 #include "hib/hib.hpp"

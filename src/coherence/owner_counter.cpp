@@ -1,3 +1,9 @@
+/**
+ * @file
+ * The paper's owner + pending-counter update
+ * protocol (section 2.3).
+ */
+
 #include "coherence/owner_counter.hpp"
 
 #include "hib/hib.hpp"

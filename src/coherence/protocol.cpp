@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Protocol base class plumbing shared by every
+ * coherence scheme.
+ */
+
 #include "coherence/protocol.hpp"
 
 #include "hib/hib.hpp"

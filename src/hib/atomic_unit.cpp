@@ -1,3 +1,9 @@
+/**
+ * @file
+ * HIB atomic unit: remote fetch&inc / compare&swap
+ * read-modify-write engine.
+ */
+
 #include "hib/atomic_unit.hpp"
 
 namespace tg::hib {

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Pending-write counter cache (section 2.3.4): CAM of
+ * in-flight update counters with stall-on-full semantics.
+ */
+
 #include "hib/counter_cache.hpp"
 
 namespace tg::hib {

@@ -20,7 +20,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <unordered_map>
+#include <map>
 
 #include "sim/sim_object.hpp"
 
@@ -69,7 +69,7 @@ class CounterCache : public SimObject
     void grant(PAddr word_addr, std::function<void()> granted);
 
     std::uint32_t _capacity;
-    std::unordered_map<PAddr, std::uint32_t> _counters;
+    std::map<PAddr, std::uint32_t> _counters;
     std::deque<Waiter> _waiters;
     std::uint64_t _stalls = 0;
     Tick _stallTicks = 0;

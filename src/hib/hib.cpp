@@ -1,10 +1,32 @@
+/**
+ * @file
+ * Host Interface Board implementation: egress/ingress packet
+ * paths, special operations and reply matching.
+ */
+
 #include "hib/hib.hpp"
 
 #include "coherence/directory.hpp"
 #include "coherence/protocol.hpp"
 #include "node/address.hpp"
+#include "sim/invariant.hpp"
 
 namespace tg::hib {
+
+namespace {
+
+/** Fold a packet's end-to-end identity into the run's trace hash. */
+void
+mixPacket(audit::TraceHash &h, const net::Packet &pkt)
+{
+    h.mix((std::uint64_t)pkt.type << 32 | (std::uint64_t)pkt.src << 16 |
+          pkt.dst);
+    h.mix(pkt.addr);
+    h.mix(pkt.value);
+    h.mix(pkt.ticket);
+}
+
+} // namespace
 
 using net::Packet;
 using net::PacketType;
@@ -58,6 +80,8 @@ Hib::inject(Packet &&pkt, bool track)
     pkt.tracked = track;
     if (track)
         _outstanding.add();
+    system().ledger().onInjected();
+    mixPacket(system().events().trace(), pkt);
     Trace::log(now(), "hib", "%s inject %s", _name.c_str(),
                pkt.toString().c_str());
     // The backlog models the HIB's internal queueing: writes are latched
@@ -399,6 +423,8 @@ Hib::pumpIngress()
     schedule(config().hibService, [this] {
         Packet pkt = _ingress.pop();
         ++_handled;
+        system().ledger().onDelivered();
+        mixPacket(system().events().trace(), pkt);
         Trace::log(now(), "hib", "%s handle %s", _name.c_str(),
                    pkt.toString().c_str());
         handlePacket(std::move(pkt), [this] {
@@ -476,6 +502,10 @@ void
 Hib::onWireFailure(const Packet &pkt)
 {
     ++_wireFailures;
+    // Ledger accounting happens at HIB boundaries only (injected at
+    // inject(), delivered at ingress pop): a permanently lost packet is
+    // "dropped" once its loss is routed to the victim HIB here.
+    system().ledger().onDropped();
     warn("%s: wire failure victim of lost %s", _name.c_str(),
          pkt.toString().c_str());
 

@@ -28,7 +28,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <unordered_map>
+#include <map>
 
 #include "hib/atomic_unit.hpp"
 #include "hib/counter_cache.hpp"
@@ -240,8 +240,10 @@ class Hib : public SimObject, public net::NodeEndpoint
     std::function<void(PAddr, bool)> _alarmHandler;
     std::vector<std::function<bool(const net::Packet &)>> _softwareHandlers;
 
-    std::unordered_map<std::uint64_t, OnWord> _pendingReplies;
-    std::unordered_map<std::uint64_t, OnDone> _copyDone;
+    // Ordered maps by contract: hib is an order-sensitive namespace
+    // (DESIGN.md section 7) and iteration must be deterministic.
+    std::map<std::uint64_t, OnWord> _pendingReplies;
+    std::map<std::uint64_t, OnDone> _copyDone;
     std::uint64_t _nextTicket = 1;
     std::uint64_t _nextSeq = 1;
     std::uint64_t _handled = 0;

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Multicast (eager-sharing) table implementation.
+ */
+
 #include "hib/multicast_unit.hpp"
 
 namespace tg::hib {

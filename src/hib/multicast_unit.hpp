@@ -12,7 +12,7 @@
 #define TELEGRAPHOS_HIB_MULTICAST_UNIT_HPP
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "sim/sim_object.hpp"
@@ -49,7 +49,7 @@ class MulticastUnit : public SimObject
     std::size_t used() const { return _used; }
 
   private:
-    std::unordered_map<PAddr, std::vector<McastDest>> _table;
+    std::map<PAddr, std::vector<McastDest>> _table;
     std::size_t _used = 0;
 };
 

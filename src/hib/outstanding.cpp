@@ -1,4 +1,11 @@
+/**
+ * @file
+ * Outstanding-operation counter + fence waiter queue.
+ */
+
 #include "hib/outstanding.hpp"
+
+#include "sim/invariant.hpp"
 
 namespace tg::hib {
 
@@ -24,6 +31,13 @@ Outstanding::complete(std::uint64_t n)
               _name.c_str(), (unsigned long long)n,
               (unsigned long long)_current);
     _current -= n;
+    // Conservation: every op ever tracked is outstanding, completed or
+    // lost; the counter can never exceed what was launched.
+    TG_AUDIT(_current + _lost <= _total,
+             "%s: outstanding conservation violated: current=%llu lost=%llu "
+             "total=%llu",
+             _name.c_str(), (unsigned long long)_current,
+             (unsigned long long)_lost, (unsigned long long)_total);
     wakeWaiters();
 }
 

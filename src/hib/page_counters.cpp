@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Per-page access counters with alarm thresholds
+ * (section 2.2.6).
+ */
+
 #include "hib/page_counters.hpp"
 
 namespace tg::hib {

@@ -13,7 +13,7 @@
 #define TELEGRAPHOS_HIB_PAGE_COUNTERS_HPP
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 
 #include "sim/sim_object.hpp"
 
@@ -55,7 +55,7 @@ class PageCounters : public SimObject
     std::uint64_t alarms() const { return _alarms; }
 
   private:
-    std::unordered_map<PAddr, Counters> _pages;
+    std::map<PAddr, Counters> _pages;
     std::uint64_t _accesses = 0;
     std::uint64_t _alarms = 0;
 };

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Special-operation launch paths (PAL mode, contexts,
+ * shadow addressing).
+ */
+
 #include "hib/special_ops.hpp"
 
 namespace tg::hib {

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Hardware cost model of directory-based
+ * alternatives (Table 1 comparison).
+ */
+
 #include "hwcost/directory_cost.hpp"
 
 namespace tg::hwcost {

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Gate-count cost model of the HIB units (Table 1).
+ */
+
 #include "hwcost/gate_count.hpp"
 
 #include <cstdarg>

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Deterministic fault injector: seeded per-link bit-error,
+ * drop, duplication and down-window decisions.
+ */
+
 #include "net/fault.hpp"
 
 namespace tg::net {

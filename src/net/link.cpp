@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Channel implementation: serialization, propagation,
+ * round-robin VC arbitration and the go-back-N reliability layer.
+ */
+
 #include "net/link.hpp"
 
 #include <algorithm>
@@ -44,6 +50,10 @@ Channel::Channel(System &sys, const std::string &name,
 Tick
 Channel::serTicks(std::uint32_t wire_bytes) const
 {
+    // Bandwidth is configured in (fractional) bytes per tick; ceil keeps
+    // the serialization time integral and pessimistic, and IEEE division
+    // of exact integers is bit-identical across platforms.
+    // tglint: allow(tick-float)
     return static_cast<Tick>(
         std::ceil(static_cast<double>(wire_bytes) / _bw));
 }

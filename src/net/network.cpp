@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Network implementation: topology construction, routing
+ * tables and node attachment.
+ */
+
 #include "net/network.hpp"
 
 #include <cstdlib>

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Packet helpers: wire sizing, CRC and pretty-printing.
+ */
+
 #include "net/packet.hpp"
 
 #include <cstdio>

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "sim/invariant.hpp"
 #include "sim/log.hpp"
 
 namespace tg::net {
@@ -54,6 +55,9 @@ class BoundedQueue
         if (full())
             return false;
         ++_reserved;
+        TG_AUDIT(_q.size() + _reserved <= _capacity,
+                 "credit overcommit: %zu queued + %zu reserved > %zu slots",
+                 _q.size(), _reserved, _capacity);
         return true;
     }
 
@@ -64,7 +68,7 @@ class BoundedQueue
         if (_reserved == 0)
             panic("cancelReservation with no reservation");
         --_reserved;
-        notify(_on_space);
+        notify(_onSpace);
     }
 
     /** Fill a previously reserved slot. */
@@ -75,7 +79,10 @@ class BoundedQueue
             panic("pushReserved with no reservation");
         --_reserved;
         _q.push_back(std::move(p));
-        notify(_on_data);
+        TG_AUDIT(_q.size() + _reserved <= _capacity,
+                 "credit overcommit: %zu queued + %zu reserved > %zu slots",
+                 _q.size(), _reserved, _capacity);
+        notify(_onData);
     }
 
     /** Push without prior reservation (panics when full). */
@@ -85,7 +92,10 @@ class BoundedQueue
         if (full())
             panic("push into full queue");
         _q.push_back(std::move(p));
-        notify(_on_data);
+        TG_AUDIT(_q.size() + _reserved <= _capacity,
+                 "credit overcommit: %zu queued + %zu reserved > %zu slots",
+                 _q.size(), _reserved, _capacity);
+        notify(_onData);
     }
 
     /** Front packet (queue must be non-empty). */
@@ -105,15 +115,15 @@ class BoundedQueue
             panic("pop of empty queue");
         Packet p = std::move(_q.front());
         _q.pop_front();
-        notify(_on_space);
+        notify(_onSpace);
         return p;
     }
 
     /** Subscribe to "a packet was enqueued". */
-    void onData(Listener l) { _on_data.push_back(std::move(l)); }
+    void onData(Listener l) { _onData.push_back(std::move(l)); }
 
     /** Subscribe to "a slot was freed". */
-    void onSpace(Listener l) { _on_space.push_back(std::move(l)); }
+    void onSpace(Listener l) { _onSpace.push_back(std::move(l)); }
 
   private:
     void
@@ -126,8 +136,8 @@ class BoundedQueue
     std::size_t _capacity;
     std::size_t _reserved = 0;
     std::deque<Packet> _q;
-    std::vector<Listener> _on_data;
-    std::vector<Listener> _on_space;
+    std::vector<Listener> _onData;
+    std::vector<Listener> _onSpace;
 };
 
 } // namespace tg::net

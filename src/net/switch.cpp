@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Cut-through switch with shared-buffer output queues.
+ */
+
 #include "net/switch.hpp"
 
 namespace tg::net {

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Topology specifications (chain, ring, star) and their
+ * validation.
+ */
+
 #include "net/topology.hpp"
 
 #include <cstdio>

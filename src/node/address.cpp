@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Global physical address helpers (node/offset packing,
+ * shadow flag).
+ */
+
 #include "node/address.hpp"
 
 #include <cstdio>

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Direct-mapped data cache model.
+ */
+
 #include "node/cache.hpp"
 
 namespace tg::node {

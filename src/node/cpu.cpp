@@ -1,3 +1,9 @@
+/**
+ * @file
+ * CPU model: coroutine thread scheduling, load/store issue
+ * and the uncached-store write buffer.
+ */
+
 #include "node/cpu.hpp"
 
 #include "hib/hib.hpp"

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Sparse chunked main-memory store.
+ */
+
 #include "node/main_memory.hpp"
 
 namespace tg::node {

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * MMU + TLB model: address-space page tables and refill
+ * costs.
+ */
+
 #include "node/mmu.hpp"
 
 namespace tg::node {

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * TurboChannel I/O bus model: arbitration and
+ * programmed-I/O transaction timing.
+ */
+
 #include "node/turbochannel.hpp"
 
 namespace tg::node {

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Workstation assembly: CPU + memory + MMU + HIB wired
+ * to the network endpoint.
+ */
+
 #include "node/workstation.hpp"
 
 #include "node/address.hpp"

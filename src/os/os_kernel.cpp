@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Operating-system cost model: traps, page faults,
+ * interrupts and replication services.
+ */
+
 #include "os/os_kernel.hpp"
 
 #include <cinttypes>

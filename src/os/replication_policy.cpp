@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Alarm-driven page replication policy
+ * (access-counter feedback loop).
+ */
+
 #include "os/replication_policy.hpp"
 
 namespace tg::os {

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Deterministic event queue implementation.
+ */
+
 #include "sim/event_queue.hpp"
 
 #include <utility>
@@ -22,8 +27,13 @@ EventQueue::pop_and_fire()
     // schedule further events (which may reallocate the heap).
     Entry e = std::move(const_cast<Entry &>(_heap.top()));
     _heap.pop();
+    TG_AUDIT(e.when >= _now,
+             "event queue time went backwards: firing %llu at now=%llu",
+             (unsigned long long)e.when, (unsigned long long)_now);
     _now = e.when;
     ++_executed;
+    _trace.mix(e.when);
+    _trace.mix(e.seq);
     e.cb();
 }
 

@@ -15,6 +15,7 @@
 #include <queue>
 #include <vector>
 
+#include "sim/invariant.hpp"
 #include "sim/types.hpp"
 
 namespace tg {
@@ -66,6 +67,15 @@ class EventQueue
     /** Total events executed since construction. */
     std::uint64_t executed() const { return _executed; }
 
+    /**
+     * Trace-hash accumulator over the run: every fired event mixes
+     * (when, seq); components mix packet fields at the HIB boundaries.
+     * Comparing values across two same-seed runs proves/refutes
+     * bit-for-bit determinism (DESIGN.md section 7).
+     */
+    audit::TraceHash &trace() { return _trace; }
+    const audit::TraceHash &trace() const { return _trace; }
+
   private:
     struct Entry
     {
@@ -91,6 +101,7 @@ class EventQueue
     Tick _now = 0;
     std::uint64_t _seq = 0;
     std::uint64_t _executed = 0;
+    audit::TraceHash _trace;
 };
 
 } // namespace tg

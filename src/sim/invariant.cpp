@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Audit-layer global state: the TG_AUDIT runtime gate.
+ */
+
+#include "sim/invariant.hpp"
+
+namespace tg::audit {
+
+namespace {
+bool g_enabled = true;
+} // namespace
+
+bool
+enabled()
+{
+    return g_enabled;
+}
+
+void
+setEnabled(bool on)
+{
+    g_enabled = on;
+}
+
+} // namespace tg::audit

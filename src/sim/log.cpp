@@ -1,3 +1,9 @@
+/**
+ * @file
+ * panic/fatal/warn/inform and the per-component trace
+ * switchboard.
+ */
+
 #include "sim/log.hpp"
 
 #include <cstdio>

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * xoshiro256** deterministic RNG implementation.
+ */
+
 #include "sim/random.hpp"
 
 #include <cmath>

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * SimObject base class plumbing.
+ */
+
 #include "sim/sim_object.hpp"
 
 #include <utility>

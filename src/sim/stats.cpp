@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Statistics registry and sampler implementations.
+ */
+
 #include "sim/stats.hpp"
 
 #include <cmath>

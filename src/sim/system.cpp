@@ -1,3 +1,8 @@
+/**
+ * @file
+ * System root object construction and validation.
+ */
+
 #include "sim/system.hpp"
 
 #include "sim/log.hpp"

@@ -12,6 +12,7 @@
 
 #include "sim/config.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/invariant.hpp"
 #include "sim/random.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
@@ -34,6 +35,10 @@ class System
     Rng &rng() { return _rng; }
     StatRegistry &stats() { return _stats; }
 
+    /** Packet conservation ledger (audit layer, DESIGN.md section 7). */
+    audit::PacketLedger &ledger() { return _ledger; }
+    const audit::PacketLedger &ledger() const { return _ledger; }
+
     Tick now() const { return _events.now(); }
 
   private:
@@ -41,6 +46,7 @@ class System
     EventQueue _events;
     Rng _rng;
     StatRegistry _stats;
+    audit::PacketLedger _ledger;
 };
 
 } // namespace tg

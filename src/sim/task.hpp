@@ -51,8 +51,8 @@ class PromiseBase
             PromiseBase &p = h.promise();
             if (p._continuation)
                 return p._continuation;
-            if (p._on_done)
-                p._on_done();
+            if (p._onDone)
+                p._onDone();
             return std::noop_coroutine();
         }
 
@@ -64,7 +64,7 @@ class PromiseBase
     void unhandled_exception() { _exception = std::current_exception(); }
 
     void setContinuation(std::coroutine_handle<> c) { _continuation = c; }
-    void setOnDone(std::function<void()> f) { _on_done = std::move(f); }
+    void setOnDone(std::function<void()> f) { _onDone = std::move(f); }
 
     void
     rethrowIfFailed()
@@ -75,7 +75,7 @@ class PromiseBase
 
   private:
     std::coroutine_handle<> _continuation;
-    std::function<void()> _on_done;
+    std::function<void()> _onDone;
     std::exception_ptr _exception;
 };
 

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Chaotic-writer workload: randomized conflicting
+ * writes to one shared page.
+ */
+
 #include "workload/chaotic.hpp"
 
 #include "api/context.hpp"

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Hot-spot synchronization workload (all nodes hammer
+ * one counter).
+ */
+
 #include "workload/hotspot.hpp"
 
 namespace tg::workload {

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Producer/consumer flag-passing workload.
+ */
+
 #include "workload/producer_consumer.hpp"
 
 #include "api/context.hpp"

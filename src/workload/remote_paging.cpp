@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Remote paging workload (paper section 4:
+ * paging over the network vs local disk).
+ */
+
 #include "workload/remote_paging.hpp"
 
 #include <deque>

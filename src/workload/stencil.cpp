@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Iterative stencil workload with boundary exchange.
+ */
+
 #include "workload/stencil.hpp"
 
 #include "api/context.hpp"

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Replay of recorded access traces.
+ */
+
 #include "workload/trace_replay.hpp"
 
 #include "api/context.hpp"

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Random remote read/write background traffic
+ * generator.
+ */
+
 #include "workload/traffic.hpp"
 
 #include "api/context.hpp"

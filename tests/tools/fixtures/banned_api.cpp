@@ -1,0 +1,21 @@
+/**
+ * @file
+ * tglint fixture: every call here is a banned source of nondeterminism.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+int
+entropy()
+{
+    int x = std::rand();                                  // banned-api
+    x += static_cast<int>(time(nullptr));                 // banned-api
+    auto t = std::chrono::system_clock::now();            // banned-api
+    (void)t;
+    const char *home = std::getenv("HOME");               // banned-api
+    (void)home;
+    std::srand(42);                                       // banned-api
+    return x;
+}

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * tglint fixture: idiomatic, fully deterministic code — zero findings.
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+using Tick = std::uint64_t;
+
+namespace tg::net {
+
+Tick
+sumOrdered(const std::map<int, Tick> &table)
+{
+    Tick sum = 0;
+    for (const auto &kv : table)
+        sum += kv.second;
+    return sum;
+}
+
+std::unique_ptr<std::vector<int>>
+makeBuffer(std::size_t n)
+{
+    return std::make_unique<std::vector<int>>(n);
+}
+
+} // namespace tg::net

@@ -1,0 +1,7 @@
+// Ordinary line comment, not a @file header: the file-doc rule fires.
+
+int
+undocumented()
+{
+    return 0;
+}

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * tglint fixture: raw new / delete outside an allocator shim.
+ */
+
+int
+leaky()
+{
+    int *p = new int(7); // raw-new
+    int v = *p;
+    delete p;            // raw-new
+    return v;
+}

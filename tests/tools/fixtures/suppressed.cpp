@@ -1,0 +1,31 @@
+/**
+ * @file
+ * tglint fixture: every hazard carries an allow() justification, so the
+ * file must lint clean.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <unordered_map>
+
+using Tick = std::uint64_t;
+
+namespace tg::net {
+
+Tick
+allSuppressed()
+{
+    // tglint: allow(banned-api)  fixture exercises same-line-above form
+    int x = std::rand();
+    Tick t = static_cast<Tick>(x * 0.5); // tglint: allow(tick-float)
+    int *p = new int(1);                 // tglint: allow(raw-new) pool shim
+    std::unordered_map<int, int> m;
+    m[1] = 2;
+    // tglint: allow(unordered-iter)  single-element table, order moot
+    for (const auto &kv : m)
+        t += kv.second;
+    delete p; // tglint: allow(raw-new)
+    return t;
+}
+
+} // namespace tg::net

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * tglint fixture: floating-point arithmetic feeding a Tick value.
+ */
+
+#include <cstdint>
+
+using Tick = std::uint64_t;
+
+Tick
+scaled(Tick base)
+{
+    Tick bad = 1.5;                          // tick-float
+    bad += static_cast<Tick>(base * 0.75);   // tick-float
+    return bad;
+}

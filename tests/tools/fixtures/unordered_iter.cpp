@@ -1,0 +1,24 @@
+/**
+ * @file
+ * tglint fixture: iterating an unordered container inside an
+ * order-sensitive namespace (tg::net).  Find-only use is fine;
+ * the range-for is the hazard.
+ */
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace tg::net {
+
+std::uint64_t
+sumAll()
+{
+    std::unordered_map<int, std::uint64_t> table;
+    table[1] = 10;
+    std::uint64_t sum = 0;
+    for (const auto &kv : table) // unordered-iter
+        sum += kv.second;
+    return sum;
+}
+
+} // namespace tg::net

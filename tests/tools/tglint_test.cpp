@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for tglint: every rule must fire on its fixture, the
+ * allow() escape hatch must silence findings, clean code must pass,
+ * and rule disabling / output rendering must behave.
+ */
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tglint.hpp"
+
+namespace {
+
+using tglint::Finding;
+using tglint::Options;
+
+std::string
+fixture(const std::string &name)
+{
+    return std::string(TGLINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::vector<Finding>
+lintFixture(const std::string &name, const Options &opts = {})
+{
+    std::vector<Finding> out;
+    EXPECT_TRUE(tglint::lintPath(fixture(name), opts, out))
+        << "fixture unreadable: " << name;
+    return out;
+}
+
+std::set<std::string>
+rulesOf(const std::vector<Finding> &fs)
+{
+    std::set<std::string> r;
+    for (const Finding &f : fs)
+        r.insert(f.rule);
+    return r;
+}
+
+TEST(TglintTest, BannedApiFixtureFires)
+{
+    auto fs = lintFixture("banned_api.cpp");
+    EXPECT_EQ(rulesOf(fs), std::set<std::string>{"banned-api"});
+    // rand, time, system_clock, getenv, srand.
+    EXPECT_EQ(fs.size(), 5u);
+}
+
+TEST(TglintTest, UnorderedIterFixtureFires)
+{
+    auto fs = lintFixture("unordered_iter.cpp");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, "unordered-iter");
+    EXPECT_NE(fs[0].message.find("table"), std::string::npos);
+}
+
+TEST(TglintTest, TickFloatFixtureFires)
+{
+    auto fs = lintFixture("tick_float.cpp");
+    EXPECT_EQ(rulesOf(fs), std::set<std::string>{"tick-float"});
+    EXPECT_EQ(fs.size(), 2u); // init form + static_cast form
+}
+
+TEST(TglintTest, RawNewFixtureFires)
+{
+    auto fs = lintFixture("raw_new.cpp");
+    EXPECT_EQ(rulesOf(fs), std::set<std::string>{"raw-new"});
+    EXPECT_EQ(fs.size(), 2u); // new + delete
+}
+
+TEST(TglintTest, FileDocFixtureFires)
+{
+    auto fs = lintFixture("file_doc.cpp");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, "file-doc");
+    EXPECT_EQ(fs[0].line, 1);
+}
+
+TEST(TglintTest, AllowCommentSuppressesEveryRule)
+{
+    // suppressed.cpp contains a banned call, a float->Tick cast, raw
+    // new/delete and an unordered range-for — each carrying an allow().
+    EXPECT_TRUE(lintFixture("suppressed.cpp").empty());
+}
+
+TEST(TglintTest, CleanFixtureIsClean)
+{
+    EXPECT_TRUE(lintFixture("clean.cpp").empty());
+}
+
+TEST(TglintTest, DisabledRuleIsSkipped)
+{
+    Options opts;
+    opts.disabledRules.push_back("banned-api");
+    EXPECT_TRUE(lintFixture("banned_api.cpp", opts).empty());
+}
+
+TEST(TglintTest, DirectoryScanCoversAllFixtures)
+{
+    std::vector<Finding> out;
+    ASSERT_TRUE(tglint::lintPath(TGLINT_FIXTURE_DIR, Options{}, out));
+    // Every rule in the catalogue is represented by some fixture finding.
+    auto seen = rulesOf(out);
+    for (const std::string &rule : tglint::allRules())
+        EXPECT_TRUE(seen.count(rule)) << "no fixture fires rule " << rule;
+    // Directory order must be deterministic: findings sorted by path.
+    EXPECT_TRUE(std::is_sorted(out.begin(), out.end(),
+                               [](const Finding &a, const Finding &b) {
+                                   return a.file < b.file ||
+                                          (a.file == b.file &&
+                                           a.line < b.line);
+                               }));
+}
+
+TEST(TglintTest, GetenvExemptPathIsAllowed)
+{
+    // The config loader is the one legal getenv site.
+    std::vector<Finding> out;
+    tglint::lintSource("src/sim/config.cpp",
+                       "/** @file config */\n"
+                       "const char *v = std::getenv(\"TG_SEED\");\n",
+                       Options{}, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(TglintTest, OrderInsensitiveNamespaceMayIterateUnordered)
+{
+    // node/ and os/ are outside the determinism contract: the same
+    // range-for that fires in tg::net must pass in tg::node.
+    std::vector<Finding> out;
+    tglint::lintSource("src/node/cache.cpp",
+                       "/** @file cache */\n"
+                       "#include <unordered_map>\n"
+                       "namespace tg::node {\n"
+                       "int f() {\n"
+                       "  std::unordered_map<int,int> m;\n"
+                       "  int s = 0;\n"
+                       "  for (auto &kv : m) s += kv.second;\n"
+                       "  return s;\n"
+                       "}\n"
+                       "}\n",
+                       Options{}, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(TglintTest, JsonOutputIsWellFormed)
+{
+    auto fs = lintFixture("raw_new.cpp");
+    std::ostringstream os;
+    tglint::printJson(fs, os);
+    const std::string j = os.str();
+    EXPECT_NE(j.find("\"count\":2"), std::string::npos);
+    EXPECT_NE(j.find("\"rule\":\"raw-new\""), std::string::npos);
+}
+
+TEST(TglintTest, HumanOutputNamesFileLineRule)
+{
+    auto fs = lintFixture("file_doc.cpp");
+    std::ostringstream os;
+    tglint::printHuman(fs, os);
+    EXPECT_NE(os.str().find("file_doc.cpp:1: [file-doc]"),
+              std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,59 @@
+#!/bin/sh
+# Verify formatting with clang-format against .clang-format.  Usage:
+#
+#   tools/check_format.sh             # check files changed vs origin/main
+#   tools/check_format.sh --all      # check the whole tree
+#   tools/check_format.sh --fix      # rewrite (changed files) in place
+#
+# Exits 0 when clean (or when clang-format is not installed — local
+# containers bake in only gcc; CI installs it), 1 on formatting drift.
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo"
+
+FMT=${CLANG_FORMAT:-clang-format}
+if ! command -v "$FMT" >/dev/null 2>&1; then
+    echo "check_format: $FMT not found; skipping (install clang-format to run locally)" >&2
+    exit 0
+fi
+
+mode=check
+scope=changed
+for arg in "$@"; do
+    case "$arg" in
+    --all) scope=all ;;
+    --fix) mode=fix ;;
+    *) echo "usage: tools/check_format.sh [--all] [--fix]" >&2; exit 2 ;;
+    esac
+done
+
+if [ "$scope" = all ]; then
+    files=$(find src tools/tglint bench tests -name '*.hpp' -o -name '*.cpp' | sort)
+else
+    base=$(git merge-base origin/main HEAD 2>/dev/null || echo "")
+    if [ -n "$base" ]; then
+        files=$(git diff --name-only --diff-filter=d "$base" -- \
+                '*.hpp' '*.cpp' | sort)
+    else
+        files=$(find src tools/tglint bench tests -name '*.hpp' -o -name '*.cpp' | sort)
+    fi
+fi
+
+[ -z "$files" ] && { echo "check_format: nothing to check"; exit 0; }
+
+if [ "$mode" = fix ]; then
+    echo "$files" | xargs "$FMT" -i
+    echo "check_format: reformatted $(echo "$files" | wc -l) file(s)"
+    exit 0
+fi
+
+status=0
+for f in $files; do
+    if ! "$FMT" --dry-run -Werror "$f" >/dev/null 2>&1; then
+        echo "check_format: needs formatting: $f" >&2
+        status=1
+    fi
+done
+[ "$status" -eq 0 ] && echo "check_format: clean"
+exit $status

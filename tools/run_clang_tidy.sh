@@ -1,0 +1,40 @@
+#!/bin/sh
+# Run clang-tidy over the simulator sources using the `tidy` CMake preset
+# (which exports compile_commands.json).  Usage:
+#
+#   tools/run_clang_tidy.sh [path ...]     # default: src tools/tglint bench
+#
+# Exits 0 when clean, 1 on findings, and 0 with a notice when clang-tidy
+# is not installed (local containers bake in only gcc; CI installs it).
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+TIDY=${CLANG_TIDY:-clang-tidy}
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+    echo "run_clang_tidy: $TIDY not found; skipping (install clang-tidy to run locally)" >&2
+    exit 0
+fi
+
+builddir="$repo/build-tidy"
+if [ ! -f "$builddir/compile_commands.json" ]; then
+    cmake --preset tidy >/dev/null
+fi
+
+if [ "$#" -gt 0 ]; then
+    paths="$*"
+else
+    paths="src tools/tglint bench"
+fi
+
+files=$(cd "$repo" && find $paths -name '*.cpp' | sort)
+
+status=0
+for f in $files; do
+    "$TIDY" -p "$builddir" --quiet "$repo/$f" || status=1
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "run_clang_tidy: clean"
+fi
+exit $status

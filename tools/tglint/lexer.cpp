@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tokenizer implementation for tglint.
+ */
+
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace tglint {
+
+namespace {
+
+/** Extract "tglint: allow(a, b)" rule slugs from one comment's text. */
+std::set<std::string>
+parseAllows(const std::string &comment)
+{
+    std::set<std::string> rules;
+    const std::string key = "tglint:";
+    std::size_t at = comment.find(key);
+    if (at == std::string::npos)
+        return rules;
+    at += key.size();
+    while (at < comment.size() && std::isspace((unsigned char)comment[at]))
+        ++at;
+    if (comment.compare(at, 5, "allow") != 0)
+        return rules;
+    at = comment.find('(', at);
+    const std::size_t end = comment.find(')', at);
+    if (at == std::string::npos || end == std::string::npos)
+        return rules;
+    std::string slug;
+    for (std::size_t i = at + 1; i <= end; ++i) {
+        const char c = i < end ? comment[i] : ',';
+        if (c == ',' || c == ')') {
+            if (!slug.empty())
+                rules.insert(slug);
+            slug.clear();
+        } else if (!std::isspace((unsigned char)c)) {
+            slug += c;
+        }
+    }
+    return rules;
+}
+
+} // namespace
+
+bool
+isFloatLiteral(const Token &t)
+{
+    if (t.kind != TokKind::Number)
+        return false;
+    const std::string &s = t.text;
+    if (s.size() > 1 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X'))
+        return s.find('p') != std::string::npos ||
+               s.find('P') != std::string::npos;
+    if (s.find('.') != std::string::npos)
+        return true;
+    if (s.find('e') != std::string::npos || s.find('E') != std::string::npos)
+        return true;
+    const char last = s.back();
+    return last == 'f' || last == 'F';
+}
+
+LexResult
+tokenize(const std::string &source)
+{
+    LexResult r;
+    const std::size_t n = source.size();
+    std::size_t i = 0;
+    int line = 1;
+    bool sawToken = false; // any token emitted yet (for hasFileDoc)
+
+    auto tokenOnLine = [&](int l) {
+        return !r.tokens.empty() && r.tokens.back().line == l;
+    };
+
+    auto recordAllows = [&](const std::string &text, int startLine,
+                            bool pureCommentLine) {
+        const std::set<std::string> rules = parseAllows(text);
+        if (rules.empty())
+            return;
+        r.allows[startLine].insert(rules.begin(), rules.end());
+        // A comment alone on its line shields the next line instead.
+        if (pureCommentLine)
+            r.allows[startLine + 1].insert(rules.begin(), rules.end());
+    };
+
+    while (i < n) {
+        const char c = source[i];
+
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace((unsigned char)c)) {
+            ++i;
+            continue;
+        }
+
+        // ---- comments -------------------------------------------------
+        if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+            const int startLine = line;
+            const bool pure = !tokenOnLine(line);
+            std::size_t j = i;
+            while (j < n && source[j] != '\n')
+                ++j;
+            recordAllows(source.substr(i, j - i), startLine, pure);
+            i = j;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+            const int startLine = line;
+            const bool pure = !tokenOnLine(line);
+            std::size_t j = i + 2;
+            while (j + 1 < n && !(source[j] == '*' && source[j + 1] == '/')) {
+                if (source[j] == '\n')
+                    ++line;
+                ++j;
+            }
+            const std::string text = source.substr(i, j + 2 - i);
+            if (!sawToken && !r.hasFileDoc)
+                r.hasFileDoc = text.find("@file") != std::string::npos;
+            recordAllows(text, startLine, pure);
+            i = j + 2 < n ? j + 2 : n;
+            continue;
+        }
+
+        // ---- string / char literals -----------------------------------
+        if (c == '"' || c == '\'') {
+            // Raw string literal: R"delim( ... )delim"
+            const bool raw = c == '"' && !r.tokens.empty() &&
+                             r.tokens.back().kind == TokKind::Ident &&
+                             r.tokens.back().is("R");
+            if (raw) {
+                r.tokens.pop_back(); // the R prefix belongs to the literal
+                std::size_t j = i + 1;
+                std::string delim;
+                while (j < n && source[j] != '(')
+                    delim += source[j++];
+                const std::string close = ")" + delim + "\"";
+                std::size_t end = source.find(close, j);
+                if (end == std::string::npos)
+                    end = n;
+                for (std::size_t k = i; k < end && k < n; ++k)
+                    if (source[k] == '\n')
+                        ++line;
+                r.tokens.push_back(Token{TokKind::Literal, "", line});
+                sawToken = true;
+                i = end == n ? n : end + close.size();
+                continue;
+            }
+            const char quote = c;
+            std::size_t j = i + 1;
+            while (j < n && source[j] != quote) {
+                if (source[j] == '\\')
+                    ++j;
+                else if (source[j] == '\n')
+                    ++line; // unterminated; tolerate
+                ++j;
+            }
+            r.tokens.push_back(Token{TokKind::Literal, "", line});
+            sawToken = true;
+            i = j < n ? j + 1 : n;
+            continue;
+        }
+
+        // ---- numbers --------------------------------------------------
+        if (std::isdigit((unsigned char)c) ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit((unsigned char)source[i + 1]))) {
+            std::size_t j = i;
+            std::string text;
+            while (j < n) {
+                const char d = source[j];
+                if (std::isalnum((unsigned char)d) || d == '.' || d == '\'') {
+                    text += d;
+                    ++j;
+                    // exponent signs: 1e-9, 0x1p+3
+                    if ((d == 'e' || d == 'E' || d == 'p' || d == 'P') &&
+                        j < n && (source[j] == '+' || source[j] == '-') &&
+                        text.size() > 1 &&
+                        !(text[0] == '0' &&
+                          (text[1] == 'x' || text[1] == 'X') &&
+                          (d == 'e' || d == 'E'))) {
+                        text += source[j++];
+                    }
+                } else {
+                    break;
+                }
+            }
+            r.tokens.push_back(Token{TokKind::Number, text, line});
+            sawToken = true;
+            i = j;
+            continue;
+        }
+
+        // ---- identifiers ----------------------------------------------
+        if (std::isalpha((unsigned char)c) || c == '_') {
+            std::size_t j = i;
+            while (j < n && (std::isalnum((unsigned char)source[j]) ||
+                             source[j] == '_'))
+                ++j;
+            r.tokens.push_back(
+                Token{TokKind::Ident, source.substr(i, j - i), line});
+            sawToken = true;
+            i = j;
+            continue;
+        }
+
+        // ---- punctuation (combine :: and -> only) ---------------------
+        if (c == ':' && i + 1 < n && source[i + 1] == ':') {
+            r.tokens.push_back(Token{TokKind::Punct, "::", line});
+            sawToken = true;
+            i += 2;
+            continue;
+        }
+        if (c == '-' && i + 1 < n && source[i + 1] == '>') {
+            r.tokens.push_back(Token{TokKind::Punct, "->", line});
+            sawToken = true;
+            i += 2;
+            continue;
+        }
+        r.tokens.push_back(Token{TokKind::Punct, std::string(1, c), line});
+        sawToken = true;
+        ++i;
+    }
+    return r;
+}
+
+} // namespace tglint

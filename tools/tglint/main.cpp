@@ -1,0 +1,72 @@
+/**
+ * @file
+ * tglint command-line driver.
+ *
+ * Usage:
+ *   tglint [--json] [--disable <rule>]... [--list-rules] <path>...
+ *
+ * Paths may be files or directories (recursed for *.cpp / *.hpp / *.h).
+ * Exit status: 0 clean, 1 findings reported, 2 usage or I/O error.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tglint.hpp"
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    tglint::Options opts;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--list-rules") {
+            for (const std::string &r : tglint::allRules())
+                std::cout << r << "\n";
+            return 0;
+        } else if (arg == "--disable") {
+            if (i + 1 >= argc) {
+                std::cerr << "tglint: --disable needs a rule name\n";
+                return 2;
+            }
+            opts.disabledRules.push_back(argv[++i]);
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: tglint [--json] [--disable <rule>]... "
+                         "[--list-rules] <path>...\n";
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "tglint: unknown option '" << arg << "'\n";
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty()) {
+        std::cerr << "usage: tglint [--json] [--disable <rule>]... "
+                     "[--list-rules] <path>...\n";
+        return 2;
+    }
+
+    std::vector<tglint::Finding> findings;
+    bool ok = true;
+    for (const std::string &p : paths)
+        ok = tglint::lintPath(p, opts, findings) && ok;
+
+    if (json)
+        tglint::printJson(findings, std::cout);
+    else
+        tglint::printHuman(findings, std::cout);
+
+    if (!ok) {
+        std::cerr << "tglint: some paths could not be read\n";
+        return 2;
+    }
+    return findings.empty() ? 0 : 1;
+}

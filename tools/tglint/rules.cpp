@@ -1,0 +1,451 @@
+/**
+ * @file
+ * tglint rule implementations and the file/tree driver.
+ *
+ * Every rule is a token-level heuristic: deliberately narrow, zero false
+ * negatives on the patterns it claims to catch, and suppressible per line
+ * with "// tglint: allow(<rule>)".  See DESIGN.md section 7 for the
+ * catalogue and rationale.
+ */
+
+#include "tglint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "lexer.hpp"
+
+namespace tglint {
+
+namespace {
+
+const char *kBannedApi = "banned-api";
+const char *kUnorderedIter = "unordered-iter";
+const char *kTickFloat = "tick-float";
+const char *kRawNew = "raw-new";
+const char *kFileDoc = "file-doc";
+
+/** Namespace components whose event/packet ordering is part of the
+ *  determinism contract. */
+const std::set<std::string> kSensitiveNamespaces = {"net", "hib",
+                                                   "coherence", "sim"};
+
+/** Calls that read wall-clock / host entropy (never legal in the model). */
+const std::set<std::string> kBannedCalls = {
+    "rand",       "srand",     "drand48",       "lrand48",
+    "random",     "time",      "clock",         "gettimeofday",
+    "clock_gettime", "localtime", "gmtime",     "mrand48",
+};
+
+/** Banned type/member names flagged wherever they appear. */
+const std::set<std::string> kBannedIdents = {
+    "system_clock", "steady_clock", "high_resolution_clock", "random_device",
+};
+
+struct FileCtx
+{
+    const std::string &path;
+    const LexResult &lex;
+    const Options &opts;
+    std::vector<Finding> &out;
+
+    bool
+    ruleDisabled(const std::string &rule) const
+    {
+        return std::find(opts.disabledRules.begin(), opts.disabledRules.end(),
+                         rule) != opts.disabledRules.end();
+    }
+
+    bool
+    suppressed(int line, const std::string &rule) const
+    {
+        auto it = lex.allows.find(line);
+        if (it == lex.allows.end())
+            return false;
+        return it->second.count(rule) != 0 || it->second.count("*") != 0;
+    }
+
+    void
+    emit(int line, const char *rule, std::string message)
+    {
+        if (ruleDisabled(rule) || suppressed(line, rule))
+            return;
+        out.push_back(Finding{path, line, rule, std::move(message)});
+    }
+};
+
+bool
+pathContains(const std::string &path, const std::string &needle)
+{
+    return !needle.empty() && path.find(needle) != std::string::npos;
+}
+
+// ---------------------------------------------------------------------
+// file-doc
+// ---------------------------------------------------------------------
+
+void
+ruleFileDoc(FileCtx &ctx)
+{
+    if (!ctx.lex.hasFileDoc)
+        ctx.emit(1, kFileDoc,
+                 "file must open with a /** ... @file ... */ doc header");
+}
+
+// ---------------------------------------------------------------------
+// banned-api
+// ---------------------------------------------------------------------
+
+void
+ruleBannedApi(FileCtx &ctx)
+{
+    const std::vector<Token> &t = ctx.lex.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != TokKind::Ident)
+            continue;
+        const std::string &name = t[i].text;
+        const bool memberCall =
+            i > 0 && (t[i - 1].is(".") || t[i - 1].is("->"));
+        const bool call = i + 1 < t.size() && t[i + 1].is("(");
+
+        if (kBannedIdents.count(name)) {
+            ctx.emit(t[i].line, kBannedApi,
+                     "'" + name +
+                         "' reads host clock/entropy; use the seeded "
+                         "tg::Rng / simulated Tick instead");
+            continue;
+        }
+        if (call && !memberCall && kBannedCalls.count(name)) {
+            ctx.emit(t[i].line, kBannedApi,
+                     "call to '" + name +
+                         "()' is nondeterministic; use System::rng() or "
+                         "EventQueue::now()");
+            continue;
+        }
+        if (call && (name == "getenv" || name == "secure_getenv") &&
+            !pathContains(ctx.path, ctx.opts.getenvExemptSubstring)) {
+            ctx.emit(t[i].line, kBannedApi,
+                     "'" + name +
+                         "()' outside sim/config makes runs depend on the "
+                         "host environment");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// unordered-iter
+// ---------------------------------------------------------------------
+
+bool
+isUnorderedType(const std::string &s)
+{
+    return s == "unordered_map" || s == "unordered_set" ||
+           s == "unordered_multimap" || s == "unordered_multiset";
+}
+
+/** True when the file's path or namespaces put it in order-sensitive
+ *  territory. */
+bool
+orderSensitive(const FileCtx &ctx)
+{
+    for (const std::string &ns : kSensitiveNamespaces) {
+        if (pathContains(ctx.path, "/" + ns + "/"))
+            return true;
+    }
+    const std::vector<Token> &t = ctx.lex.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (!(t[i].kind == TokKind::Ident && t[i].is("namespace")))
+            continue;
+        for (std::size_t j = i + 1; j < t.size(); ++j) {
+            if (t[j].kind == TokKind::Ident) {
+                if (kSensitiveNamespaces.count(t[j].text))
+                    return true;
+            } else if (!t[j].is("::")) {
+                break; // '{', ';', '=' ... end of the namespace name
+            }
+        }
+    }
+    return false;
+}
+
+/** Names declared in this file with an unordered container type. */
+std::set<std::string>
+unorderedNames(const std::vector<Token> &t)
+{
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != TokKind::Ident || !isUnorderedType(t[i].text))
+            continue;
+        std::size_t j = i + 1;
+        if (j < t.size() && t[j].is("<")) {
+            int depth = 0;
+            for (; j < t.size(); ++j) {
+                if (t[j].is("<"))
+                    ++depth;
+                else if (t[j].is(">") && --depth == 0) {
+                    ++j;
+                    break;
+                }
+            }
+        }
+        // Skip declaration decorations to reach the declared name.
+        while (j < t.size() &&
+               (t[j].is("&") || t[j].is("*") || t[j].is("const")))
+            ++j;
+        if (j < t.size() && t[j].kind == TokKind::Ident &&
+            !t[j].is("iterator") && !t[j].is("const_iterator"))
+            names.insert(t[j].text);
+    }
+    return names;
+}
+
+void
+ruleUnorderedIter(FileCtx &ctx)
+{
+    if (!orderSensitive(ctx))
+        return;
+    const std::vector<Token> &t = ctx.lex.tokens;
+    const std::set<std::string> names = unorderedNames(t);
+    if (names.empty())
+        return;
+
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        // Range-for whose range expression mentions an unordered name.
+        if (t[i].kind == TokKind::Ident && t[i].is("for") &&
+            i + 1 < t.size() && t[i + 1].is("(")) {
+            int depth = 0;
+            std::size_t colon = 0;
+            for (std::size_t j = i + 1; j < t.size(); ++j) {
+                if (t[j].is("("))
+                    ++depth;
+                else if (t[j].is(")") && --depth == 0) {
+                    if (colon) {
+                        for (std::size_t k = colon + 1; k < j; ++k) {
+                            if (t[k].kind == TokKind::Ident &&
+                                names.count(t[k].text)) {
+                                ctx.emit(
+                                    t[i].line, kUnorderedIter,
+                                    "range-for over unordered container '" +
+                                        t[k].text +
+                                        "' in an order-sensitive namespace; "
+                                        "use std::map or a sorted vector");
+                                break;
+                            }
+                        }
+                    }
+                    break;
+                } else if (t[j].is(":") && depth == 1 && !colon) {
+                    colon = j;
+                }
+            }
+        }
+        // Explicit iterator walk: name.begin() / name->cbegin() etc.
+        if (t[i].kind == TokKind::Ident && names.count(t[i].text) &&
+            i + 2 < t.size() && (t[i + 1].is(".") || t[i + 1].is("->"))) {
+            const std::string &m = t[i + 2].text;
+            if (m == "begin" || m == "cbegin" || m == "rbegin") {
+                ctx.emit(t[i].line, kUnorderedIter,
+                         "iterator walk over unordered container '" +
+                             t[i].text +
+                             "' in an order-sensitive namespace; use "
+                             "std::map or a sorted vector");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// tick-float
+// ---------------------------------------------------------------------
+
+bool
+floatish(const Token &t)
+{
+    return isFloatLiteral(t) ||
+           (t.kind == TokKind::Ident &&
+            (t.is("double") || t.is("float")));
+}
+
+void
+ruleTickFloat(FileCtx &ctx)
+{
+    const std::vector<Token> &t = ctx.lex.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != TokKind::Ident || !t[i].is("Tick"))
+            continue;
+
+        // Pattern A: "Tick name = <expr containing a float>;"
+        if (i + 2 < t.size() && t[i + 1].kind == TokKind::Ident &&
+            t[i + 2].is("=")) {
+            for (std::size_t j = i + 3; j < t.size() && !t[j].is(";"); ++j) {
+                if (floatish(t[j])) {
+                    ctx.emit(t[i].line, kTickFloat,
+                             "floating-point arithmetic initializing Tick '" +
+                                 t[i + 1].text +
+                                 "'; ticks are integral nanoseconds — round "
+                                 "explicitly and annotate the contract");
+                    break;
+                }
+            }
+        }
+
+        // Pattern B/C: static_cast<Tick>(... float ...) or Tick(... float ...)
+        std::size_t open = 0;
+        if (i >= 2 && t[i - 1].is("<") && t[i - 2].is("static_cast") &&
+            i + 2 < t.size() && t[i + 1].is(">") && t[i + 2].is("("))
+            open = i + 2;
+        else if (i + 1 < t.size() && t[i + 1].is("("))
+            open = i + 1;
+        if (open) {
+            int depth = 0;
+            for (std::size_t j = open; j < t.size(); ++j) {
+                if (t[j].is("("))
+                    ++depth;
+                else if (t[j].is(")") && --depth == 0)
+                    break;
+                else if (depth >= 1 && floatish(t[j])) {
+                    ctx.emit(t[i].line, kTickFloat,
+                             "floating-point expression cast to Tick; ticks "
+                             "are integral nanoseconds — round explicitly "
+                             "and annotate the contract");
+                    break;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// raw-new
+// ---------------------------------------------------------------------
+
+void
+ruleRawNew(FileCtx &ctx)
+{
+    if (pathContains(ctx.path, ctx.opts.allocatorExemptSubstring))
+        return;
+    const std::vector<Token> &t = ctx.lex.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != TokKind::Ident)
+            continue;
+        const bool opOverload = i > 0 && t[i - 1].is("operator");
+        if (t[i].is("new") && !opOverload) {
+            ctx.emit(t[i].line, kRawNew,
+                     "raw 'new'; own allocations with std::make_unique / "
+                     "containers so teardown order stays deterministic");
+        } else if (t[i].is("delete") && !opOverload) {
+            const bool deletedFn = i > 0 && t[i - 1].is("=") &&
+                                   i + 1 < t.size() &&
+                                   (t[i + 1].is(";") || t[i + 1].is(","));
+            if (!deletedFn)
+                ctx.emit(t[i].line, kRawNew,
+                         "raw 'delete'; use RAII ownership instead");
+        }
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------
+
+const std::vector<std::string> &
+allRules()
+{
+    static const std::vector<std::string> rules = {
+        kBannedApi, kUnorderedIter, kTickFloat, kRawNew, kFileDoc,
+    };
+    return rules;
+}
+
+void
+lintSource(const std::string &path, const std::string &source,
+           const Options &opts, std::vector<Finding> &out)
+{
+    const LexResult lex = tokenize(source);
+    FileCtx ctx{path, lex, opts, out};
+    ruleFileDoc(ctx);
+    ruleBannedApi(ctx);
+    ruleUnorderedIter(ctx);
+    ruleTickFloat(ctx);
+    ruleRawNew(ctx);
+}
+
+bool
+lintPath(const std::string &path, const Options &opts,
+         std::vector<Finding> &out)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> files;
+
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+        for (auto it = fs::recursive_directory_iterator(path, ec);
+             !ec && it != fs::recursive_directory_iterator(); ++it) {
+            if (!it->is_regular_file())
+                continue;
+            const std::string ext = it->path().extension().string();
+            if (ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc")
+                files.push_back(it->path().string());
+        }
+    } else {
+        files.push_back(path);
+    }
+    std::sort(files.begin(), files.end()); // deterministic report order
+
+    bool ok = true;
+    for (const std::string &f : files) {
+        std::ifstream in(f, std::ios::binary);
+        if (!in) {
+            ok = false;
+            continue;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        lintSource(f, ss.str(), opts, out);
+    }
+    return ok;
+}
+
+void
+printHuman(const std::vector<Finding> &findings, std::ostream &os)
+{
+    for (const Finding &f : findings)
+        os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+           << "\n";
+    os << (findings.empty() ? "tglint: clean\n" : "") ;
+    if (!findings.empty())
+        os << "tglint: " << findings.size() << " finding(s)\n";
+}
+
+void
+printJson(const std::vector<Finding> &findings, std::ostream &os)
+{
+    auto esc = [](const std::string &s) {
+        std::string r;
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                r += '\\', r += c;
+            else if (c == '\n')
+                r += "\\n";
+            else
+                r += c;
+        }
+        return r;
+    };
+    os << "{\"count\":" << findings.size() << ",\"findings\":[";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        os << (i ? "," : "") << "{\"file\":\"" << esc(f.file)
+           << "\",\"line\":" << f.line << ",\"rule\":\"" << esc(f.rule)
+           << "\",\"message\":\"" << esc(f.message) << "\"}";
+    }
+    os << "]}\n";
+}
+
+} // namespace tglint

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * tglint: the Telegraphos determinism & invariant linter.
+ *
+ * A standalone token-level static-analysis tool (no libclang) that walks
+ * C++ sources and rejects the hazard classes that silently break the
+ * simulator's bit-for-bit determinism contract (DESIGN.md section 7):
+ *
+ *   banned-api      std::rand / time() / wall-clock chrono / getenv etc.
+ *   unordered-iter  iteration over std::unordered_{map,set} in the
+ *                   order-sensitive namespaces (net, hib, coherence, sim)
+ *   tick-float      floating-point arithmetic feeding a Tick value
+ *   raw-new         raw new / delete outside allocator shims
+ *   file-doc        missing leading "@file" documentation header
+ *
+ * Any finding can be suppressed with a justification comment on the same
+ * line or the line immediately above:
+ *
+ *     // tglint: allow(tick-float)  rounding contract documented here
+ */
+
+#ifndef TELEGRAPHOS_TOOLS_TGLINT_HPP
+#define TELEGRAPHOS_TOOLS_TGLINT_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tglint {
+
+/** One lint violation. */
+struct Finding
+{
+    std::string file;    ///< path as given to the scanner
+    int line = 0;        ///< 1-based line number
+    std::string rule;    ///< rule slug ("banned-api", ...)
+    std::string message; ///< human-readable explanation
+};
+
+/** Scanner configuration. */
+struct Options
+{
+    /** Disable individual rules by slug. */
+    std::vector<std::string> disabledRules;
+
+    /** Paths whose findings for getenv are exempt (the config loader). */
+    std::string getenvExemptSubstring = "sim/config";
+
+    /** Paths exempt from the raw-new rule (allocator shims). */
+    std::string allocatorExemptSubstring = "/alloc";
+};
+
+/** All rule slugs tglint knows, in reporting order. */
+const std::vector<std::string> &allRules();
+
+/**
+ * Lint one in-memory source.  @p path is used for reporting and for the
+ * path-scoped exemptions; findings are appended to @p out.
+ */
+void lintSource(const std::string &path, const std::string &source,
+                const Options &opts, std::vector<Finding> &out);
+
+/**
+ * Lint a file or directory tree (recursing into *.hpp / *.cpp).
+ * @return false when a path could not be read.
+ */
+bool lintPath(const std::string &path, const Options &opts,
+              std::vector<Finding> &out);
+
+/** Render findings as human-readable "file:line: [rule] message" lines. */
+void printHuman(const std::vector<Finding> &findings, std::ostream &os);
+
+/** Render findings as a JSON document {"count":N,"findings":[...]}. */
+void printJson(const std::vector<Finding> &findings, std::ostream &os);
+
+} // namespace tglint
+
+#endif // TELEGRAPHOS_TOOLS_TGLINT_HPP
