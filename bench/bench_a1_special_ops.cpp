@@ -71,9 +71,10 @@ atomicLatencyUs(Prototype proto, LaunchMode mode, bool interference,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     constexpr int kOps = 300;
+    BenchReport report("bench_a1_special_ops", argc, argv);
     std::printf("=== A1: launching special operations "
                 "(sections 2.2.4-2.2.5) ===\n");
     std::printf("remote fetch&inc latency, %d ops, node1 -> node0\n\n",
@@ -135,5 +136,10 @@ main()
                 "(%.1f vs %.1f us => %.1fx); contexts survive preemption "
                 "with results intact\n",
                 ctx_quiet, trap_quiet, trap_quiet / ctx_quiet);
+
+    report.metric("os_trap_quiet_us", trap_quiet, "us");
+    report.metric("contexts_quiet_us", ctx_quiet, "us");
+    report.metric("contexts_speedup_x", trap_quiet / ctx_quiet);
+    report.write();
     return 0;
 }

@@ -124,8 +124,9 @@ pagingRuntimeUs(bool remote_memory)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("bench_a2_access_counters", argc, argv);
     std::printf("=== A2: page access counters -> informed replication "
                 "(section 2.2.6) ===\n");
     std::printf("2 hot + 6 cold remote pages; replication policies "
@@ -157,5 +158,13 @@ main()
     std::printf("\nshape check: alarm policy approaches replicate-all "
                 "speed while replicating only the hot pages; remote "
                 "memory beats the disk by orders of magnitude\n");
+
+    report.metric("never_runtime_us", never.runtimeUs, "us");
+    report.metric("always_runtime_us", always.runtimeUs, "us");
+    report.metric("alarm_runtime_us", alarm.runtimeUs, "us");
+    report.metric("alarm_pages_replicated", double(alarm.replicated));
+    report.metric("paging_disk_us", pagingRuntimeUs(false), "us");
+    report.metric("paging_remote_us", pagingRuntimeUs(true), "us");
+    report.write();
     return 0;
 }

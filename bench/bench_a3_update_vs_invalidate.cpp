@@ -90,8 +90,9 @@ migratoryUs(ProtocolKind kind, int rounds, std::size_t words)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("bench_a3_update_vs_invalidate", argc, argv);
     std::printf("=== A3: update vs invalidate coherence "
                 "(section 2.3.6) ===\n\n");
 
@@ -114,11 +115,18 @@ main()
         table.addRow({"migratory", std::to_string(words),
                       ResultTable::num(mig_u, 0), ResultTable::num(mig_i, 0),
                       mig_u < mig_i ? "update" : "invalidate"});
+
+        const std::string w = std::to_string(words);
+        report.metric("producer_consumer.update_us.w" + w, pc_u, "us");
+        report.metric("producer_consumer.invalidate_us.w" + w, pc_i, "us");
+        report.metric("migratory.update_us.w" + w, mig_u, "us");
+        report.metric("migratory.invalidate_us.w" + w, mig_i, "us");
     }
     table.print();
 
     std::printf("\nshape check: update wins producer/consumer (readers "
                 "hit warm local copies); invalidate wins migratory "
                 "(updates to data nobody reads are wasted traffic)\n");
+    report.write();
     return 0;
 }

@@ -165,8 +165,9 @@ messageSocketsUs(int msgs)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("bench_a4_vsm_comparison", argc, argv);
     std::printf("=== A4: Telegraphos vs software substrates "
                 "(sections 1, 2.1) ===\n\n");
 
@@ -195,5 +196,13 @@ main()
                 "pattern by 1-3 orders of magnitude — the overhead "
                 "eliminated is exactly the OS intervention of "
                 "section 1\n");
+
+    report.metric("pingpong.telegraphos_us", tg_pp, "us");
+    report.metric("pingpong.vsm_us", vsm_pp, "us");
+    report.metric("false_sharing.telegraphos_us", tg_fs, "us");
+    report.metric("false_sharing.vsm_us", vsm_fs, "us");
+    report.metric("message.telegraphos_us", tg_msg, "us");
+    report.metric("message.sockets_us", so_msg, "us");
+    report.write();
     return 0;
 }

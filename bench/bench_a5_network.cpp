@@ -76,8 +76,9 @@ kindName(net::TopologyKind k)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("bench_a5_network", argc, argv);
     std::printf("=== A5: interconnect ablation (switch refs [16,17]) ===\n");
     std::printf("uniform random remote traffic, 250 ops/node, 25%% "
                 "reads\n\n");
@@ -101,6 +102,9 @@ main()
                      ResultTable::num(r.runtimeUs, 0),
                      std::to_string(r.forwarded),
                      r.drained ? "yes" : "NO (deadlock!)"});
+        report.metric(std::string("topo.") + kindName(tc.kind) + "." +
+                          std::to_string(tc.nodes) + ".runtime_us",
+                      r.runtimeUs, "us");
     }
     topo.print();
 
@@ -111,6 +115,9 @@ main()
             run(net::TopologyKind::Star, 8, mbps / 1000.0, 32);
         bw.addRow({ResultTable::num(mbps, 0),
                    ResultTable::num(r.runtimeUs, 0)});
+        report.metric("bw.star8." + ResultTable::num(mbps, 0) +
+                          "mbps.runtime_us",
+                      r.runtimeUs, "us");
     }
     bw.print();
 
@@ -120,11 +127,14 @@ main()
         const Result r = run(net::TopologyKind::Ring, 8, 0.035, b);
         buf.addRow({std::to_string(b), ResultTable::num(r.runtimeUs, 0),
                     r.drained ? "yes" : "NO (deadlock!)"});
+        report.metric("buf.ring8." + std::to_string(b) + "pkt.runtime_us",
+                      r.runtimeUs, "us");
     }
     buf.print();
 
     std::printf("\nshape check: every configuration drains (deadlock "
                 "freedom); runtime improves with bandwidth and degrades "
                 "gracefully with tiny buffers (back-pressure)\n");
+    report.write();
     return 0;
 }

@@ -55,8 +55,9 @@ run(ProtocolKind kind, bool aligned, std::size_t parties)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("bench_a6_alignment", argc, argv);
     std::printf("=== A6: data alignment vs protocol choice "
                 "(reference [22]) ===\n");
     std::printf("3 nodes replay seeded sharing traces over one "
@@ -71,11 +72,15 @@ main()
                               : "interleaved (false sharing)",
                       ResultTable::num(upd, 0), ResultTable::num(inv, 0),
                       ResultTable::num(inv / upd, 1) + "x"});
+        const std::string lay = aligned ? "aligned" : "interleaved";
+        report.metric(lay + ".update_us", upd, "us");
+        report.metric(lay + ".invalidate_us", inv, "us");
     }
     table.print();
 
     std::printf("\nshape check: misalignment hurts the invalidate "
                 "protocol far more than the update protocol — the [22] "
                 "result that motivates software-selectable coherence\n");
+    report.write();
     return 0;
 }

@@ -104,9 +104,10 @@ runSockets(std::size_t words, int msgs)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     constexpr int kMsgs = 60;
+    BenchReport report("bench_a7_messaging", argc, argv);
     std::printf("=== A7: messaging over remote writes vs sockets ===\n\n");
 
     ResultTable table({"message bytes", "channel lat (us)",
@@ -119,6 +120,13 @@ main()
                       ResultTable::num(so.latencyUs, 1),
                       ResultTable::num(ch.throughputMBs, 1),
                       ResultTable::num(so.throughputMBs, 1)});
+        const std::string b = std::to_string(words * 8);
+        report.metric("channel.latency_us.b" + b, ch.latencyUs, "us");
+        report.metric("socket.latency_us.b" + b, so.latencyUs, "us");
+        report.metric("channel.throughput_mbs.b" + b, ch.throughputMBs,
+                      "MB/s");
+        report.metric("socket.throughput_mbs.b" + b, so.throughputMBs,
+                      "MB/s");
     }
     table.print();
 
@@ -127,5 +135,6 @@ main()
                 "claim); for multi-KB payloads the word-granular stores "
                 "lose to one big packet — bulk data belongs to the HIB "
                 "copy engine (section 2.2.2), not to per-word stores\n");
+    report.write();
     return 0;
 }

@@ -71,8 +71,9 @@ run(ProtocolKind kind, std::size_t writers, int writes_per_node,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("bench_f2_multicast_inconsistency", argc, argv);
     std::printf("=== F2: Figure 2 — multicast inconsistency without "
                 "ownership ===\n");
     std::printf("chaotic unsynchronized writers on one replicated page; "
@@ -97,11 +98,18 @@ main()
                           ResultTable::num(100 * naive_acc / kTrials, 1) + "%",
                           ResultTable::num(100 * owner_acc / kTrials, 1) +
                               "%"});
+            const std::string tag = "w" + std::to_string(writers) + ".n" +
+                                    std::to_string(writes);
+            report.metric("naive.divergent_pct." + tag,
+                          100 * naive_acc / kTrials, "%");
+            report.metric("owner.divergent_pct." + tag,
+                          100 * owner_acc / kTrials, "%");
         }
     }
     table.print();
 
     std::printf("\nshape check: naive diverges under concurrent writers, "
                 "the owner protocol never does (paper section 2.3)\n");
+    report.write();
     return 0;
 }

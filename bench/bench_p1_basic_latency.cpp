@@ -14,6 +14,7 @@
  */
 
 #include <cstdio>
+#include <set>
 
 #include "api/cluster.hpp"
 #include "api/context.hpp"
@@ -30,14 +31,22 @@ struct Latencies
     double readUs = 0;
     double atomicUs = 0;
     double fenceUs = 0;
+    /** Mean request-hop wire serialization of a remote write (traced
+     *  runs only).  Steady-state streamed writes complete at exactly
+     *  this interval — the paper's 0.70 us (section 3.2). */
+    double writeWireUs = 0;
 };
 
 Latencies
-measure(Prototype proto, int ops)
+measure(Prototype proto, int ops, BenchReport *report = nullptr,
+        bool traced = false)
 {
     ClusterSpec spec;
     spec.topology.nodes = 2;
     spec.config.prototype = proto;
+    // Tracing is passive (DESIGN.md section 8): latencies are identical
+    // with it on, so the traced run doubles as the measurement run.
+    spec.config.tracePackets = traced;
     Cluster cluster(spec);
     Segment &seg = cluster.allocShared("target", 8192, /*owner=*/0);
 
@@ -83,21 +92,58 @@ measure(Prototype proto, int ops)
     });
 
     cluster.run(2'000'000'000'000ULL);
+
+    if (traced) {
+        // The streamed-write rate is bottlenecked by wire serialization:
+        // average the request-hop LinkTx serialization time (the event's
+        // aux payload) over every traced remote write.
+        std::set<std::uint64_t> seen;
+        std::uint64_t serSum = 0, serN = 0;
+        const trace::Tracer &tr = cluster.tracer();
+        for (const trace::TraceEvent &ev : tr.events()) {
+            if (ev.span != trace::Span::LinkTx || seen.count(ev.id))
+                continue;
+            if (tr.kindOf(ev.id) != trace::OpKind::RemoteWrite)
+                continue;
+            seen.insert(ev.id);
+            serSum += ev.aux;
+            ++serN;
+        }
+        if (serN)
+            out.writeWireUs = toUs(static_cast<Tick>(serSum)) /
+                              static_cast<double>(serN);
+
+        const trace::Breakdown bd = cluster.latencyBreakdown();
+        std::printf("\n--- lifecycle breakdown (%s, traced run) ---\n",
+                    proto == Prototype::TelegraphosI ? "Telegraphos I"
+                                                     : "Telegraphos II");
+        bd.print(std::cout);
+        std::printf("(streamed writes pipeline: the per-op lifecycle above "
+                    "includes queueing;\n the sustained rate is the wire "
+                    "serialization interval, %.2f us/write)\n",
+                    out.writeWireUs);
+        if (report) {
+            report->breakdown(bd);
+            report->stats(cluster);
+        }
+    }
     return out;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     constexpr int kOps = 10000; // as in the paper
+    BenchReport report("bench_p1_basic_latency", argc, argv);
 
     std::printf("=== P1: basic operation latency (section 3.2) ===\n");
     std::printf("methodology: %d operations node1 -> node0, "
                 "DEC 3000/300 + TurboChannel calibration\n\n", kOps);
 
-    const Latencies t1 = measure(Prototype::TelegraphosI, kOps);
+    const Latencies t1 =
+        measure(Prototype::TelegraphosI, kOps, &report, /*traced=*/true);
     const Latencies t2 = measure(Prototype::TelegraphosII, kOps);
 
     ResultTable table({"Operation", "Telegraphos I (us)",
@@ -114,5 +160,14 @@ main()
 
     std::printf("\nshape check: write ~10x cheaper than read "
                 "(paper: 0.70 vs 7.2)\n");
+
+    report.anchor("t1.remote_write_us", t1.writeUs, 0.70);
+    report.anchor("t1.remote_read_us", t1.readUs, 7.2);
+    report.anchor("t1.write_wire_interval_us", t1.writeWireUs, 0.70);
+    report.metric("t1.remote_fetch_inc_us", t1.atomicUs, "us");
+    report.metric("t1.fence_us", t1.fenceUs, "us");
+    report.metric("t2.remote_write_us", t2.writeUs, "us");
+    report.metric("t2.remote_read_us", t2.readUs, "us");
+    report.write();
     return 0;
 }

@@ -52,8 +52,9 @@ batchPerWriteUs(int batch)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("bench_p2_write_batch", argc, argv);
     std::printf("=== P2: remote-write batches (section 3.2) ===\n\n");
 
     ResultTable table({"batch size", "us per write", "batch total (us)",
@@ -72,5 +73,9 @@ main()
     const double b5000 = batchPerWriteUs(5000);
     std::printf("\nshape check: 100-write batch %.2f us/write (paper < 0.5); "
                 "long stream %.2f us/write (paper ~0.70)\n", b100, b5000);
+
+    report.anchor("batch100_us_per_write", b100, 0.5);
+    report.anchor("batch5000_us_per_write", b5000, 0.70);
+    report.write();
     return (b100 < 0.5 && b5000 > 0.6) ? 0 : 1;
 }

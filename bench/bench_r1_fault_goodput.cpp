@@ -14,6 +14,7 @@
  */
 
 #include <cstdio>
+#include <sstream>
 #include <vector>
 
 #include "api/cluster.hpp"
@@ -81,8 +82,9 @@ run(double loss_rate, int writes, int reads)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("bench_r1_fault_goodput", argc, argv);
     const std::vector<double> rates = {0.0, 1e-6, 1e-4, 1e-2};
     const int writes = 20000;
     const int reads = 2000;
@@ -117,5 +119,16 @@ main()
                     (unsigned long long)x.wireFailures);
     }
     std::printf("]}\n");
+
+    for (const Result &x : results) {
+        std::ostringstream tag;
+        tag << "loss" << x.lossRate;
+        report.metric(tag.str() + ".goodput_mbs", x.goodputMBs, "MB/s");
+        report.metric(tag.str() + ".p50_read_us", x.p50ReadUs, "us");
+        report.metric(tag.str() + ".p99_read_us", x.p99ReadUs, "us");
+        report.metric(tag.str() + ".retransmissions",
+                      double(x.retransmissions));
+    }
+    report.write();
     return 0;
 }

@@ -69,8 +69,9 @@ run(bool with_counters, int pairs)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("bench_s1_read_your_writes", argc, argv);
     std::printf("=== S1: read-your-writes (section 2.3.2) ===\n");
     std::printf("non-owner writes M=2; M=3, then reads M while the "
                 "reflected writes return\n\n");
@@ -91,11 +92,16 @@ main()
                       ResultTable::num(100.0 * ctr.errors / ctr.reads, 1) +
                           "%",
                       ResultTable::num(ctr.writeUs, 3)});
+        const std::string p = "pairs" + std::to_string(pairs);
+        report.metric(p + ".no_counters.errors", double(no_ctr.errors));
+        report.metric(p + ".counters.errors", double(ctr.errors));
+        report.metric(p + ".counters.write_us", ctr.writeUs, "us");
     }
     table.print();
 
     std::printf("\nshape check: errors > 0 without counters, exactly 0 "
                 "with them; counter overhead is a few memory accesses "
                 "per store (section 2.3.3)\n");
+    report.write();
     return 0;
 }

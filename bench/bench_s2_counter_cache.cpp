@@ -72,8 +72,9 @@ run(std::uint32_t cam_entries, int burst, std::uint64_t seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("bench_s2_counter_cache", argc, argv);
     std::printf("=== S2: pending-write counter cache sizing "
                 "(section 2.3.4) ===\n");
     std::printf("bursty unsynchronized writers; stalls when the CAM is "
@@ -89,6 +90,10 @@ main()
                           ResultTable::num(r.stallUs, 1),
                           std::to_string(r.peak),
                           ResultTable::num(r.runtimeUs, 0)});
+            const std::string tag = "burst" + std::to_string(burst) +
+                                    ".cam" + std::to_string(cam);
+            report.metric(tag + ".stalls", double(r.stalls));
+            report.metric(tag + ".runtime_us", r.runtimeUs, "us");
         }
         table.print();
         std::printf("\n");
@@ -96,5 +101,6 @@ main()
 
     std::printf("shape check: stall events drop to ~0 by 16-32 entries "
                 "(the paper's expectation)\n");
+    report.write();
     return 0;
 }

@@ -84,8 +84,9 @@ run(bool use_fence, int rounds, std::size_t words)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("bench_s3_fence", argc, argv);
     std::printf("=== S3: the flag/data race and the MEMORY_BARRIER "
                 "(section 2.3.5) ===\n\n");
 
@@ -105,11 +106,17 @@ main()
                  std::to_string(fenced.rounds),
              ResultTable::num(fenced.producerUsPerRound, 1),
              ResultTable::num(fenced.fenceUs, 1)});
+        const std::string w = "w" + std::to_string(words);
+        report.metric(w + ".plain.stale_rounds", double(plain.staleRounds));
+        report.metric(w + ".fenced.stale_rounds",
+                      double(fenced.staleRounds));
+        report.metric(w + ".fenced.fence_us", fenced.fenceUs, "us");
     }
     table.print();
 
     std::printf("\nshape check: stale reads appear without the fence and "
                 "are exactly zero with it; the fence cost grows with the "
                 "amount of outstanding data\n");
+    report.write();
     return 0;
 }

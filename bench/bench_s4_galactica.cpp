@@ -107,8 +107,9 @@ run(ProtocolKind kind, int trials)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("bench_s4_galactica", argc, argv);
     std::printf("=== S4: Galactica '1,2,1' anomaly vs the counter "
                 "protocol (section 2.4) ===\n");
     std::printf("two conflicting writers, observer on the ring between "
@@ -133,6 +134,12 @@ main()
     std::printf("\nshape check: Galactica converges (0 diverged) but "
                 "shows invalid sequences; the counter protocol shows "
                 "neither\n");
+
+    report.metric("galactica.invalid_sequences",
+                  double(gal.invalidSequences));
+    report.metric("galactica.backoffs", double(gal.backoffs));
+    report.metric("owner.invalid_sequences", double(own.invalidSequences));
+    report.write();
     return gal.invalidSequences > 0 && own.invalidSequences == 0 &&
                    gal.diverged == 0 && own.diverged == 0
                ? 0

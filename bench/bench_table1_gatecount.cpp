@@ -10,14 +10,16 @@
 
 #include <cstdio>
 
+#include "api/measure.hpp"
 #include "hwcost/directory_cost.hpp"
 #include "hwcost/gate_count.hpp"
 
 using namespace tg;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("bench_table1_gatecount", argc, argv);
     std::printf("=== T1: Table 1 — Gate Count for Telegraphos I HIB ===\n\n");
     Config cfg; // defaults reproduce the paper's design point
     auto rows = hwcost::hibGateCount(cfg);
@@ -25,6 +27,18 @@ main()
 
     std::printf("paper reference: message-related 3300 gates / 4.5 Kb, "
                 "shared-memory related 2700 gates / 2560 Kb\n\n");
+
+    for (const auto &row : rows) {
+        if (row.block == "Subtotal message related") {
+            report.anchor("message_related_gates", row.gates, 3300, "gates");
+            report.anchor("message_related_sram_kb", row.sramKbits, 4.5,
+                          "Kbits");
+        } else if (row.block == "Subtotal shared mem. rel.") {
+            report.anchor("shared_mem_gates", row.gates, 2700, "gates");
+            report.anchor("shared_mem_sram_kb", row.sramKbits, 2560,
+                          "Kbits");
+        }
+    }
 
     std::printf("--- ablation: multicast list and counter coverage ---\n");
     std::printf("%-34s %14s %16s\n", "configuration", "mcast SRAM(Kb)",
@@ -62,5 +76,6 @@ main()
         std::printf("%8u %14.0f %18.0f %9.1fx\n", nodes, full, owner,
                     full / owner);
     }
+    report.write();
     return 0;
 }

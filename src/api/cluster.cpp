@@ -366,12 +366,13 @@ Cluster::statsReport(std::ostream &os)
        << toUs(_sys->now()) << " us) ===\n";
     os << "events executed: " << _sys->events().executed() << "\n";
     os << "switch packets forwarded: " << _net->switchForwarded() << "\n";
-    if (config().fault.enabled()) {
-        os << "net.crc_errors: " << _net->corruptions() << "\n";
-        os << "net.retransmissions: " << _net->retransmissions() << "\n";
-        os << "net.dup_discards: " << _net->duplicateDiscards() << "\n";
-        os << "net.wire_failures: " << _net->wireFailures() << "\n";
-    }
+    // Unconditional: the reliability layer runs on every link, so these
+    // counters must be visible even when the fault model is inert —
+    // a fault-free run that retransmits would otherwise report nothing.
+    os << "net.crc_errors: " << _net->corruptions() << "\n";
+    os << "net.retransmissions: " << _net->retransmissions() << "\n";
+    os << "net.dup_discards: " << _net->duplicateDiscards() << "\n";
+    os << "net.wire_failures: " << _net->wireFailures() << "\n";
 
     for (auto &ws : _nodes) {
         const auto &cpu = ws->cpu();
@@ -412,12 +413,9 @@ Cluster::statsReport(std::ostream &os)
            << "\n";
         os << "  hib.key_violations        "
            << hib.specialOps().keyViolations() << "\n";
-        if (config().fault.enabled()) {
-            os << "  hib.wire_failures         " << hib.wireFailures()
-               << "\n";
-            os << "  hib.outstanding.lost      "
-               << hib.outstanding().lost() << "\n";
-        }
+        os << "  hib.wire_failures         " << hib.wireFailures() << "\n";
+        os << "  hib.outstanding.lost      " << hib.outstanding().lost()
+           << "\n";
         os << "  mem.touched_bytes         " << ws->mem().touchedBytes()
            << "\n";
     }

@@ -177,6 +177,36 @@ class Cluster : public coherence::Fabric
      */
     void statsReport(std::ostream &os);
 
+    /** Dump every registered stat as a single JSON object
+     *  (StatRegistry::dumpJson, schema tg-stats-v1). */
+    void statsJson(std::ostream &os) const
+    {
+        _sys->stats().dumpJson(os);
+    }
+
+    // ------------------------------------------------------------------
+    // Packet-lifecycle tracer (DESIGN.md section 8)
+    // ------------------------------------------------------------------
+
+    /** The tracer (enable via Config::tracePackets or setEnabled()). */
+    trace::Tracer &tracer() { return _sys->tracer(); }
+    const trace::Tracer &tracer() const { return _sys->tracer(); }
+
+    /** Per-operation latency breakdown derived from the recording: the
+     *  paper's 0.70 us / 7.2 us anchors decomposed into component
+     *  costs, one table block per operation kind. */
+    trace::Breakdown latencyBreakdown() const
+    {
+        return _sys->tracer().breakdown();
+    }
+
+    /** Export the recording as Chrome trace_event JSON
+     *  (chrome://tracing, https://ui.perfetto.dev). */
+    void writeChromeTrace(std::ostream &os) const
+    {
+        _sys->tracer().writeChromeTrace(os);
+    }
+
     /** All segments allocated so far. */
     const std::vector<std::unique_ptr<Segment>> &segments() const
     {

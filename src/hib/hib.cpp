@@ -15,7 +15,9 @@ namespace tg::hib {
 
 namespace {
 
-/** Fold a packet's end-to-end identity into the run's trace hash. */
+/** Fold a packet's end-to-end identity into the run's trace hash.
+ *  (Packet::traceId is deliberately NOT folded: the lifecycle tracer is
+ *  pure observability and must not perturb the determinism contract.) */
 void
 mixPacket(audit::TraceHash &h, const net::Packet &pkt)
 {
@@ -24,6 +26,39 @@ mixPacket(audit::TraceHash &h, const net::Packet &pkt)
     h.mix(pkt.addr);
     h.mix(pkt.value);
     h.mix(pkt.ticket);
+}
+
+/** Lifecycle-tracer op kind for a packet that was injected untagged. */
+trace::OpKind
+opKindOf(net::PacketType t)
+{
+    switch (t) {
+    case net::PacketType::WriteReq:
+    case net::PacketType::WriteAck:
+        return trace::OpKind::RemoteWrite;
+    case net::PacketType::ReadReq:
+    case net::PacketType::ReadReply:
+        return trace::OpKind::RemoteRead;
+    case net::PacketType::AtomicReq:
+    case net::PacketType::AtomicReply:
+        return trace::OpKind::RemoteAtomic;
+    case net::PacketType::CopyReq:
+    case net::PacketType::CopyData:
+        return trace::OpKind::RemoteCopy;
+    case net::PacketType::EagerWrite:
+    case net::PacketType::Update:
+    case net::PacketType::UpdateAck:
+    case net::PacketType::WriteOwner:
+    case net::PacketType::RingUpdate:
+    case net::PacketType::InvReq:
+    case net::PacketType::InvAck:
+        return trace::OpKind::Coherence;
+    case net::PacketType::PageReq:
+    case net::PacketType::PageData:
+    case net::PacketType::Message:
+        return trace::OpKind::Software;
+    }
+    return trace::OpKind::Other;
 }
 
 } // namespace
@@ -53,8 +88,10 @@ Hib::Hib(System &sys, const std::string &name, NodeId node,
 {
     _egress.onSpace([this] { pumpEgressBacklog(); });
     _ingress.onData([this] { pumpIngress(); });
-    if (sys.config().fault.enabled())
-        sys.stats().add(name + ".wire_failures", &_wireFailures);
+    // Registered unconditionally: the reliability layer runs on every
+    // link, so the counter must be visible even in fault-free runs.
+    sys.stats().add(name + ".wire_failures", &_wireFailures);
+    _traceComp = sys.tracer().registerComponent(name);
 }
 
 void
@@ -82,6 +119,12 @@ Hib::inject(Packet &&pkt, bool track)
         _outstanding.add();
     system().ledger().onInjected();
     mixPacket(system().events().trace(), pkt);
+    // Packets not tagged by a CPU-side issue point (coherence, software,
+    // HIB-internal traffic) start their lifecycle here.
+    if (pkt.traceId == 0)
+        pkt.traceId = _sys.tracer().beginOp(opKindOf(pkt.type));
+    _sys.tracer().record(pkt.traceId, trace::Span::HibLaunch, now(),
+                         _traceComp);
     Trace::log(now(), "hib", "%s inject %s", _name.c_str(),
                pkt.toString().c_str());
     // The backlog models the HIB's internal queueing: writes are latched
@@ -137,7 +180,8 @@ Hib::expectReply(OnWord cb)
 // ---------------------------------------------------------------------
 
 void
-Hib::cpuRemoteWrite(PAddr pa, Word value, OnDone latched)
+Hib::cpuRemoteWrite(PAddr pa, Word value, OnDone latched,
+                    std::uint64_t traceId)
 {
     Packet pkt;
     pkt.type = PacketType::WriteReq;
@@ -146,6 +190,7 @@ Hib::cpuRemoteWrite(PAddr pa, Word value, OnDone latched)
     pkt.value = value;
     pkt.origin = _node;
     pkt.seq = nextSeq();
+    pkt.traceId = traceId;
     inject(std::move(pkt), /*track=*/true);
     // "Write requests do not stall the processor and release the
     // TurboChannel as soon as the write request is latched by the HIB."
@@ -153,7 +198,7 @@ Hib::cpuRemoteWrite(PAddr pa, Word value, OnDone latched)
 }
 
 void
-Hib::cpuRemoteRead(PAddr pa, OnWord done)
+Hib::cpuRemoteRead(PAddr pa, OnWord done, std::uint64_t traceId)
 {
     // "In the current version of Telegraphos there can be no more than
     // one outstanding read operation" (paper footnote, section 2.3.5).
@@ -169,10 +214,13 @@ Hib::cpuRemoteRead(PAddr pa, OnWord done)
     pkt.dst = nodeOf(pa);
     pkt.addr = pa;
     pkt.origin = _node;
-    pkt.ticket = expectReply([this, done = std::move(done)](Word v) {
+    pkt.traceId = traceId;
+    pkt.ticket = expectReply([this, done = std::move(done),
+                              traceId](Word v) {
         --_readsInFlight;
         // Deliver the reply to the stalled processor over the TC.
-        _tc.transact(config().tcWriteTxn(2), [done, v] { done(v); });
+        _tc.transact(config().tcWriteTxn(2), [done, v] { done(v); },
+                     traceId);
     });
     schedule(config().hibLatch,
              [this, pkt = std::move(pkt)]() mutable {
@@ -276,9 +324,9 @@ Hib::countRemoteAccess(PAddr page_frame, bool is_write)
 }
 
 void
-Hib::fence(OnDone done)
+Hib::fence(OnDone done, std::uint64_t traceId)
 {
-    _outstanding.waitDrain(std::move(done));
+    _outstanding.waitDrain(std::move(done), traceId);
 }
 
 // ---------------------------------------------------------------------
@@ -425,6 +473,8 @@ Hib::pumpIngress()
         ++_handled;
         system().ledger().onDelivered();
         mixPacket(system().events().trace(), pkt);
+        _sys.tracer().record(pkt.traceId, trace::Span::HibHandle, now(),
+                             _traceComp);
         Trace::log(now(), "hib", "%s handle %s", _name.c_str(),
                    pkt.toString().c_str());
         handlePacket(std::move(pkt), [this] {
@@ -435,7 +485,7 @@ Hib::pumpIngress()
 }
 
 void
-Hib::writeShm(PAddr offset, Word value, OnDone done)
+Hib::writeShm(PAddr offset, Word value, OnDone done, std::uint64_t traceId)
 {
     _storage.write(offset, value);
     if (config().prototype == Prototype::TelegraphosI) {
@@ -443,12 +493,12 @@ Hib::writeShm(PAddr offset, Word value, OnDone done)
         schedule(config().hibSram, std::move(done));
     } else {
         // Shared data lives in main memory: DMA over the TurboChannel.
-        _tc.transact(config().tcWriteTxn(2), std::move(done));
+        _tc.transact(config().tcWriteTxn(2), std::move(done), traceId);
     }
 }
 
 void
-Hib::readShm(PAddr offset, OnWord done)
+Hib::readShm(PAddr offset, OnWord done, std::uint64_t traceId)
 {
     auto fetch = [this, offset, done = std::move(done)] {
         done(_storage.read(offset));
@@ -456,7 +506,7 @@ Hib::readShm(PAddr offset, OnWord done)
     if (config().prototype == Prototype::TelegraphosI)
         schedule(config().hibSram, std::move(fetch));
     else
-        _tc.transact(config().tcWriteTxn(2), std::move(fetch));
+        _tc.transact(config().tcWriteTxn(2), std::move(fetch), traceId);
 }
 
 void
@@ -470,6 +520,8 @@ Hib::deliverReply(const Packet &pkt)
     }
     OnWord cb = std::move(it->second);
     _pendingReplies.erase(it);
+    _sys.tracer().record(pkt.traceId, trace::Span::Completion, now(),
+                         _traceComp);
     cb(pkt.value);
 }
 
@@ -605,6 +657,7 @@ void
 Hib::handleWriteReq(Packet &&pkt, OnDone finished)
 {
     const PAddr offset = offsetOf(pkt.addr);
+    const std::uint64_t traceId = pkt.traceId;
     writeShm(offset, pkt.value,
              [this, pkt = std::move(pkt),
               finished = std::move(finished)]() mutable {
@@ -622,9 +675,11 @@ Hib::handleWriteReq(Packet &&pkt, OnDone finished)
                  ack.dst = pkt.src;
                  ack.ticket = pkt.ticket;
                  ack.payloadBytes = 0;
+                 ack.traceId = pkt.traceId;
                  inject(std::move(ack), /*track=*/false);
                  finished();
-             });
+             },
+             traceId);
 }
 
 void
@@ -632,27 +687,31 @@ Hib::handleCopyReq(Packet &&pkt, OnDone finished)
 {
     const std::uint32_t words = static_cast<std::uint32_t>(pkt.value);
     const PAddr offset = offsetOf(pkt.addr);
+    const std::uint64_t traceId = pkt.traceId;
     // One SRAM/DRAM burst read; wire serialization is charged by the
     // links through payloadBytes.
-    readShm(offset, [this, pkt = std::move(pkt), words, offset,
-                     finished = std::move(finished)](Word) mutable {
-        auto bulk = std::make_shared<std::vector<Word>>();
-        bulk->reserve(words);
-        for (std::uint32_t w = 0; w < words; ++w)
-            bulk->push_back(_storage.read(offset + PAddr(w) * 8));
+    readShm(offset,
+            [this, pkt = std::move(pkt), words, offset,
+             finished = std::move(finished)](Word) mutable {
+                auto bulk = std::make_shared<std::vector<Word>>();
+                bulk->reserve(words);
+                for (std::uint32_t w = 0; w < words; ++w)
+                    bulk->push_back(_storage.read(offset + PAddr(w) * 8));
 
-        Packet data;
-        data.type = PacketType::CopyData;
-        data.dst = pkt.src;
-        data.addr = pkt.addr;
-        data.addr2 = pkt.addr2;
-        data.value = words;
-        data.ticket = pkt.ticket;
-        data.payloadBytes = words * 8;
-        data.bulk = std::move(bulk);
-        inject(std::move(data), /*track=*/false);
-        finished();
-    });
+                Packet data;
+                data.type = PacketType::CopyData;
+                data.dst = pkt.src;
+                data.addr = pkt.addr;
+                data.addr2 = pkt.addr2;
+                data.value = words;
+                data.ticket = pkt.ticket;
+                data.payloadBytes = words * 8;
+                data.bulk = std::move(bulk);
+                data.traceId = pkt.traceId;
+                inject(std::move(data), /*track=*/false);
+                finished();
+            },
+            traceId);
 }
 
 void
@@ -670,7 +729,11 @@ Hib::handleCopyData(Packet &&pkt, OnDone finished)
                           ? config().hibSram
                           : config().tcWriteTxn(words * 2);
     const std::uint64_t ticket = pkt.ticket;
-    schedule(cost, [this, ticket, finished = std::move(finished)] {
+    const std::uint64_t traceId = pkt.traceId;
+    schedule(cost, [this, ticket, traceId,
+                    finished = std::move(finished)] {
+        _sys.tracer().record(traceId, trace::Span::Completion, now(),
+                             _traceComp);
         _outstanding.complete();
         auto it = _copyDone.find(ticket);
         if (it != _copyDone.end()) {
@@ -692,22 +755,29 @@ Hib::handlePacket(Packet &&pkt, OnDone finished)
 
       case PacketType::WriteAck:
       case PacketType::UpdateAck:
+        // The ack closes the originating write's lifecycle.
+        _sys.tracer().record(pkt.traceId, trace::Span::Completion, now(),
+                             _traceComp);
         _outstanding.complete();
         finished();
         return;
 
       case PacketType::ReadReq: {
         const PAddr offset = offsetOf(pkt.addr);
-        readShm(offset, [this, pkt = std::move(pkt),
-                         finished = std::move(finished)](Word v) mutable {
-            Packet reply;
-            reply.type = PacketType::ReadReply;
-            reply.dst = pkt.src;
-            reply.value = v;
-            reply.ticket = pkt.ticket;
-            inject(std::move(reply), /*track=*/false);
-            finished();
-        });
+        const std::uint64_t traceId = pkt.traceId;
+        readShm(offset,
+                [this, pkt = std::move(pkt),
+                 finished = std::move(finished)](Word v) mutable {
+                    Packet reply;
+                    reply.type = PacketType::ReadReply;
+                    reply.dst = pkt.src;
+                    reply.value = v;
+                    reply.ticket = pkt.ticket;
+                    reply.traceId = pkt.traceId;
+                    inject(std::move(reply), /*track=*/false);
+                    finished();
+                },
+                traceId);
         return;
       }
 
@@ -722,12 +792,14 @@ Hib::handlePacket(Packet &&pkt, OnDone finished)
         Packet p = std::move(pkt);
         _atomicUnit.request(
             p.aop, offsetOf(p.addr), p.value, p.value2,
-            [this, src = p.src, ticket = p.ticket](Word old) {
+            [this, src = p.src, ticket = p.ticket,
+             traceId = p.traceId](Word old) {
                 Packet reply;
                 reply.type = PacketType::AtomicReply;
                 reply.dst = src;
                 reply.value = old;
                 reply.ticket = ticket;
+                reply.traceId = traceId;
                 inject(std::move(reply), /*track=*/false);
             });
         finished();
@@ -744,6 +816,7 @@ Hib::handlePacket(Packet &&pkt, OnDone finished)
 
       case PacketType::EagerWrite: {
         const PAddr offset = offsetOf(pkt.addr);
+        const std::uint64_t traceId = pkt.traceId;
         writeShm(offset, pkt.value,
                  [this, pkt = std::move(pkt),
                   finished = std::move(finished)]() mutable {
@@ -754,9 +827,11 @@ Hib::handlePacket(Packet &&pkt, OnDone finished)
                      ack.type = PacketType::UpdateAck;
                      ack.dst = pkt.origin;
                      ack.payloadBytes = 0;
+                     ack.traceId = pkt.traceId;
                      inject(std::move(ack), /*track=*/false);
                      finished();
-                 });
+                 },
+                 traceId);
         return;
       }
 
@@ -778,6 +853,7 @@ Hib::handlePacket(Packet &&pkt, OnDone finished)
             ack.type = PacketType::UpdateAck;
             ack.dst = pkt.origin;
             ack.payloadBytes = 0;
+            ack.traceId = pkt.traceId;
             inject(std::move(ack), /*track=*/false);
         } else if (pkt.type == PacketType::InvReq) {
             Packet ack;
@@ -785,6 +861,7 @@ Hib::handlePacket(Packet &&pkt, OnDone finished)
             ack.dst = pkt.src;
             ack.addr = pkt.addr;
             ack.payloadBytes = 0;
+            ack.traceId = pkt.traceId;
             inject(std::move(ack), /*track=*/false);
         }
         finished();

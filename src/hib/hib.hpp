@@ -84,8 +84,10 @@ class Hib : public SimObject, public net::NodeEndpoint
     // TurboChannel for the programmed-I/O transaction)
     // ------------------------------------------------------------------
 
-    /** Remote write: released as soon as the HIB latches it (2.2.1). */
-    void cpuRemoteWrite(PAddr pa, Word value, OnDone latched);
+    /** Remote write: released as soon as the HIB latches it (2.2.1).
+     *  @p traceId tags the packet for the lifecycle tracer (0 = none). */
+    void cpuRemoteWrite(PAddr pa, Word value, OnDone latched,
+                        std::uint64_t traceId = 0);
 
     /**
      * Back-pressure towards the processor: @p ready fires once the HIB
@@ -95,8 +97,9 @@ class Hib : public SimObject, public net::NodeEndpoint
      */
     void waitWriteSpace(OnDone ready);
 
-    /** Remote read: @p done fires when the reply reaches the CPU. */
-    void cpuRemoteRead(PAddr pa, OnWord done);
+    /** Remote read: @p done fires when the reply reaches the CPU.
+     *  @p traceId tags request + reply for the lifecycle tracer. */
+    void cpuRemoteRead(PAddr pa, OnWord done, std::uint64_t traceId = 0);
 
     /** Telegraphos I local shared-memory access (HIB SRAM via the TC). */
     void cpuLocalShmWrite(PAddr offset, Word value, OnDone done);
@@ -123,8 +126,9 @@ class Hib : public SimObject, public net::NodeEndpoint
     /** Account one remote access against the page counters (2.2.6). */
     void countRemoteAccess(PAddr page_frame, bool is_write);
 
-    /** FENCE / MEMORY_BARRIER: @p done once all outstanding ops drain. */
-    void fence(OnDone done);
+    /** FENCE / MEMORY_BARRIER: @p done once all outstanding ops drain.
+     *  @p traceId tags the fence for the lifecycle tracer. */
+    void fence(OnDone done, std::uint64_t traceId = 0);
 
     // ------------------------------------------------------------------
     // Special operations
@@ -202,9 +206,11 @@ class Hib : public SimObject, public net::NodeEndpoint
      *  servicing of this packet is over. */
     void handlePacket(net::Packet &&pkt, OnDone finished);
 
-    /** Local shared-memory write/read with prototype-dependent cost. */
-    void writeShm(PAddr offset, Word value, OnDone done);
-    void readShm(PAddr offset, OnWord done);
+    /** Local shared-memory write/read with prototype-dependent cost.
+     *  @p traceId propagates the lifecycle op into the DMA bus grant. */
+    void writeShm(PAddr offset, Word value, OnDone done,
+                  std::uint64_t traceId = 0);
+    void readShm(PAddr offset, OnWord done, std::uint64_t traceId = 0);
 
     void handleWriteReq(net::Packet &&pkt, OnDone finished);
     void handleCopyReq(net::Packet &&pkt, OnDone finished);
@@ -249,6 +255,7 @@ class Hib : public SimObject, public net::NodeEndpoint
     std::uint64_t _handled = 0;
     std::uint32_t _readsInFlight = 0;
     Scalar _wireFailures;
+    std::uint16_t _traceComp = 0;
 };
 
 } // namespace tg::hib

@@ -12,6 +12,7 @@ namespace tg::hib {
 Outstanding::Outstanding(System &sys, const std::string &name)
     : SimObject(sys, name)
 {
+    _traceComp = sys.tracer().registerComponent(name);
 }
 
 void
@@ -74,9 +75,13 @@ Outstanding::wakeWaiters()
 }
 
 void
-Outstanding::waitDrain(std::function<void()> cb)
+Outstanding::waitDrain(std::function<void()> cb, std::uint64_t traceId)
 {
+    _sys.tracer().record(traceId, trace::Span::FenceStart, now(),
+                         _traceComp, _current);
     if (_current == 0 && !_draining) {
+        _sys.tracer().record(traceId, trace::Span::FenceWake, now(),
+                             _traceComp);
         cb();
         return;
     }
@@ -84,7 +89,15 @@ Outstanding::waitDrain(std::function<void()> cb)
     // running (FIFO even for re-entrant registrations); the drain loop
     // picks it up once that waiter returns, provided the counter is
     // still zero.
-    _waiters.push_back(std::move(cb));
+    if (traceId != 0 && _sys.tracer().enabled()) {
+        _waiters.push_back([this, traceId, cb = std::move(cb)] {
+            _sys.tracer().record(traceId, trace::Span::FenceWake, now(),
+                                 _traceComp);
+            cb();
+        });
+    } else {
+        _waiters.push_back(std::move(cb));
+    }
 }
 
 } // namespace tg::hib

@@ -44,8 +44,12 @@ class Outstanding : public SimObject
     /** Currently outstanding operations. */
     std::uint64_t current() const { return _current; }
 
-    /** Invoke @p cb once the counter is (or becomes) zero. */
-    void waitDrain(std::function<void()> cb);
+    /**
+     * Invoke @p cb once the counter is (or becomes) zero.  @p traceId
+     * tags the fence for the lifecycle tracer: FenceStart is recorded at
+     * registration, FenceWake when @p cb is released.
+     */
+    void waitDrain(std::function<void()> cb, std::uint64_t traceId = 0);
 
     /** Peak value reached (stat). */
     std::uint64_t peak() const { return _peak; }
@@ -65,6 +69,7 @@ class Outstanding : public SimObject
     std::uint64_t _lost = 0;
     std::deque<std::function<void()>> _waiters;
     bool _draining = false;
+    std::uint16_t _traceComp = 0;
 };
 
 } // namespace tg::hib

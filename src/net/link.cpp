@@ -37,6 +37,7 @@ Channel::Channel(System &sys, const std::string &name,
         lane.up->onData([this] { pump(); });
         lane.down->onSpace([this] { pump(); });
     }
+    _traceComp = sys.tracer().registerComponent(name);
 }
 
 Channel::Channel(System &sys, const std::string &name,
@@ -94,6 +95,8 @@ Channel::pump()
     _bytes += bytes;
     _busyTicks += ser;
 
+    _sys.tracer().record(pkt.traceId, trace::Span::LinkTx, now(),
+                         _traceComp, ser);
     Trace::log(now(), "net", "%s xmit %s (%u B, ser %llu)", _name.c_str(),
                pkt.toString().c_str(), bytes, (unsigned long long)ser);
 
@@ -103,9 +106,12 @@ Channel::pump()
         _busy = false;
         pump();
     });
-    schedule(ser + _delay, [down = lane->down, pkt = std::move(pkt)]() mutable {
-        down->pushReserved(std::move(pkt));
-    });
+    schedule(ser + _delay,
+             [this, down = lane->down, pkt = std::move(pkt)]() mutable {
+                 _sys.tracer().record(pkt.traceId, trace::Span::LinkRx,
+                                      now(), _traceComp);
+                 down->pushReserved(std::move(pkt));
+             });
 }
 
 // ---------------------------------------------------------------------
@@ -217,6 +223,8 @@ Channel::pumpReliable()
     _bytes += bytes;
     _busyTicks += ser;
 
+    _sys.tracer().record(wire.traceId, trace::Span::LinkTx, now(),
+                         _traceComp, ser);
     Trace::log(now(), "net", "%s xmit %s lseq=%llu try=%u%s (%u B)",
                _name.c_str(), wire.toString().c_str(),
                (unsigned long long)wire.lseq, e.tries, drop ? " DROP" : "",
@@ -268,6 +276,8 @@ Channel::deliver(std::size_t li, Packet &&wire, bool dup_follows)
     if (wire.lseq == ls.rxExpected) {
         ++ls.rxExpected;
         const std::uint64_t acked = wire.lseq;
+        _sys.tracer().record(wire.traceId, trace::Span::LinkRx, now(),
+                             _traceComp);
         lane.down->pushReserved(std::move(wire));
         schedule(_delay, [this, li, acked] { onAck(li, acked); });
         return;

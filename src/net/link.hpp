@@ -199,6 +199,7 @@ class Channel : public SimObject
     Scalar _dupDiscards;
     Scalar _outOfWindow;
     Scalar _wireFailures;
+    std::uint16_t _traceComp = 0;
 };
 
 } // namespace tg::net

@@ -86,6 +86,11 @@ struct Packet
      *  outstanding-operation counter (fence conservation on loss). */
     bool tracked = false;
 
+    /** Lifecycle-tracer operation id (0 = untraced).  Pure observability:
+     *  excluded from computeCrc() and from the audit trace hash, so runs
+     *  are bit-identical with tracing on or off. */
+    std::uint64_t traceId = 0;
+
     /** Bulk word data for CopyData / PageData transfers.  Shared so that
      *  copying packets through queues stays cheap. */
     std::shared_ptr<std::vector<Word>> bulk;

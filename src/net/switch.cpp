@@ -27,6 +27,7 @@ Switch::Switch(System &sys, const std::string &name, std::size_t ports,
             _out.back()->onSpace([this] { pumpAll(); });
         }
     }
+    _traceComp = sys.tracer().registerComponent(name);
 }
 
 void
@@ -82,6 +83,8 @@ Switch::pump(std::size_t port, std::size_t vc)
                    _name.c_str(), port, vc, out, unsigned(out_vc),
                    pkt.toString().c_str());
         ++_forwarded;
+        _sys.tracer().record(pkt.traceId, trace::Span::SwitchFwd, now(),
+                             _traceComp);
         _out[idx(out, out_vc)]->pushReserved(std::move(pkt));
         _busy[idx(port, vc)] = false;
         pump(port, vc);

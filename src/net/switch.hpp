@@ -99,6 +99,7 @@ class Switch : public SimObject
     std::vector<std::size_t> _routes; // indexed by NodeId
     VcMap _vcMap;
     std::uint64_t _forwarded = 0;
+    std::uint16_t _traceComp = 0;
 };
 
 } // namespace tg::net

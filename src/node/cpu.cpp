@@ -16,6 +16,7 @@ Cpu::Cpu(System &sys, const std::string &name, NodeId node, Mmu &mmu,
     : SimObject(sys, name), _node(node), _mmu(mmu), _cache(cache), _mem(mem),
       _tc(tc), _hib(hib)
 {
+    _traceComp = sys.tracer().registerComponent(name);
 }
 
 int
@@ -181,8 +182,13 @@ Cpu::execute(const CpuOp &op, Word *result, std::function<void()> done)
         // outstanding remote operations complete (section 2.3.5).
         schedule(cfg.cpuInstruction + cfg.cpuMemIssue,
                  [this, done = std::move(done)] {
-                     waitWriteBufferEmpty(
-                         [this, done] { _hib.fence(done); });
+                     const std::uint64_t traceId =
+                         _sys.tracer().beginOp(trace::OpKind::Fence);
+                     _sys.tracer().record(traceId, trace::Span::CpuIssue,
+                                          now(), _traceComp);
+                     waitWriteBufferEmpty([this, done, traceId] {
+                         _hib.fence(done, traceId);
+                     });
                  });
         return;
 
@@ -328,21 +334,33 @@ Cpu::performAccess(const CpuOp &op, const Translation &t, Word *result,
             // Non-blocking: the store completes into the write buffer;
             // the drain engine performs the TC transaction (2.2.1).
             schedule(charge, [this, pa, op, done = std::move(done)] {
-                bufferStore(pa, op.value, done);
+                const std::uint64_t traceId =
+                    _sys.tracer().beginOp(trace::OpKind::RemoteWrite);
+                _sys.tracer().record(traceId, trace::Span::CpuIssue, now(),
+                                     _traceComp);
+                bufferStore(pa, op.value, done, traceId);
             });
         } else {
             // Blocking: drain buffered stores, then hold the read until
             // the reply returns from the remote node.
             schedule(charge, [this, pa, result, done = std::move(done)] {
-                waitWriteBufferEmpty([this, pa, result, done] {
+                const std::uint64_t traceId =
+                    _sys.tracer().beginOp(trace::OpKind::RemoteRead);
+                _sys.tracer().record(traceId, trace::Span::CpuIssue, now(),
+                                     _traceComp);
+                waitWriteBufferEmpty([this, pa, result, done, traceId] {
                     _tc.transact(
                         config().cpuUncachedOverhead + config().tcReadTxn(),
-                        [this, pa, result, done] {
-                            _hib.cpuRemoteRead(pa, [result, done](Word v) {
-                                *result = v;
-                                done();
-                            });
-                        });
+                        [this, pa, result, done, traceId] {
+                            _hib.cpuRemoteRead(
+                                pa,
+                                [result, done](Word v) {
+                                    *result = v;
+                                    done();
+                                },
+                                traceId);
+                        },
+                        traceId);
                 });
             });
         }
@@ -401,19 +419,21 @@ Cpu::performAccess(const CpuOp &op, const Translation &t, Word *result,
 // ---------------------------------------------------------------------
 
 void
-Cpu::bufferStore(PAddr pa, Word value, std::function<void()> done)
+Cpu::bufferStore(PAddr pa, Word value, std::function<void()> done,
+                 std::uint64_t traceId)
 {
     if (_writeBuffer.size() >= config().writeBufferEntries) {
         // Buffer full: the store stalls until the drain engine retires an
         // entry.  (Only one thread runs at a time, so one waiter slot.)
         if (_wbInsertWaiter)
             panic("%s: concurrent write-buffer stalls", _name.c_str());
-        _wbInsertWaiter = [this, pa, value, done = std::move(done)] {
-            bufferStore(pa, value, done);
+        _wbInsertWaiter = [this, pa, value, traceId,
+                           done = std::move(done)] {
+            bufferStore(pa, value, done, traceId);
         };
         return;
     }
-    _writeBuffer.push_back(BufferedStore{pa, value});
+    _writeBuffer.push_back(BufferedStore{pa, value, traceId});
     schedule(config().writeBufferInsert, std::move(done));
     drainWriteBuffer();
 }
@@ -436,7 +456,7 @@ Cpu::dispatchStore(const BufferedStore &s)
         _hib.shadowStore(s.pa, s.value, [] {});
         return;
     }
-    _hib.cpuRemoteWrite(s.pa, s.value, [] {});
+    _hib.cpuRemoteWrite(s.pa, s.value, [] {}, s.traceId);
 }
 
 void
@@ -457,18 +477,23 @@ Cpu::drainWriteBuffer()
     // HIB back-pressure first (its internal queue may be full), then the
     // TurboChannel transaction retires the entry.
     _hib.waitWriteSpace([this] {
-        _tc.transact(config().tcWriteTxn(2), [this] {
-            const BufferedStore s = _writeBuffer.front();
-            _writeBuffer.pop_front();
-            dispatchStore(s);
-            _draining = false;
-            if (_wbInsertWaiter) {
-                auto w = std::move(_wbInsertWaiter);
-                _wbInsertWaiter = nullptr;
-                w();
-            }
-            drainWriteBuffer();
-        });
+        // Entries retire FIFO and only one drain runs at a time, so the
+        // front entry at grant time is the one this transaction carries.
+        _tc.transact(
+            config().tcWriteTxn(2),
+            [this] {
+                const BufferedStore s = _writeBuffer.front();
+                _writeBuffer.pop_front();
+                dispatchStore(s);
+                _draining = false;
+                if (_wbInsertWaiter) {
+                    auto w = std::move(_wbInsertWaiter);
+                    _wbInsertWaiter = nullptr;
+                    w();
+                }
+                drainWriteBuffer();
+            },
+            _writeBuffer.front().traceId);
     });
 }
 

@@ -150,10 +150,12 @@ class Cpu : public SimObject
     {
         PAddr pa; ///< full physical address (may carry the shadow bit)
         Word value;
+        std::uint64_t traceId = 0; ///< lifecycle-tracer op (0 = untraced)
     };
 
     /** Insert an uncached store (stalls when the buffer is full). */
-    void bufferStore(PAddr pa, Word value, std::function<void()> done);
+    void bufferStore(PAddr pa, Word value, std::function<void()> done,
+                     std::uint64_t traceId = 0);
 
     /** Issue buffered stores over the TC, oldest first. */
     void drainWriteBuffer();
@@ -194,6 +196,7 @@ class Cpu : public SimObject
 
     std::uint64_t _opsIssued = 0;
     std::uint64_t _switches = 0;
+    std::uint16_t _traceComp = 0;
 };
 
 /** Awaitable wrapping one CpuOp (used by the api::Ctx helpers). */

@@ -11,12 +11,15 @@ namespace tg::node {
 TurboChannel::TurboChannel(System &sys, const std::string &name)
     : SimObject(sys, name)
 {
+    sys.stats().add(name + ".wait_hist", &_waitHist);
+    _traceComp = sys.tracer().registerComponent(name);
 }
 
 void
-TurboChannel::transact(Tick hold, std::function<void()> done)
+TurboChannel::transact(Tick hold, std::function<void()> done,
+                       std::uint64_t traceId)
 {
-    _queue.push_back(Txn{hold, now(), std::move(done)});
+    _queue.push_back(Txn{hold, now(), std::move(done), traceId});
     if (!_busy)
         grantNext();
 }
@@ -33,6 +36,9 @@ TurboChannel::grantNext()
     _queue.pop_front();
     _waitTicks += now() - txn.enqueued;
     _busyTicks += txn.hold;
+    _waitHist.sample(static_cast<double>(now() - txn.enqueued));
+    _sys.tracer().record(txn.traceId, trace::Span::TcGrant, now(),
+                         _traceComp, txn.hold);
 
     schedule(txn.hold, [this, done = std::move(txn.done)] {
         ++_count;

@@ -29,9 +29,12 @@ class TurboChannel : public SimObject
 
     /**
      * Request the bus for @p hold ticks; @p done runs when the
-     * transaction completes (bus released).
+     * transaction completes (bus released).  @p traceId optionally tags
+     * the transaction with a lifecycle-tracer operation id; the grant is
+     * then recorded as a TcGrant span.
      */
-    void transact(Tick hold, std::function<void()> done);
+    void transact(Tick hold, std::function<void()> done,
+                  std::uint64_t traceId = 0);
 
     /** Transactions completed. */
     std::uint64_t transactions() const { return _count; }
@@ -48,6 +51,7 @@ class TurboChannel : public SimObject
         Tick hold;
         Tick enqueued;
         std::function<void()> done;
+        std::uint64_t traceId;
     };
 
     void grantNext();
@@ -57,6 +61,9 @@ class TurboChannel : public SimObject
     std::uint64_t _count = 0;
     Tick _busyTicks = 0;
     Tick _waitTicks = 0;
+    /** Arbitration wait-time distribution (ticks), 64 x 100-tick buckets. */
+    Histogram _waitHist{100.0, 64};
+    std::uint16_t _traceComp = 0;
 };
 
 } // namespace tg::node

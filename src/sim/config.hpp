@@ -242,6 +242,11 @@ struct Config
     /** Seed for all stochastic workload decisions. */
     std::uint64_t seed = 1;
 
+    /** Record packet-lifecycle spans in the System's Tracer (DESIGN.md
+     *  section 8).  Off by default: the disabled tracer adds a single
+     *  predicted branch and no allocation to the packet fast path. */
+    bool tracePackets = false;
+
     /**
      * Sanity-check the configuration; fatal() on nonsense (zero page
      * size, zero bandwidth, ...).  Called by System's constructor.

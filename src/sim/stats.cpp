@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <iomanip>
+#include <sstream>
 
 namespace tg {
 
@@ -21,7 +22,10 @@ Sampler::sample(double v)
     }
     ++_n;
     _sum += v;
-    _sum2 += v * v;
+    // Welford update: accumulate centred second moments.
+    double delta = v - _welfordMean;
+    _welfordMean += delta / static_cast<double>(_n);
+    _m2 += delta * (v - _welfordMean);
     _samples.push_back(v);
     _sorted = false;
 }
@@ -31,8 +35,7 @@ Sampler::stddev() const
 {
     if (_n < 2)
         return 0.0;
-    double n = static_cast<double>(_n);
-    double var = (_sum2 - _sum * _sum / n) / (n - 1);
+    double var = _m2 / static_cast<double>(_n - 1);
     return var > 0 ? std::sqrt(var) : 0.0;
 }
 
@@ -46,16 +49,19 @@ Sampler::quantile(double q) const
         _sorted = true;
     }
     q = std::clamp(q, 0.0, 1.0);
-    std::size_t idx = static_cast<std::size_t>(
-        q * static_cast<double>(_samples.size() - 1) + 0.5);
-    return _samples[idx];
+    double pos = q * static_cast<double>(_samples.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(pos);
+    double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= _samples.size())
+        return _samples[lo];
+    return _samples[lo] + frac * (_samples[lo + 1] - _samples[lo]);
 }
 
 void
 Sampler::reset()
 {
     _n = 0;
-    _sum = _sum2 = _min = _max = 0;
+    _sum = _welfordMean = _m2 = _min = _max = 0;
     _samples.clear();
     _sorted = true;
 }
@@ -95,6 +101,12 @@ StatRegistry::add(const std::string &name, const Sampler *s)
 }
 
 void
+StatRegistry::add(const std::string &name, const Histogram *h)
+{
+    _histograms[name] = h;
+}
+
+void
 StatRegistry::dump(std::ostream &os) const
 {
     os << std::left;
@@ -113,6 +125,73 @@ StatRegistry::dump(std::ostream &os) const
                << "\n";
         }
     }
+    for (const auto &[name, h] : _histograms) {
+        os << std::setw(48) << (name + ".count") << " " << h->count() << "\n";
+        if (h->count() == 0)
+            continue;
+        const auto &b = h->buckets();
+        for (std::size_t i = 0; i < b.size(); ++i) {
+            if (b[i] == 0)
+                continue;
+            std::ostringstream bucket;
+            bucket << name << ".bucket["
+                   << h->bucketWidth() * static_cast<double>(i) << ","
+                   << h->bucketWidth() * static_cast<double>(i + 1) << ")";
+            os << std::setw(48) << bucket.str() << " " << b[i] << "\n";
+        }
+    }
+}
+
+namespace {
+
+/** Deterministic decimal rendering for the JSON dump. */
+std::string
+jsonNum(double v)
+{
+    std::ostringstream os;
+    os << std::setprecision(12) << v;
+    return os.str();
+}
+
+} // namespace
+
+void
+StatRegistry::dumpJson(std::ostream &os) const
+{
+    os << "{\"schema\":\"tg-stats-v1\",\"scalars\":{";
+    bool first = true;
+    for (const auto &[name, s] : _scalars) {
+        os << (first ? "" : ",") << "\"" << name
+           << "\":" << jsonNum(s->value());
+        first = false;
+    }
+    os << "},\"samplers\":{";
+    first = true;
+    for (const auto &[name, s] : _samplers) {
+        os << (first ? "" : ",") << "\"" << name
+           << "\":{\"count\":" << s->count()
+           << ",\"mean\":" << jsonNum(s->mean())
+           << ",\"min\":" << jsonNum(s->min())
+           << ",\"max\":" << jsonNum(s->max())
+           << ",\"stddev\":" << jsonNum(s->stddev())
+           << ",\"p50\":" << jsonNum(s->quantile(0.5))
+           << ",\"p99\":" << jsonNum(s->quantile(0.99)) << "}";
+        first = false;
+    }
+    os << "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, h] : _histograms) {
+        os << (first ? "" : ",") << "\"" << name
+           << "\":{\"count\":" << h->count()
+           << ",\"bucket_width\":" << jsonNum(h->bucketWidth())
+           << ",\"buckets\":[";
+        const auto &b = h->buckets();
+        for (std::size_t i = 0; i < b.size(); ++i)
+            os << (i ? "," : "") << b[i];
+        os << "]}";
+        first = false;
+    }
+    os << "}}";
 }
 
 double

@@ -54,14 +54,23 @@ class Sampler
     double stddev() const;
     double total() const { return _sum; }
 
-    /** Exact quantile in [0,1]; sorts lazily. */
+    /**
+     * Quantile in [0,1] with linear interpolation between order
+     * statistics (rank q*(n-1)); sorts lazily.  Interpolation (rather
+     * than nearest-rank rounding) keeps p99 < max for small n and p50
+     * unbiased for even n.
+     */
     double quantile(double q) const;
 
     void reset();
 
   private:
     std::uint64_t _n = 0;
-    double _sum = 0, _sum2 = 0;
+    double _sum = 0;
+    // Welford running-variance state: immune to the catastrophic
+    // cancellation a sum-of-squares accumulator hits when samples sit on
+    // a large offset (e.g. tick timestamps ~1e9).
+    double _welfordMean = 0, _m2 = 0;
     double _min = 0, _max = 0;
     mutable std::vector<double> _samples;
     mutable bool _sorted = true;
@@ -96,9 +105,17 @@ class StatRegistry
   public:
     void add(const std::string &name, const Scalar *s);
     void add(const std::string &name, const Sampler *s);
+    void add(const std::string &name, const Histogram *h);
 
     /** Dump all registered stats, sorted by name. */
     void dump(std::ostream &os) const;
+
+    /**
+     * Dump every registered stat as one JSON object
+     * ({"schema":"tg-stats-v1","scalars":{...},"samplers":{...},
+     * "histograms":{...}}), sorted by name for byte-stable output.
+     */
+    void dumpJson(std::ostream &os) const;
 
     /** Look up a scalar's current value by exact name (0 if absent). */
     double scalar(const std::string &name) const;
@@ -106,6 +123,7 @@ class StatRegistry
   private:
     std::map<std::string, const Scalar *> _scalars;
     std::map<std::string, const Sampler *> _samplers;
+    std::map<std::string, const Histogram *> _histograms;
 };
 
 } // namespace tg

@@ -60,6 +60,7 @@ Config::validate() const
 System::System(const Config &cfg) : _config(cfg), _rng(cfg.seed)
 {
     _config.validate();
+    _tracer.setEnabled(cfg.tracePackets);
 }
 
 } // namespace tg

@@ -15,6 +15,7 @@
 #include "sim/invariant.hpp"
 #include "sim/random.hpp"
 #include "sim/stats.hpp"
+#include "sim/trace.hpp"
 #include "sim/types.hpp"
 
 namespace tg {
@@ -39,6 +40,10 @@ class System
     audit::PacketLedger &ledger() { return _ledger; }
     const audit::PacketLedger &ledger() const { return _ledger; }
 
+    /** Packet-lifecycle tracer (DESIGN.md section 8). */
+    trace::Tracer &tracer() { return _tracer; }
+    const trace::Tracer &tracer() const { return _tracer; }
+
     Tick now() const { return _events.now(); }
 
   private:
@@ -47,6 +52,7 @@ class System
     Rng _rng;
     StatRegistry _stats;
     audit::PacketLedger _ledger;
+    trace::Tracer _tracer;
 };
 
 } // namespace tg

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Packet-lifecycle tracer: breakdown derivation and JSON exports.
+ */
+
+#include "sim/trace.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace tg::trace {
+
+namespace {
+
+/** Deterministic decimal rendering for JSON / table output. */
+std::string
+fmt(double v)
+{
+    std::ostringstream os;
+    os << std::setprecision(12) << v;
+    return os.str();
+}
+
+/** JSON-escape a component or kind name (names are plain ASCII). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+const char *
+spanName(Span s)
+{
+    switch (s) {
+    case Span::CpuIssue: return "cpu_issue";
+    case Span::TcGrant: return "tc_grant";
+    case Span::HibLaunch: return "hib_launch";
+    case Span::LinkTx: return "link_tx";
+    case Span::LinkRx: return "link_rx";
+    case Span::SwitchFwd: return "switch_fwd";
+    case Span::HibHandle: return "hib_handle";
+    case Span::Completion: return "completion";
+    case Span::FenceStart: return "fence_start";
+    case Span::FenceWake: return "fence_wake";
+    }
+    return "?";
+}
+
+const char *
+opKindName(OpKind k)
+{
+    switch (k) {
+    case OpKind::RemoteWrite: return "write";
+    case OpKind::RemoteRead: return "read";
+    case OpKind::RemoteAtomic: return "atomic";
+    case OpKind::RemoteCopy: return "copy";
+    case OpKind::Fence: return "fence";
+    case OpKind::Coherence: return "coherence";
+    case OpKind::Software: return "software";
+    case OpKind::Other: return "other";
+    }
+    return "?";
+}
+
+double
+OpBreakdown::rowSumTicks() const
+{
+    double sum = 0;
+    for (const auto &r : rows)
+        sum += r.meanTicks;
+    return sum;
+}
+
+const OpBreakdown *
+Breakdown::of(OpKind kind) const
+{
+    for (const auto &op : ops)
+        if (op.kind == kind)
+            return &op;
+    return nullptr;
+}
+
+void
+Breakdown::print(std::ostream &os) const
+{
+    for (const auto &op : ops) {
+        os << "-- breakdown: " << opKindName(op.kind) << " (" << op.ops
+           << " ops) --\n";
+        os << "  " << std::left << std::setw(12) << "component"
+           << std::right << std::setw(10) << "count" << std::setw(12)
+           << "mean(us)" << std::setw(9) << "share" << "\n";
+        for (const auto &r : op.rows) {
+            double share =
+                op.totalTicks > 0 ? 100.0 * r.meanTicks / op.totalTicks : 0.0;
+            os << "  " << std::left << std::setw(12) << spanName(r.span)
+               << std::right << std::setw(10) << r.count << std::setw(12)
+               << std::fixed << std::setprecision(3)
+               << r.meanTicks / kTicksPerUs << std::setw(8)
+               << std::setprecision(1) << share << "%"
+               << std::defaultfloat << std::setprecision(6) << "\n";
+        }
+        os << "  " << std::left << std::setw(12) << "total" << std::right
+           << std::setw(10) << "" << std::setw(12) << std::fixed
+           << std::setprecision(3) << op.totalTicks / kTicksPerUs
+           << std::defaultfloat << std::setprecision(6) << "\n";
+    }
+}
+
+std::string
+Breakdown::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"schema\":\"tg-breakdown-v1\",\"ops\":[";
+    bool firstOp = true;
+    for (const auto &op : ops) {
+        if (!firstOp)
+            os << ",";
+        firstOp = false;
+        os << "{\"kind\":\"" << opKindName(op.kind) << "\",\"ops\":" << op.ops
+           << ",\"total_us\":" << fmt(op.totalTicks / kTicksPerUs)
+           << ",\"components\":[";
+        bool firstRow = true;
+        for (const auto &r : op.rows) {
+            if (!firstRow)
+                os << ",";
+            firstRow = false;
+            os << "{\"span\":\"" << spanName(r.span)
+               << "\",\"count\":" << r.count
+               << ",\"mean_us\":" << fmt(r.meanTicks / kTicksPerUs) << "}";
+        }
+        os << "]}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+std::uint16_t
+Tracer::registerComponent(const std::string &name)
+{
+    _comps.push_back(name);
+    return static_cast<std::uint16_t>(_comps.size() - 1);
+}
+
+std::uint64_t
+Tracer::beginOp(OpKind kind)
+{
+    if (!_enabled)
+        return 0;
+    std::uint64_t id = _nextId++;
+    _opKind[id] = kind;
+    return id;
+}
+
+OpKind
+Tracer::kindOf(std::uint64_t id) const
+{
+    auto it = _opKind.find(id);
+    return it == _opKind.end() ? OpKind::Other : it->second;
+}
+
+Breakdown
+Tracer::breakdown() const
+{
+    // Per-op event indices, in recording (= chronological) order.
+    std::map<std::uint64_t, std::vector<std::size_t>> byOp;
+    for (std::size_t i = 0; i < _events.size(); ++i)
+        byOp[_events[i].id].push_back(i);
+
+    // Per (kind, arriving span): total delta ticks + crossing count.
+    struct Cell
+    {
+        std::uint64_t ticks = 0;
+        std::uint64_t count = 0;
+    };
+    std::map<int, std::map<int, Cell>> cells; // kind -> span -> cell
+    std::map<int, std::uint64_t> opCount;     // kind -> ops
+
+    for (const auto &[id, idxs] : byOp) {
+        if (idxs.size() < 2)
+            continue;
+        int kind = static_cast<int>(kindOf(id));
+        ++opCount[kind];
+        for (std::size_t i = 1; i < idxs.size(); ++i) {
+            const TraceEvent &prev = _events[idxs[i - 1]];
+            const TraceEvent &cur = _events[idxs[i]];
+            Cell &c = cells[kind][static_cast<int>(cur.span)];
+            c.ticks += cur.tick - prev.tick;
+            ++c.count;
+        }
+    }
+
+    Breakdown bd;
+    for (const auto &[kind, spans] : cells) {
+        OpBreakdown op;
+        op.kind = static_cast<OpKind>(kind);
+        op.ops = opCount[kind];
+        double n = static_cast<double>(op.ops);
+        for (const auto &[span, cell] : spans) {
+            BreakdownRow row;
+            row.span = static_cast<Span>(span);
+            row.count = cell.count;
+            row.meanTicks = static_cast<double>(cell.ticks) / n;
+            op.rows.push_back(row);
+        }
+        // Define the total as the row sum so the decomposition is exact
+        // even in floating point (acceptance: components sum to totals).
+        op.totalTicks = op.rowSumTicks();
+        bd.ops.push_back(op);
+    }
+    return bd;
+}
+
+void
+Tracer::writeChromeTrace(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+          "\"args\":{\"name\":\"telegraphos\"}}";
+
+    auto compName = [&](std::uint16_t c) -> std::string {
+        return c < _comps.size() ? _comps[c] : "?";
+    };
+
+    std::map<std::uint64_t, std::vector<std::size_t>> byOp;
+    for (std::size_t i = 0; i < _events.size(); ++i)
+        byOp[_events[i].id].push_back(i);
+
+    for (const auto &[id, idxs] : byOp) {
+        const char *kind = opKindName(kindOf(id));
+        os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
+           << id << ",\"args\":{\"name\":\"" << kind << "#" << id << "\"}}";
+        // First boundary as an instant event, every later boundary as a
+        // complete ("X") event spanning from the previous boundary.
+        for (std::size_t i = 0; i < idxs.size(); ++i) {
+            const TraceEvent &ev = _events[idxs[i]];
+            if (i == 0) {
+                os << ",\n{\"name\":\"" << spanName(ev.span)
+                   << "\",\"cat\":\"" << kind
+                   << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":"
+                   << fmt(static_cast<double>(ev.tick) / kTicksPerUs)
+                   << ",\"pid\":0,\"tid\":" << id << ",\"args\":{\"comp\":\""
+                   << jsonEscape(compName(ev.comp)) << "\"}}";
+                continue;
+            }
+            const TraceEvent &prev = _events[idxs[i - 1]];
+            os << ",\n{\"name\":\"" << spanName(ev.span) << "\",\"cat\":\""
+               << kind << "\",\"ph\":\"X\",\"ts\":"
+               << fmt(static_cast<double>(prev.tick) / kTicksPerUs)
+               << ",\"dur\":"
+               << fmt(static_cast<double>(ev.tick - prev.tick) / kTicksPerUs)
+               << ",\"pid\":0,\"tid\":" << id << ",\"args\":{\"comp\":\""
+               << jsonEscape(compName(ev.comp)) << "\",\"aux\":" << ev.aux
+               << "}}";
+        }
+    }
+    os << "\n]}\n";
+}
+
+void
+Tracer::reset()
+{
+    _events.clear();
+    _opKind.clear();
+    _nextId = 1;
+}
+
+} // namespace tg::trace

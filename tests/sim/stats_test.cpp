@@ -48,6 +48,46 @@ TEST(Sampler, ExactQuantiles)
     EXPECT_DOUBLE_EQ(s.quantile(1.0), 100);
 }
 
+TEST(Sampler, QuantileLinearInterpolation)
+{
+    // Regression: quantile() used nearest-rank rounding, so quantiles
+    // between sample points snapped to one of them.  With linear
+    // interpolation the values are exact.
+    Sampler s;
+    for (double v : {10.0, 20.0, 30.0, 40.0})
+        s.sample(v);
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.25), 17.5); // pos 0.75 between 10 and 20
+    EXPECT_DOUBLE_EQ(s.quantile(0.5), 25.0);  // midpoint of 20 and 30
+    EXPECT_DOUBLE_EQ(s.quantile(0.75), 32.5);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 40.0);
+
+    Sampler two;
+    two.sample(0.0);
+    two.sample(100.0);
+    EXPECT_DOUBLE_EQ(two.quantile(0.5), 50.0);
+    EXPECT_DOUBLE_EQ(two.quantile(0.99), 99.0);
+}
+
+TEST(Sampler, StddevStableUnderLargeOffset)
+{
+    // Regression: stddev() accumulated sum-of-squares, which cancels
+    // catastrophically when the mean dwarfs the spread.  Welford's
+    // update keeps full precision.
+    Sampler s;
+    const double base = 1e9;
+    for (double v : {base + 1, base + 2, base + 3})
+        s.sample(v);
+    EXPECT_NEAR(s.stddev(), 1.0, 1e-6);
+    EXPECT_DOUBLE_EQ(s.mean(), base + 2);
+
+    // Same spread without the offset must agree.
+    Sampler small;
+    for (double v : {1.0, 2.0, 3.0})
+        small.sample(v);
+    EXPECT_NEAR(s.stddev(), small.stddev(), 1e-6);
+}
+
 TEST(Sampler, QuantileInterleavedWithSampling)
 {
     Sampler s;
@@ -101,6 +141,58 @@ TEST(StatRegistry, DumpAndLookup)
     const std::string out = os.str();
     EXPECT_NE(out.find("alpha.count"), std::string::npos);
     EXPECT_NE(out.find("beta.latency.mean"), std::string::npos);
+}
+
+TEST(StatRegistry, HistogramsRegisterDumpAndExport)
+{
+    // Regression: Histogram existed but StatRegistry had no overload for
+    // it, so registered histograms were silently dropped from every
+    // report.
+    StatRegistry reg;
+    Histogram h(10.0, 4);
+    h.sample(5);
+    h.sample(15);
+    h.sample(15);
+    reg.add("tc.wait_hist", &h);
+
+    std::ostringstream os;
+    reg.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("tc.wait_hist"), std::string::npos);
+    EXPECT_NE(out.find("bucket[0,10)"), std::string::npos) << out;
+    EXPECT_NE(out.find("bucket[10,20)"), std::string::npos) << out;
+    // Empty buckets are elided.
+    EXPECT_EQ(out.find("bucket[20,30)"), std::string::npos) << out;
+}
+
+TEST(StatRegistry, DumpJsonCoversAllStatKinds)
+{
+    StatRegistry reg;
+    Scalar a;
+    a += 3;
+    Sampler s;
+    s.sample(1);
+    s.sample(2);
+    Histogram h(10.0, 2);
+    h.sample(5);
+    reg.add("alpha.count", &a);
+    reg.add("beta.latency", &s);
+    reg.add("gamma.hist", &h);
+
+    std::ostringstream os;
+    reg.dumpJson(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"schema\":\"tg-stats-v1\""), std::string::npos);
+    EXPECT_NE(out.find("\"alpha.count\":3"), std::string::npos) << out;
+    EXPECT_NE(out.find("\"beta.latency\""), std::string::npos);
+    EXPECT_NE(out.find("\"p50\""), std::string::npos);
+    EXPECT_NE(out.find("\"gamma.hist\""), std::string::npos);
+    EXPECT_NE(out.find("\"buckets\":[1,0]"), std::string::npos) << out;
+
+    // Two dumps of the same registry are byte-identical (determinism).
+    std::ostringstream again;
+    reg.dumpJson(again);
+    EXPECT_EQ(out, again.str());
 }
 
 } // namespace
