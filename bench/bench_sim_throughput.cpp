@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+
 #include "api/cluster.hpp"
 #include "api/context.hpp"
 #include "api/segment.hpp"
@@ -35,6 +37,101 @@ BM_EventQueue(benchmark::State &state)
 }
 BENCHMARK(BM_EventQueue);
 
+#ifdef TG_REFERENCE_HEAP
+/** The pre-ladder binary heap, same workload shape as BM_EventQueue, so
+ *  every run reports the speedup ratio alongside the new engine. */
+void
+BM_EventQueueReference(benchmark::State &state)
+{
+    for (auto _ : state) {
+        ReferenceEventQueue q;
+        std::uint64_t fired = 0;
+        for (int i = 0; i < 10'000; ++i)
+            q.schedule(Tick(i % 97), [&fired] { ++fired; });
+        q.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_EventQueueReference);
+#endif
+
+/** Steady-state schedule->fire cycle on a warm queue: buckets and
+ *  closure storage recycled, zero allocations per event (the case the
+ *  simulator actually spends its life in). */
+void
+BM_EventQueueSteadyState(benchmark::State &state)
+{
+    EventQueue q;
+    std::uint64_t fired = 0;
+    struct Pump
+    {
+        EventQueue *q;
+        std::uint64_t *fired;
+        void
+        operator()() const
+        {
+            ++*fired;
+            q->schedule(7, Pump{q, fired});
+        }
+    };
+    q.schedule(1, Pump{&q, &fired});
+    q.run(5'000); // warm every wheel bucket
+    for (auto _ : state) {
+        q.run(1'000);
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * 1'000);
+}
+BENCHMARK(BM_EventQueueSteadyState);
+
+/** Oversized captures (a closure latching packet-sized state) take the
+ *  pooled path; after warm-up the pool recycles blocks. */
+void
+BM_EventQueueHeavyClosure(benchmark::State &state)
+{
+    struct Payload
+    {
+        std::byte raw[Event::kInlineBytes + 32];
+    };
+    for (auto _ : state) {
+        EventQueue q;
+        std::uint64_t fired = 0;
+        for (int i = 0; i < 10'000; ++i) {
+            Payload p{};
+            p.raw[0] = std::byte(i);
+            q.schedule(Tick(i % 97), [p, &fired] {
+                fired += std::size_t(p.raw[0]);
+            });
+        }
+        q.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_EventQueueHeavyClosure);
+
+/** Mixed near/far-future delays: half the events land in the wheel,
+ *  half go through the overflow ladder and spill back as the window
+ *  advances (retry-timeout and page-copy territory). */
+void
+BM_EventQueueLadder(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue q;
+        std::uint64_t fired = 0;
+        for (int i = 0; i < 10'000; ++i) {
+            const Tick d = (i & 1) ? Tick(i % 97)
+                                   : Tick(20'000 + (i * 131) % 50'000);
+            q.schedule(d, [&fired] { ++fired; });
+        }
+        q.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_EventQueueLadder);
+
 void
 BM_ClusterConstruction(benchmark::State &state)
 {
@@ -53,6 +150,7 @@ BM_RemoteWrites(benchmark::State &state)
 {
     const int ops = int(state.range(0));
     Tick simulated = 0;
+    std::uint64_t events = 0;
     for (auto _ : state) {
         ClusterSpec spec;
         spec.topology.nodes = 2;
@@ -64,10 +162,16 @@ BM_RemoteWrites(benchmark::State &state)
             co_await ctx.fence();
         });
         simulated += cluster.run(2'000'000'000'000ULL);
+        events += cluster.system().events().executed();
     }
     state.SetItemsProcessed(state.iterations() * ops);
     state.counters["sim_us_per_s"] = benchmark::Counter(
         toUs(simulated), benchmark::Counter::kIsRate);
+    state.counters["events_per_s"] = benchmark::Counter(
+        double(events), benchmark::Counter::kIsRate);
+    // Simulated nanoseconds advanced per microsecond of wall time.
+    state.counters["sim_ns_per_wall_us"] = benchmark::Counter(
+        double(simulated) * 1e-6, benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_RemoteWrites)->Arg(1000)->Arg(10000);
 
@@ -75,6 +179,8 @@ void
 BM_CoherentWrites(benchmark::State &state)
 {
     const int ops = int(state.range(0));
+    Tick simulated = 0;
+    std::uint64_t events = 0;
     for (auto _ : state) {
         ClusterSpec spec;
         spec.topology.nodes = 3;
@@ -87,15 +193,22 @@ BM_CoherentWrites(benchmark::State &state)
                 co_await ctx.write(seg.word(i % 64), Word(i));
             co_await ctx.fence();
         });
-        cluster.run(2'000'000'000'000ULL);
+        simulated += cluster.run(2'000'000'000'000ULL);
+        events += cluster.system().events().executed();
     }
     state.SetItemsProcessed(state.iterations() * ops);
+    state.counters["events_per_s"] = benchmark::Counter(
+        double(events), benchmark::Counter::kIsRate);
+    state.counters["sim_ns_per_wall_us"] = benchmark::Counter(
+        double(simulated) * 1e-6, benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_CoherentWrites)->Arg(1000);
 
 void
 BM_AtomicRoundTrips(benchmark::State &state)
 {
+    Tick simulated = 0;
+    std::uint64_t events = 0;
     for (auto _ : state) {
         ClusterSpec spec;
         spec.topology.nodes = 2;
@@ -105,9 +218,14 @@ BM_AtomicRoundTrips(benchmark::State &state)
             for (int i = 0; i < 200; ++i)
                 co_await ctx.fetchAdd(seg.word(0), 1);
         });
-        cluster.run(2'000'000'000'000ULL);
+        simulated += cluster.run(2'000'000'000'000ULL);
+        events += cluster.system().events().executed();
     }
     state.SetItemsProcessed(state.iterations() * 200);
+    state.counters["events_per_s"] = benchmark::Counter(
+        double(events), benchmark::Counter::kIsRate);
+    state.counters["sim_ns_per_wall_us"] = benchmark::Counter(
+        double(simulated) * 1e-6, benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_AtomicRoundTrips);
 

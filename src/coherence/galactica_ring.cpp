@@ -51,7 +51,7 @@ GalacticaRingProtocol::sendRing(NodeId from, PageEntry &e, PAddr home_addr,
 
 void
 GalacticaRingProtocol::localWrite(NodeId n, PageEntry &e, PAddr local_addr,
-                                  Word value, std::function<void()> done)
+                                  Word value, Fn<void()> done)
 {
     const PAddr home_addr = homeAddrOf(e, n, local_addr);
     applyToCopy(n, e, home_addr, value, n);

@@ -32,7 +32,7 @@ class GalacticaRingProtocol : public Protocol
     GalacticaRingProtocol(System &sys, Fabric &fabric);
 
     void localWrite(NodeId n, PageEntry &e, PAddr local_addr, Word value,
-                    std::function<void()> done) override;
+                    Fn<void()> done) override;
 
     bool handlePacket(NodeId n, const net::Packet &pkt) override;
 

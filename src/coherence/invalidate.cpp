@@ -22,7 +22,7 @@ InvalidateProtocol::InvalidateProtocol(System &sys, Fabric &fabric)
 
 void
 InvalidateProtocol::localWrite(NodeId n, PageEntry &e, PAddr local_addr,
-                               Word value, std::function<void()> done)
+                               Word value, Fn<void()> done)
 {
     applyToCopy(n, e, homeAddrOf(e, n, local_addr), value, n);
     if (e.copies.size() == 1 && e.hasCopy(n)) {

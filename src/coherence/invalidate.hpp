@@ -30,7 +30,7 @@ class InvalidateProtocol : public Protocol
     InvalidateProtocol(System &sys, Fabric &fabric);
 
     void localWrite(NodeId n, PageEntry &e, PAddr local_addr, Word value,
-                    std::function<void()> done) override;
+                    Fn<void()> done) override;
 
     bool handlePacket(NodeId n, const net::Packet &pkt) override;
 
@@ -40,7 +40,7 @@ class InvalidateProtocol : public Protocol
     struct PendingInv
     {
         std::size_t waiting = 0;
-        std::function<void()> done;
+        Fn<void()> done;
     };
 
     /** (writer node, home page) -> in-flight invalidation round. */

@@ -41,7 +41,7 @@ NaiveMulticastProtocol::multicastFrom(NodeId src, PageEntry &e,
 
 void
 NaiveMulticastProtocol::localWrite(NodeId n, PageEntry &e, PAddr local_addr,
-                                   Word value, std::function<void()> done)
+                                   Word value, Fn<void()> done)
 {
     const PAddr home_addr = homeAddrOf(e, n, local_addr);
     applyToCopy(n, e, home_addr, value, n);

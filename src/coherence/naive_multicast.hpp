@@ -24,7 +24,7 @@ class NaiveMulticastProtocol : public Protocol
     NaiveMulticastProtocol(System &sys, Fabric &fabric);
 
     void localWrite(NodeId n, PageEntry &e, PAddr local_addr, Word value,
-                    std::function<void()> done) override;
+                    Fn<void()> done) override;
 
     void remoteWriteAtHome(NodeId home, PageEntry &e,
                            const net::Packet &pkt) override;

@@ -43,7 +43,7 @@ OwnerCounterProtocol::ownerMulticast(PageEntry &e, PAddr home_addr,
 
 void
 OwnerCounterProtocol::localWrite(NodeId n, PageEntry &e, PAddr local_addr,
-                                 Word value, std::function<void()> done)
+                                 Word value, Fn<void()> done)
 {
     const PAddr home_addr = homeAddrOf(e, n, local_addr);
 

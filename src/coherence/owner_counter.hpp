@@ -33,7 +33,7 @@ class OwnerCounterProtocol : public Protocol
     OwnerCounterProtocol(System &sys, Fabric &fabric);
 
     void localWrite(NodeId n, PageEntry &e, PAddr local_addr, Word value,
-                    std::function<void()> done) override;
+                    Fn<void()> done) override;
 
     void remoteWriteAtHome(NodeId home, PageEntry &e,
                            const net::Packet &pkt) override;

@@ -11,11 +11,11 @@
 #ifndef TELEGRAPHOS_COHERENCE_PROTOCOL_HPP
 #define TELEGRAPHOS_COHERENCE_PROTOCOL_HPP
 
-#include <functional>
 #include <string>
 
 #include "coherence/directory.hpp"
 #include "net/packet.hpp"
+#include "sim/event.hpp"
 #include "sim/sim_object.hpp"
 
 namespace tg::hib {
@@ -69,7 +69,7 @@ class Protocol : public SimObject
      *                   e.g. on a full counter cache)
      */
     virtual void localWrite(NodeId n, PageEntry &e, PAddr local_addr,
-                            Word value, std::function<void()> done) = 0;
+                            Word value, Fn<void()> done) = 0;
 
     /**
      * A remote WriteReq arrived at the page's home and was applied there.

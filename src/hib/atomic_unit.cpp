@@ -16,7 +16,7 @@ AtomicUnit::AtomicUnit(System &sys, const std::string &name,
 
 void
 AtomicUnit::request(net::AtomicOp op, PAddr offset, Word a, Word b,
-                    std::function<void(Word)> done)
+                    Fn<void(Word)> done)
 {
     _queue.push_back(Pending{op, offset, a, b, std::move(done)});
     if (!_busy)

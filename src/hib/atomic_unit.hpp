@@ -12,10 +12,10 @@
 #define TELEGRAPHOS_HIB_ATOMIC_UNIT_HPP
 
 #include <deque>
-#include <functional>
 
 #include "net/packet.hpp"
 #include "node/main_memory.hpp"
+#include "sim/event.hpp"
 #include "sim/sim_object.hpp"
 
 namespace tg::hib {
@@ -36,7 +36,7 @@ class AtomicUnit : public SimObject
      * @param done    receives the *old* value of the word
      */
     void request(net::AtomicOp op, PAddr offset, Word a, Word b,
-                 std::function<void(Word)> done);
+                 Fn<void(Word)> done);
 
     std::uint64_t executed() const { return _executed; }
 
@@ -46,7 +46,7 @@ class AtomicUnit : public SimObject
         net::AtomicOp op;
         PAddr offset;
         Word a, b;
-        std::function<void(Word)> done;
+        Fn<void(Word)> done;
     };
 
     void startNext();

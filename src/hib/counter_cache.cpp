@@ -15,7 +15,7 @@ CounterCache::CounterCache(System &sys, const std::string &name,
 }
 
 void
-CounterCache::grant(PAddr word_addr, std::function<void()> granted)
+CounterCache::grant(PAddr word_addr, Fn<void()> granted)
 {
     ++_counters[word_addr];
     _peak = std::max(_peak, _counters.size());
@@ -23,7 +23,7 @@ CounterCache::grant(PAddr word_addr, std::function<void()> granted)
 }
 
 void
-CounterCache::increment(PAddr word_addr, std::function<void()> granted)
+CounterCache::increment(PAddr word_addr, Fn<void()> granted)
 {
     if (!enabled())
         panic("%s: increment with counter cache disabled", _name.c_str());

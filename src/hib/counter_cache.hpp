@@ -19,9 +19,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <map>
 
+#include "sim/event.hpp"
 #include "sim/sim_object.hpp"
 
 namespace tg::hib {
@@ -43,7 +43,7 @@ class CounterCache : public SimObject
      * stall).  The increment cost (two SRAM accesses + add) is charged
      * before @p granted fires.
      */
-    void increment(PAddr word_addr, std::function<void()> granted);
+    void increment(PAddr word_addr, Fn<void()> granted);
 
     /** Decrement (a reflected own-write arrived); frees the slot at zero. */
     void decrement(PAddr word_addr);
@@ -63,10 +63,10 @@ class CounterCache : public SimObject
     {
         PAddr addr;
         Tick since;
-        std::function<void()> granted;
+        Fn<void()> granted;
     };
 
-    void grant(PAddr word_addr, std::function<void()> granted);
+    void grant(PAddr word_addr, Fn<void()> granted);
 
     std::uint32_t _capacity;
     std::map<PAddr, std::uint32_t> _counters;

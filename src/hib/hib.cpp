@@ -95,13 +95,13 @@ Hib::Hib(System &sys, const std::string &name, NodeId node,
 }
 
 void
-Hib::setAlarmHandler(std::function<void(PAddr, bool)> h)
+Hib::setAlarmHandler(Fn<void(PAddr, bool)> h)
 {
     _alarmHandler = std::move(h);
 }
 
 void
-Hib::addSoftwareHandler(std::function<bool(const net::Packet &)> h)
+Hib::addSoftwareHandler(Fn<bool(const net::Packet &)> h)
 {
     _softwareHandlers.push_back(std::move(h));
 }
@@ -216,11 +216,11 @@ Hib::cpuRemoteRead(PAddr pa, OnWord done, std::uint64_t traceId)
     pkt.origin = _node;
     pkt.traceId = traceId;
     pkt.ticket = expectReply([this, done = std::move(done),
-                              traceId](Word v) {
+                              traceId](Word v) mutable {
         --_readsInFlight;
         // Deliver the reply to the stalled processor over the TC.
-        _tc.transact(config().tcWriteTxn(2), [done, v] { done(v); },
-                     traceId);
+        _tc.transact(config().tcWriteTxn(2),
+                     [done = std::move(done), v] { done(v); }, traceId);
     });
     schedule(config().hibLatch,
              [this, pkt = std::move(pkt)]() mutable {
@@ -277,18 +277,20 @@ Hib::regRead(PAddr offset, OnWord done)
         // Telegraphos I: reading the result register launches the
         // assembled special operation and blocks until its result.
         const LaunchArgs args = _specialOps.specialArgs();
-        schedule(config().hibLatch, [this, args, done = std::move(done)] {
-            launch(args, done);
-        });
+        schedule(config().hibLatch,
+                 [this, args, done = std::move(done)]() mutable {
+                     launch(args, std::move(done));
+                 });
         return;
     }
     std::uint32_t ctx;
     if (_specialOps.isGo(offset, ctx)) {
         const LaunchArgs args = _specialOps.args(ctx);
         _specialOps.consume(ctx);
-        schedule(config().hibLatch, [this, args, done = std::move(done)] {
-            launch(args, done);
-        });
+        schedule(config().hibLatch,
+                 [this, args, done = std::move(done)]() mutable {
+                     launch(args, std::move(done));
+                 });
         return;
     }
     warn("%s: read of unknown HIB register %llx", _name.c_str(),

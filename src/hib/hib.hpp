@@ -26,7 +26,6 @@
 #define TELEGRAPHOS_HIB_HIB_HPP
 
 #include <deque>
-#include <functional>
 #include <memory>
 #include <map>
 
@@ -51,8 +50,8 @@ namespace tg::hib {
 class Hib : public SimObject, public net::NodeEndpoint
 {
   public:
-    using OnDone = std::function<void()>;
-    using OnWord = std::function<void(Word)>;
+    using OnDone = Fn<void()>;
+    using OnWord = Fn<void(Word)>;
 
     Hib(System &sys, const std::string &name, NodeId node,
         node::MainMemory &storage, node::TurboChannel &tc);
@@ -66,11 +65,11 @@ class Hib : public SimObject, public net::NodeEndpoint
     void setDirectory(coherence::Directory *dir) { _dir = dir; }
 
     /** OS hook for page-counter alarms: (page frame, was_write). */
-    void setAlarmHandler(std::function<void(PAddr, bool)> h);
+    void setAlarmHandler(Fn<void(PAddr, bool)> h);
 
     /** Add a software (VSM / sockets) packet handler; handlers are tried
      *  in registration order until one returns true. */
-    void addSoftwareHandler(std::function<bool(const net::Packet &)> h);
+    void addSoftwareHandler(Fn<bool(const net::Packet &)> h);
 
     // ------------------------------------------------------------------
     // net::NodeEndpoint: the link interfaces of Table 1
@@ -243,8 +242,8 @@ class Hib : public SimObject, public net::NodeEndpoint
     Outstanding _outstanding;
 
     coherence::Directory *_dir = nullptr;
-    std::function<void(PAddr, bool)> _alarmHandler;
-    std::vector<std::function<bool(const net::Packet &)>> _softwareHandlers;
+    Fn<void(PAddr, bool)> _alarmHandler;
+    std::vector<Fn<bool(const net::Packet &)>> _softwareHandlers;
 
     // Ordered maps by contract: hib is an order-sensitive namespace
     // (DESIGN.md section 7) and iteration must be deterministic.

@@ -75,7 +75,7 @@ Outstanding::wakeWaiters()
 }
 
 void
-Outstanding::waitDrain(std::function<void()> cb, std::uint64_t traceId)
+Outstanding::waitDrain(Fn<void()> cb, std::uint64_t traceId)
 {
     _sys.tracer().record(traceId, trace::Span::FenceStart, now(),
                          _traceComp, _current);

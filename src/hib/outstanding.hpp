@@ -14,8 +14,8 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 
+#include "sim/event.hpp"
 #include "sim/sim_object.hpp"
 
 namespace tg::hib {
@@ -49,7 +49,7 @@ class Outstanding : public SimObject
      * tags the fence for the lifecycle tracer: FenceStart is recorded at
      * registration, FenceWake when @p cb is released.
      */
-    void waitDrain(std::function<void()> cb, std::uint64_t traceId = 0);
+    void waitDrain(Fn<void()> cb, std::uint64_t traceId = 0);
 
     /** Peak value reached (stat). */
     std::uint64_t peak() const { return _peak; }
@@ -67,7 +67,7 @@ class Outstanding : public SimObject
     std::uint64_t _peak = 0;
     std::uint64_t _total = 0;
     std::uint64_t _lost = 0;
-    std::deque<std::function<void()>> _waiters;
+    std::deque<Fn<void()>> _waiters;
     bool _draining = false;
     std::uint16_t _traceComp = 0;
 };

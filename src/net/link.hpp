@@ -43,7 +43,6 @@
 #define TELEGRAPHOS_NET_LINK_HPP
 
 #include <deque>
-#include <functional>
 #include <vector>
 
 #include "net/fault.hpp"
@@ -75,7 +74,7 @@ class Channel : public SimObject
     };
 
     /** Invoked with a packet the link permanently failed to deliver. */
-    using FailureHandler = std::function<void(Packet &&)>;
+    using FailureHandler = Fn<void(Packet &&)>;
 
     /** Multi-VC channel over @p lanes. */
     Channel(System &sys, const std::string &name, std::vector<Lane> lanes,

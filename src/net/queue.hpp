@@ -14,10 +14,10 @@
 #define TELEGRAPHOS_NET_QUEUE_HPP
 
 #include <deque>
-#include <functional>
 #include <vector>
 
 #include "net/packet.hpp"
+#include "sim/event.hpp"
 #include "sim/invariant.hpp"
 #include "sim/log.hpp"
 
@@ -33,7 +33,7 @@ namespace tg::net {
 class BoundedQueue
 {
   public:
-    using Listener = std::function<void()>;
+    using Listener = Fn<void()>;
 
     explicit BoundedQueue(std::size_t capacity) : _capacity(capacity)
     {

@@ -25,7 +25,6 @@
 #ifndef TELEGRAPHOS_NET_SWITCH_HPP
 #define TELEGRAPHOS_NET_SWITCH_HPP
 
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -43,8 +42,7 @@ class Switch : public SimObject
      * out_vc.  Defaults to keeping the incoming VC.
      */
     using VcMap =
-        std::function<std::uint8_t(const Packet &, std::size_t,
-                                   std::uint8_t)>;
+        Fn<std::uint8_t(const Packet &, std::size_t, std::uint8_t)>;
 
     /**
      * @param sys    owning system

@@ -20,7 +20,7 @@ Cpu::Cpu(System &sys, const std::string &name, NodeId node, Mmu &mmu,
 }
 
 int
-Cpu::addThread(AddressSpace *as, std::function<Task<void>()> builder)
+Cpu::addThread(AddressSpace *as, std::function<Task<void>()> builder) // tglint: allow(hot-path-std-function)
 {
     Thread t;
     t.as = as;
@@ -61,7 +61,7 @@ Cpu::quantumExpired() const
 }
 
 void
-Cpu::setSwitchHook(std::function<void(int)> fn, Tick extra_cost)
+Cpu::setSwitchHook(std::function<void(int)> fn, Tick extra_cost) // tglint: allow(hot-path-std-function)
 {
     _switchHook = std::move(fn);
     _switchHookCost = extra_cost;
@@ -168,7 +168,7 @@ Cpu::onOpComplete(int tid, std::coroutine_handle<> h)
 }
 
 void
-Cpu::execute(const CpuOp &op, Word *result, std::function<void()> done)
+Cpu::execute(const CpuOp &op, Word *result, Fn<void()> done)
 {
     const Config &cfg = config();
 
@@ -181,14 +181,15 @@ Cpu::execute(const CpuOp &op, Word *result, std::function<void()> done)
         // MEMORY_BARRIER: drain the write buffer, then stall until all
         // outstanding remote operations complete (section 2.3.5).
         schedule(cfg.cpuInstruction + cfg.cpuMemIssue,
-                 [this, done = std::move(done)] {
+                 [this, done = std::move(done)]() mutable {
                      const std::uint64_t traceId =
                          _sys.tracer().beginOp(trace::OpKind::Fence);
                      _sys.tracer().record(traceId, trace::Span::CpuIssue,
                                           now(), _traceComp);
-                     waitWriteBufferEmpty([this, done, traceId] {
-                         _hib.fence(done, traceId);
-                     });
+                     waitWriteBufferEmpty(
+                         [this, done = std::move(done), traceId]() mutable {
+                             _hib.fence(std::move(done), traceId);
+                         });
                  });
         return;
 
@@ -203,9 +204,12 @@ Cpu::execute(const CpuOp &op, Word *result, std::function<void()> done)
 
     if (!t.ok) {
         // Page fault / protection violation: hand to the OS.
-        schedule(charge, [this, op, result, done = std::move(done)] {
-            auto retry = [this, op, result, done] {
-                execute(op, result, done);
+        schedule(charge, [this, op, result, done = std::move(done)]() mutable {
+            // The fault handler is a copyable std::function, so the
+            // move-only completion rides in a shared_ptr (cold path).
+            auto shared = std::make_shared<Fn<void()>>(std::move(done));
+            auto retry = [this, op, result, shared] {
+                execute(op, result, std::move(*shared));
             };
             auto kill = [this](std::string reason) {
                 killCurrent(reason);
@@ -224,7 +228,7 @@ Cpu::execute(const CpuOp &op, Word *result, std::function<void()> done)
 
 void
 Cpu::performAccess(const CpuOp &op, const Translation &t, Word *result,
-                   Tick charge, std::function<void()> done)
+                   Tick charge, Fn<void()> done)
 {
     const Config &cfg = config();
     const bool is_write = op.kind == CpuOp::Kind::Write;
@@ -234,8 +238,8 @@ Cpu::performAccess(const CpuOp &op, const Translation &t, Word *result,
     // Shadow store: communicate a physical address to the HIB (2.2.4).
     // An uncached store, so it completes into the write buffer.
     if (t.shadow) {
-        schedule(charge, [this, pa, op, done = std::move(done)] {
-            bufferStore(pa, op.value, done);
+        schedule(charge, [this, pa, op, done = std::move(done)]() mutable {
+            bufferStore(pa, op.value, std::move(done));
         });
         return;
     }
@@ -266,36 +270,45 @@ Cpu::performAccess(const CpuOp &op, const Translation &t, Word *result,
             // of launch sequences against buffered argument stores.
             if (is_write) {
                 schedule(charge, [this, offset, pa, op,
-                                  done = std::move(done)] {
-                    waitWriteBufferEmpty([this, offset, pa, op, done] {
+                                  done = std::move(done)]() mutable {
+                    waitWriteBufferEmpty([this, offset, pa, op,
+                                          done = std::move(done)]() mutable {
                         _tc.transact(
                             config().cpuUncachedOverhead +
                                 config().tcWriteTxn(2),
-                            [this, offset, pa, op, done] {
+                            [this, offset, pa, op,
+                             done = std::move(done)]() mutable {
                                 if (_hib.specialOps().specialMode()) {
                                     // Special mode: the store is an
                                     // argument-passing command (2.2.4).
-                                    _hib.shadowStore(pa, op.value, done);
+                                    _hib.shadowStore(pa, op.value,
+                                                     std::move(done));
                                     return;
                                 }
                                 _hib.cpuLocalShmWrite(
-                                    offset, op.value, [this, pa, op, done] {
-                                        _hib.localSharedWrite(pa, op.value,
-                                                              done);
+                                    offset, op.value,
+                                    [this, pa, op,
+                                     done = std::move(done)]() mutable {
+                                        _hib.localSharedWrite(
+                                            pa, op.value, std::move(done));
                                     });
                             });
                     });
                 });
             } else {
                 schedule(charge, [this, offset, result,
-                                  done = std::move(done)] {
-                    waitWriteBufferEmpty([this, offset, result, done] {
+                                  done = std::move(done)]() mutable {
+                    waitWriteBufferEmpty([this, offset, result,
+                                          done = std::move(done)]() mutable {
                         _tc.transact(
                             config().cpuUncachedOverhead +
                                 config().tcReadTxn(),
-                            [this, offset, result, done] {
+                            [this, offset, result,
+                             done = std::move(done)]() mutable {
                                 _hib.cpuLocalShmRead(
-                                    offset, [result, done](Word v) {
+                                    offset,
+                                    [result,
+                                     done = std::move(done)](Word v) mutable {
                                         *result = v;
                                         done();
                                     });
@@ -309,12 +322,14 @@ Cpu::performAccess(const CpuOp &op, const Translation &t, Word *result,
             // protocol-managed pages update at the right moment.
             if (is_write) {
                 schedule(charge + cfg.memAccess,
-                         [this, pa, op, done = std::move(done)] {
+                         [this, pa, op, done = std::move(done)]() mutable {
                              if (_hib.specialOps().specialMode()) {
-                                 _hib.shadowStore(pa, op.value, done);
+                                 _hib.shadowStore(pa, op.value,
+                                                  std::move(done));
                                  return;
                              }
-                             _hib.localSharedWrite(pa, op.value, done);
+                             _hib.localSharedWrite(pa, op.value,
+                                                   std::move(done));
                          });
             } else {
                 schedule(charge + cfg.memAccess,
@@ -333,28 +348,33 @@ Cpu::performAccess(const CpuOp &op, const Translation &t, Word *result,
         if (is_write) {
             // Non-blocking: the store completes into the write buffer;
             // the drain engine performs the TC transaction (2.2.1).
-            schedule(charge, [this, pa, op, done = std::move(done)] {
+            schedule(charge, [this, pa, op, done = std::move(done)]() mutable {
                 const std::uint64_t traceId =
                     _sys.tracer().beginOp(trace::OpKind::RemoteWrite);
                 _sys.tracer().record(traceId, trace::Span::CpuIssue, now(),
                                      _traceComp);
-                bufferStore(pa, op.value, done, traceId);
+                bufferStore(pa, op.value, std::move(done), traceId);
             });
         } else {
             // Blocking: drain buffered stores, then hold the read until
             // the reply returns from the remote node.
-            schedule(charge, [this, pa, result, done = std::move(done)] {
+            schedule(charge, [this, pa, result,
+                              done = std::move(done)]() mutable {
                 const std::uint64_t traceId =
                     _sys.tracer().beginOp(trace::OpKind::RemoteRead);
                 _sys.tracer().record(traceId, trace::Span::CpuIssue, now(),
                                      _traceComp);
-                waitWriteBufferEmpty([this, pa, result, done, traceId] {
+                waitWriteBufferEmpty([this, pa, result,
+                                      done = std::move(done),
+                                      traceId]() mutable {
                     _tc.transact(
                         config().cpuUncachedOverhead + config().tcReadTxn(),
-                        [this, pa, result, done, traceId] {
+                        [this, pa, result, done = std::move(done),
+                         traceId]() mutable {
                             _hib.cpuRemoteRead(
                                 pa,
-                                [result, done](Word v) {
+                                [result,
+                                 done = std::move(done)](Word v) mutable {
                                     *result = v;
                                     done();
                                 },
@@ -369,20 +389,25 @@ Cpu::performAccess(const CpuOp &op, const Translation &t, Word *result,
 
       case PageMode::HibControl: {
         if (is_write) {
-            schedule(charge, [this, pa, op, done = std::move(done)] {
-                bufferStore(pa, op.value, done);
+            schedule(charge, [this, pa, op, done = std::move(done)]() mutable {
+                bufferStore(pa, op.value, std::move(done));
             });
         } else {
             schedule(charge, [this, offset, result,
-                              done = std::move(done)] {
-                waitWriteBufferEmpty([this, offset, result, done] {
+                              done = std::move(done)]() mutable {
+                waitWriteBufferEmpty([this, offset, result,
+                                      done = std::move(done)]() mutable {
                     _tc.transact(
                         config().cpuUncachedOverhead + config().tcReadTxn(),
-                        [this, offset, result, done] {
-                            _hib.regRead(offset, [result, done](Word v) {
-                                *result = v;
-                                done();
-                            });
+                        [this, offset, result,
+                         done = std::move(done)]() mutable {
+                            _hib.regRead(
+                                offset,
+                                [result,
+                                 done = std::move(done)](Word v) mutable {
+                                    *result = v;
+                                    done();
+                                });
                         });
                 });
             });
@@ -392,9 +417,10 @@ Cpu::performAccess(const CpuOp &op, const Translation &t, Word *result,
 
       case PageMode::VsmAbsent: {
         // Not present: fault into the VSM layer.
-        schedule(charge, [this, op, result, done = std::move(done)] {
-            auto retry = [this, op, result, done] {
-                execute(op, result, done);
+        schedule(charge, [this, op, result, done = std::move(done)]() mutable {
+            auto shared = std::make_shared<Fn<void()>>(std::move(done));
+            auto retry = [this, op, result, shared] {
+                execute(op, result, std::move(*shared));
             };
             auto kill = [this](std::string reason) {
                 killCurrent(reason);
@@ -419,7 +445,7 @@ Cpu::performAccess(const CpuOp &op, const Translation &t, Word *result,
 // ---------------------------------------------------------------------
 
 void
-Cpu::bufferStore(PAddr pa, Word value, std::function<void()> done,
+Cpu::bufferStore(PAddr pa, Word value, Fn<void()> done,
                  std::uint64_t traceId)
 {
     if (_writeBuffer.size() >= config().writeBufferEntries) {
@@ -428,8 +454,8 @@ Cpu::bufferStore(PAddr pa, Word value, std::function<void()> done,
         if (_wbInsertWaiter)
             panic("%s: concurrent write-buffer stalls", _name.c_str());
         _wbInsertWaiter = [this, pa, value, traceId,
-                           done = std::move(done)] {
-            bufferStore(pa, value, done, traceId);
+                           done = std::move(done)]() mutable {
+            bufferStore(pa, value, std::move(done), traceId);
         };
         return;
     }
@@ -498,7 +524,7 @@ Cpu::drainWriteBuffer()
 }
 
 void
-Cpu::waitWriteBufferEmpty(std::function<void()> cb)
+Cpu::waitWriteBufferEmpty(Fn<void()> cb)
 {
     if (_writeBuffer.empty() && !_draining) {
         cb();

@@ -23,6 +23,7 @@
 #include "node/main_memory.hpp"
 #include "node/mmu.hpp"
 #include "node/turbochannel.hpp"
+#include "sim/event.hpp"
 #include "sim/stats.hpp"
 #include "sim/task.hpp"
 
@@ -56,10 +57,12 @@ class Cpu : public SimObject
     /**
      * Fault handler: (va, is_write, retry, kill).  Installed by the OS;
      * it either repairs the mapping and calls retry, or kills the thread.
+     * Cold path (faults trap to software anyway), so std::function is
+     * fine here.  tglint: allow(hot-path-std-function)
      */
     using FaultHandler =
-        std::function<void(VAddr, bool, std::function<void()>,
-                           std::function<void(std::string)>)>;
+        std::function<void(VAddr, bool, std::function<void()>, // tglint: allow(hot-path-std-function)
+                           std::function<void(std::string)>)>; // tglint: allow(hot-path-std-function)
 
     Cpu(System &sys, const std::string &name, NodeId node, Mmu &mmu,
         Cache &cache, MainMemory &mem, TurboChannel &tc, hib::Hib &hib);
@@ -84,7 +87,7 @@ class Cpu : public SimObject
      * Register a thread.  @p builder creates the coroutine when the
      * thread is first scheduled (it must bind whatever context it needs).
      */
-    int addThread(AddressSpace *as, std::function<Task<void>()> builder);
+    int addThread(AddressSpace *as, std::function<Task<void>()> builder); // tglint: allow(hot-path-std-function)
 
     /** Begin executing registered threads. */
     void start();
@@ -104,7 +107,7 @@ class Cpu : public SimObject
      * @p extra_cost is added to every context-switch delay (the
      * interrupt-handler work of saving/restoring the NI register).
      */
-    void setSwitchHook(std::function<void(int)> fn, Tick extra_cost);
+    void setSwitchHook(std::function<void(int)> fn, Tick extra_cost); // tglint: allow(hot-path-std-function)
 
     void setFaultHandler(FaultHandler h) { _faultHandler = std::move(h); }
 
@@ -129,16 +132,16 @@ class Cpu : public SimObject
     struct Thread
     {
         AddressSpace *as = nullptr;
-        std::function<Task<void>()> builder;
+        std::function<Task<void>()> builder; // tglint: allow(hot-path-std-function)
         Task<void> task;
         ThreadInfo info;
-        std::function<void()> parked; ///< pending resume when preempted
+        Fn<void()> parked; ///< pending resume when preempted
     };
 
     /** Perform @p op; @p done runs at completion (result already stored). */
-    void execute(const CpuOp &op, Word *result, std::function<void()> done);
+    void execute(const CpuOp &op, Word *result, Fn<void()> done);
     void performAccess(const CpuOp &op, const Translation &t, Word *result,
-                       Tick charge, std::function<void()> done);
+                       Tick charge, Fn<void()> done);
 
     // ------------------------------------------------------------------
     // Uncached-store write buffer (Alpha 21064: 4 entries).  I/O-space
@@ -154,14 +157,14 @@ class Cpu : public SimObject
     };
 
     /** Insert an uncached store (stalls when the buffer is full). */
-    void bufferStore(PAddr pa, Word value, std::function<void()> done,
+    void bufferStore(PAddr pa, Word value, Fn<void()> done,
                      std::uint64_t traceId = 0);
 
     /** Issue buffered stores over the TC, oldest first. */
     void drainWriteBuffer();
 
     /** Run @p cb once the write buffer has fully drained. */
-    void waitWriteBufferEmpty(std::function<void()> cb);
+    void waitWriteBufferEmpty(Fn<void()> cb);
 
     /** Route one drained store to the right HIB port. */
     void dispatchStore(const BufferedStore &s);
@@ -183,15 +186,15 @@ class Cpu : public SimObject
 
     std::deque<BufferedStore> _writeBuffer;
     bool _draining = false;
-    std::function<void()> _wbInsertWaiter;
-    std::vector<std::function<void()>> _wbEmptyWaiters;
+    Fn<void()> _wbInsertWaiter;
+    std::vector<Fn<void()>> _wbEmptyWaiters;
 
     std::vector<Thread> _threads;
     int _current = -1;
     Tick _sliceEnd = 0;
     int _noPreempt = 0;
     FaultHandler _faultHandler;
-    std::function<void(int)> _switchHook;
+    std::function<void(int)> _switchHook; // tglint: allow(hot-path-std-function)
     Tick _switchHookCost = 0;
 
     std::uint64_t _opsIssued = 0;

@@ -16,7 +16,7 @@ TurboChannel::TurboChannel(System &sys, const std::string &name)
 }
 
 void
-TurboChannel::transact(Tick hold, std::function<void()> done,
+TurboChannel::transact(Tick hold, Fn<void()> done,
                        std::uint64_t traceId)
 {
     _queue.push_back(Txn{hold, now(), std::move(done), traceId});

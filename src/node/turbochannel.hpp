@@ -14,8 +14,8 @@
 #define TELEGRAPHOS_NODE_TURBOCHANNEL_HPP
 
 #include <deque>
-#include <functional>
 
+#include "sim/event.hpp"
 #include "sim/sim_object.hpp"
 #include "sim/stats.hpp"
 
@@ -33,8 +33,7 @@ class TurboChannel : public SimObject
      * the transaction with a lifecycle-tracer operation id; the grant is
      * then recorded as a TcGrant span.
      */
-    void transact(Tick hold, std::function<void()> done,
-                  std::uint64_t traceId = 0);
+    void transact(Tick hold, Fn<void()> done, std::uint64_t traceId = 0);
 
     /** Transactions completed. */
     std::uint64_t transactions() const { return _count; }
@@ -50,7 +49,7 @@ class TurboChannel : public SimObject
     {
         Tick hold;
         Tick enqueued;
-        std::function<void()> done;
+        Fn<void()> done;
         std::uint64_t traceId;
     };
 

@@ -1,10 +1,19 @@
 /**
  * @file
- * Deterministic event queue implementation.
+ * Ladder/calendar event queue implementation.
+ *
+ * Ordering invariant: the ladder never holds an event whose tick lies
+ * inside the wheel window.  The window base only moves in spill-guarded
+ * steps (advanceWindow), and it moves *before* any callback at the new
+ * time runs, so every ladder entry for a tick reaches its bucket before
+ * any direct schedule for that tick can append — per-bucket FIFO order
+ * is therefore exactly (when, seq) order.
  */
 
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <utility>
 
 #include "sim/log.hpp"
@@ -14,34 +23,129 @@ namespace tg {
 void
 EventQueue::scheduleAbs(Tick when, Callback cb)
 {
-    if (when < _now)
-        panic("event scheduled in the past: when=%llu now=%llu",
-              (unsigned long long)when, (unsigned long long)_now);
-    _heap.push(Entry{when, _seq++, std::move(cb)});
+    if (when < _now) {
+        TG_AUDIT(false, "event scheduled in the past: when=%llu now=%llu",
+                 (unsigned long long)when, (unsigned long long)_now);
+        when = _now; // audits off: clamp rather than fire out of order
+    }
+    if (inWheel(when)) {
+        pushWheel(when, _seq++, std::move(cb));
+    } else {
+        _ladder.push_back(LadderEntry{when, _seq++, std::move(cb)});
+        std::push_heap(_ladder.begin(), _ladder.end(), FiresLater{});
+    }
+}
+
+void
+EventQueue::pushWheel(Tick when, std::uint64_t seq, Event cb)
+{
+    const std::size_t idx = when & kWheelMask;
+    Bucket &b = _wheel[idx];
+    b.seqs.push_back(seq);
+    b.cbs.push_back(std::move(cb));
+    _occupied[idx / 64] |= std::uint64_t(1) << (idx % 64);
+    ++_wheelCount;
+}
+
+void
+EventQueue::spill()
+{
+    while (!_ladder.empty() && inWheel(_ladder.front().when)) {
+        std::pop_heap(_ladder.begin(), _ladder.end(), FiresLater{});
+        LadderEntry e = std::move(_ladder.back());
+        _ladder.pop_back();
+        pushWheel(e.when, e.seq, std::move(e.cb));
+    }
+}
+
+void
+EventQueue::advanceWindow(Tick base)
+{
+    // Buckets index by absolute tick (when & mask), so events already in
+    // the wheel stay valid across the move; only the containment window
+    // shifts, admitting ladder entries that now fall inside it.
+    _base = base;
+    spill();
+}
+
+std::size_t
+EventQueue::firstOccupied() const
+{
+    const std::size_t start = _base & kWheelMask;
+    const std::size_t word0 = start / 64;
+    const std::uint64_t high =
+        _occupied[word0] & (~std::uint64_t(0) << (start % 64));
+    if (high != 0)
+        return word0 * 64 + std::size_t(std::countr_zero(high));
+    for (std::size_t k = 1; k < kBitmapWords; ++k) {
+        const std::size_t w = (word0 + k) & (kBitmapWords - 1);
+        if (_occupied[w] != 0)
+            return w * 64 + std::size_t(std::countr_zero(_occupied[w]));
+    }
+    const std::uint64_t low =
+        _occupied[word0] & ~(~std::uint64_t(0) << (start % 64));
+    return word0 * 64 + std::size_t(std::countr_zero(low));
+}
+
+Tick
+EventQueue::nextWhen() const
+{
+    // Wheel events lie in [_base, _base + W), ladder events at or beyond
+    // _base + W, so a non-empty wheel always holds the earliest event.
+    if (_wheelCount != 0) {
+        const std::size_t idx = firstOccupied();
+        return _base + ((idx - (_base & kWheelMask)) & kWheelMask);
+    }
+    return _ladder.front().when;
 }
 
 void
 EventQueue::pop_and_fire()
 {
-    // Move the callback out before popping so the entry can safely
-    // schedule further events (which may reallocate the heap).
-    Entry e = std::move(const_cast<Entry &>(_heap.top()));
-    _heap.pop();
-    TG_AUDIT(e.when >= _now,
-             "event queue time went backwards: firing %llu at now=%llu",
-             (unsigned long long)e.when, (unsigned long long)_now);
-    _now = e.when;
+    if (_wheelCount == 0) {
+        // Wheel drained: jump the window straight to the next ladder
+        // tick instead of sweeping empty buckets one lap at a time.
+        advanceWindow(_ladder.front().when);
+    }
+
+    const std::size_t idx = firstOccupied();
+    const Tick when = _base + ((idx - (_base & kWheelMask)) & kWheelMask);
+
+    // Advance the window *before* firing: callbacks at the new time may
+    // schedule into ticks the old window did not cover, and any ladder
+    // entries for those ticks (necessarily older seq) must reach their
+    // buckets first to keep FIFO order == seq order.
+    if (when > _now) {
+        _now = when;
+        advanceWindow(when);
+    }
+
+    Bucket &b = _wheel[idx];
+    const std::uint64_t seq = b.seqs[b.head];
+    Event cb = std::move(b.cbs[b.head]);
+    ++b.head;
+    if (b.head == b.cbs.size()) {
+        // Fully drained: clear (capacity retained — bucket storage is
+        // recycled lap after lap) and drop the occupancy bit before the
+        // callback runs, since it may schedule back into this bucket.
+        b.seqs.clear();
+        b.cbs.clear();
+        b.head = 0;
+        _occupied[idx / 64] &= ~(std::uint64_t(1) << (idx % 64));
+    }
+    --_wheelCount;
+
     ++_executed;
-    _trace.mix(e.when);
-    _trace.mix(e.seq);
-    e.cb();
+    _trace.mix(when);
+    _trace.mix(seq);
+    cb();
 }
 
 std::uint64_t
 EventQueue::run(std::uint64_t max_events)
 {
     std::uint64_t n = 0;
-    while (!_heap.empty() && n < max_events) {
+    while (!empty() && n < max_events) {
         pop_and_fire();
         ++n;
     }
@@ -52,12 +156,14 @@ std::uint64_t
 EventQueue::runUntil(Tick limit)
 {
     std::uint64_t n = 0;
-    while (!_heap.empty() && _heap.top().when <= limit) {
+    while (!empty() && nextWhen() <= limit) {
         pop_and_fire();
         ++n;
     }
-    if (_now < limit)
+    if (_now < limit) {
         _now = limit;
+        advanceWindow(limit);
+    }
     return n;
 }
 

@@ -18,9 +18,9 @@
 
 #include <coroutine>
 #include <exception>
-#include <functional>
 #include <utility>
 
+#include "sim/event.hpp"
 #include "sim/log.hpp"
 
 namespace tg {
@@ -51,8 +51,12 @@ class PromiseBase
             PromiseBase &p = h.promise();
             if (p._continuation)
                 return p._continuation;
-            if (p._onDone)
-                p._onDone();
+            if (p._onDone) {
+                // Move to a local first: the callback may destroy the
+                // Task (and with it this promise and _onDone itself).
+                Fn<void()> f = std::move(p._onDone);
+                f();
+            }
             return std::noop_coroutine();
         }
 
@@ -64,7 +68,7 @@ class PromiseBase
     void unhandled_exception() { _exception = std::current_exception(); }
 
     void setContinuation(std::coroutine_handle<> c) { _continuation = c; }
-    void setOnDone(std::function<void()> f) { _onDone = std::move(f); }
+    void setOnDone(Fn<void()> f) { _onDone = std::move(f); }
 
     void
     rethrowIfFailed()
@@ -75,7 +79,7 @@ class PromiseBase
 
   private:
     std::coroutine_handle<> _continuation;
-    std::function<void()> _onDone;
+    Fn<void()> _onDone;
     std::exception_ptr _exception;
 };
 
@@ -137,7 +141,7 @@ class Task
 
     /** Start a top-level task; @p on_done fires at final suspension. */
     void
-    start(std::function<void()> on_done)
+    start(Fn<void()> on_done)
     {
         if (!_h)
             panic("Task::start on empty task");
@@ -223,7 +227,7 @@ class Task<void>
     bool done() const { return !_h || _h.done(); }
 
     void
-    start(std::function<void()> on_done)
+    start(Fn<void()> on_done)
     {
         if (!_h)
             panic("Task::start on empty task");

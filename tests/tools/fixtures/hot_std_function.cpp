@@ -1,0 +1,21 @@
+/**
+ * @file
+ * tglint fixture: std::function in a hot-path namespace (tg::hib).
+ * Every schedule()d closure allocates through it, so the hot schedulers
+ * must use tg::Fn / tg::Event instead.
+ */
+
+#include <functional>
+
+namespace tg::hib {
+
+struct Unit
+{
+    std::function<void()> onDone;                 // hot-path-std-function
+
+    void arm(std::function<void(int)> cb);        // hot-path-std-function
+
+    std::function<void()> allowed; // tglint: allow(hot-path-std-function)
+};
+
+} // namespace tg::hib

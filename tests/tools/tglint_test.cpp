@@ -82,6 +82,29 @@ TEST(TglintTest, FileDocFixtureFires)
     EXPECT_EQ(fs[0].line, 1);
 }
 
+TEST(TglintTest, HotStdFunctionFixtureFires)
+{
+    auto fs = lintFixture("hot_std_function.cpp");
+    EXPECT_EQ(rulesOf(fs), std::set<std::string>{"hot-path-std-function"});
+    // Member + parameter fire; the allow()-ed member is suppressed.
+    EXPECT_EQ(fs.size(), 2u);
+}
+
+TEST(TglintTest, HotStdFunctionIgnoresColdNamespaces)
+{
+    // The OS / api layers may keep std::function: faults and setup are
+    // not per-event paths.
+    std::vector<Finding> out;
+    tglint::lintSource("src/os/os_kernel.hpp",
+                       "/** @file os */\n"
+                       "#include <functional>\n"
+                       "namespace tg::os {\n"
+                       "using Policy = std::function<void(int)>;\n"
+                       "}\n",
+                       Options{}, out);
+    EXPECT_TRUE(out.empty());
+}
+
 TEST(TglintTest, AllowCommentSuppressesEveryRule)
 {
     // suppressed.cpp contains a banned call, a float->Tick cast, raw

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against a committed baseline.
+
+Used by the CI perf-smoke job:
+
+    tools/compare_bench.py BENCH_sim_throughput.json candidate.json
+
+Exits non-zero when any benchmark's events/sec (items_per_second, or the
+events_per_s counter for end-to-end benches) regressed by more than the
+threshold (default 25%).  Improvements and new benchmarks never fail;
+re-baseline by committing a fresh JSON (see DESIGN.md section 9).
+
+The gate is deliberately loose: CI machines are noisy, and the job's
+purpose is catching order-of-magnitude scheduler regressions, not 5%
+drift.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rates(path):
+    """Map benchmark name -> {metric: value} for the rate metrics."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    rates = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        metrics = {}
+        for key in ("items_per_second", "events_per_s"):
+            value = bench.get(key)
+            if isinstance(value, (int, float)) and value > 0:
+                metrics[key] = float(value)
+        if metrics:
+            rates[bench["name"]] = metrics
+    return rates
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("candidate", help="freshly measured JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="maximum tolerated fractional regression (default 0.25)",
+    )
+    args = parser.parse_args()
+
+    base = load_rates(args.baseline)
+    cand = load_rates(args.candidate)
+
+    failures = []
+    compared = 0
+    for name, base_metrics in sorted(base.items()):
+        cand_metrics = cand.get(name)
+        if cand_metrics is None:
+            print(f"WARN  {name}: missing from candidate run (skipped)")
+            continue
+        for metric, base_value in sorted(base_metrics.items()):
+            cand_value = cand_metrics.get(metric)
+            if cand_value is None:
+                print(f"WARN  {name}/{metric}: missing from candidate")
+                continue
+            compared += 1
+            ratio = cand_value / base_value
+            line = (
+                f"{name}/{metric}: baseline {base_value:.3g}/s, "
+                f"candidate {cand_value:.3g}/s ({ratio:.2f}x)"
+            )
+            if ratio < 1.0 - args.threshold:
+                failures.append(line)
+                print(f"FAIL  {line}")
+            else:
+                print(f"OK    {line}")
+
+    if compared == 0:
+        print("ERROR no comparable rate metrics found", file=sys.stderr)
+        return 2
+    if failures:
+        print(
+            f"\n{len(failures)} benchmark(s) regressed more than "
+            f"{args.threshold:.0%} vs {args.baseline}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nall {compared} rate metrics within {args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,11 +28,17 @@ const char *kUnorderedIter = "unordered-iter";
 const char *kTickFloat = "tick-float";
 const char *kRawNew = "raw-new";
 const char *kFileDoc = "file-doc";
+const char *kHotStdFunction = "hot-path-std-function";
 
 /** Namespace components whose event/packet ordering is part of the
  *  determinism contract. */
 const std::set<std::string> kSensitiveNamespaces = {"net", "hib",
                                                    "coherence", "sim"};
+
+/** Namespace components whose schedulers sit on the per-event hot path
+ *  (sim core plus every component that schedules closures). */
+const std::set<std::string> kHotPathNamespaces = {"sim", "net", "node",
+                                                  "hib"};
 
 /** Calls that read wall-clock / host entropy (never legal in the model). */
 const std::set<std::string> kBannedCalls = {
@@ -147,12 +153,11 @@ isUnorderedType(const std::string &s)
            s == "unordered_multimap" || s == "unordered_multiset";
 }
 
-/** True when the file's path or namespaces put it in order-sensitive
- *  territory. */
+/** True when the file's path or declared namespaces land in @p wanted. */
 bool
-orderSensitive(const FileCtx &ctx)
+inNamespaces(const FileCtx &ctx, const std::set<std::string> &wanted)
 {
-    for (const std::string &ns : kSensitiveNamespaces) {
+    for (const std::string &ns : wanted) {
         if (pathContains(ctx.path, "/" + ns + "/"))
             return true;
     }
@@ -162,7 +167,7 @@ orderSensitive(const FileCtx &ctx)
             continue;
         for (std::size_t j = i + 1; j < t.size(); ++j) {
             if (t[j].kind == TokKind::Ident) {
-                if (kSensitiveNamespaces.count(t[j].text))
+                if (wanted.count(t[j].text))
                     return true;
             } else if (!t[j].is("::")) {
                 break; // '{', ';', '=' ... end of the namespace name
@@ -170,6 +175,14 @@ orderSensitive(const FileCtx &ctx)
         }
     }
     return false;
+}
+
+/** True when the file's path or namespaces put it in order-sensitive
+ *  territory. */
+bool
+orderSensitive(const FileCtx &ctx)
+{
+    return inNamespaces(ctx, kSensitiveNamespaces);
 }
 
 /** Names declared in this file with an unordered container type. */
@@ -348,6 +361,27 @@ ruleRawNew(FileCtx &ctx)
     }
 }
 
+// ---------------------------------------------------------------------
+// hot-path-std-function
+// ---------------------------------------------------------------------
+
+void
+ruleHotStdFunction(FileCtx &ctx)
+{
+    if (!inNamespaces(ctx, kHotPathNamespaces))
+        return;
+    const std::vector<Token> &t = ctx.lex.tokens;
+    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+        if (t[i].kind == TokKind::Ident && t[i].is("std") &&
+            t[i + 1].is("::") && t[i + 2].kind == TokKind::Ident &&
+            t[i + 2].is("function")) {
+            ctx.emit(t[i].line, kHotStdFunction,
+                     "std::function on a scheduling hot path heap-allocates "
+                     "per closure; use tg::Fn / tg::Event (sim/event.hpp)");
+        }
+    }
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------
@@ -358,7 +392,8 @@ const std::vector<std::string> &
 allRules()
 {
     static const std::vector<std::string> rules = {
-        kBannedApi, kUnorderedIter, kTickFloat, kRawNew, kFileDoc,
+        kBannedApi, kUnorderedIter, kTickFloat,
+        kRawNew,    kFileDoc,       kHotStdFunction,
     };
     return rules;
 }
@@ -374,6 +409,7 @@ lintSource(const std::string &path, const std::string &source,
     ruleUnorderedIter(ctx);
     ruleTickFloat(ctx);
     ruleRawNew(ctx);
+    ruleHotStdFunction(ctx);
 }
 
 bool
