@@ -46,16 +46,16 @@ RunResult
 runOnce(const std::string &workload, std::uint64_t seed, int nodes,
         bool faulty)
 {
-    tg::ClusterSpec spec;
-    spec.topology.kind = tg::net::TopologyKind::Chain;
-    spec.topology.nodes = static_cast<tg::NodeId>(nodes);
-    spec.topology.nodesPerSwitch = 2;
-    spec.config.seed = seed;
-    if (faulty) {
-        spec.config.fault.bitErrorRate = 1e-3;
-        spec.config.fault.dropRate = 1e-3;
-        spec.config.fault.duplicateRate = 1e-3;
-    }
+    tg::ClusterSpec spec =
+        tg::ClusterSpec::chain(static_cast<tg::NodeId>(nodes), 2)
+            .seed(seed)
+            .tune([&](tg::Config &c) {
+                if (faulty) {
+                    c.fault.bitErrorRate = 1e-3;
+                    c.fault.dropRate = 1e-3;
+                    c.fault.duplicateRate = 1e-3;
+                }
+            });
     tg::Cluster c(spec);
 
     if (workload == "hotspot") {

@@ -27,11 +27,11 @@ atomicLatencyUs(Prototype proto, LaunchMode mode, bool interference,
                 int ops, bool flash_os_support = false,
                 bool dummy_first = false)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
-    spec.config.prototype = proto;
-    if (interference)
-        spec.config.cpuQuantum = 40'000; // aggressive time slicing
+    ClusterSpec spec =
+        ClusterSpec::star(2).prototype(proto).tune([&](Config &c) {
+            if (interference)
+                c.cpuQuantum = 40'000; // aggressive time slicing
+        });
     Cluster cluster(spec);
     if (flash_os_support)
         cluster.enableFlashOsSupport();

@@ -35,21 +35,20 @@ enum class Policy
     Alarm,
 };
 
-struct Result
+struct RunResult
 {
     double runtimeUs = 0;
     std::uint64_t replicated = 0;
 };
 
-Result
+RunResult
 run(Policy policy, std::uint16_t threshold)
 {
     constexpr std::size_t kPages = 8;
     constexpr int kHotAccesses = 400;
     constexpr int kColdAccesses = 4;
 
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster cluster(spec);
 
     std::vector<Segment *> pages;
@@ -91,7 +90,7 @@ run(Policy policy, std::uint16_t threshold)
     });
     cluster.run(40'000'000'000'000ULL);
 
-    Result r;
+    RunResult r;
     r.runtimeUs = toUs(t_end);
     for (auto *seg : pages) {
         auto *e = cluster.directory().byHome(seg->homePage(0));
@@ -104,8 +103,7 @@ run(Policy policy, std::uint16_t threshold)
 double
 pagingRuntimeUs(bool remote_memory)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster cluster(spec);
     Segment &backing = cluster.allocShared("backing", 16 * 8192, 0);
     Segment &buf = cluster.allocShared("buf", 4 * 8192, 1);
@@ -134,9 +132,9 @@ main(int argc, char **argv)
 
     ResultTable table(
         {"policy", "runtime (us)", "pages replicated (of 8)"});
-    const Result never = run(Policy::Never, 0);
-    const Result always = run(Policy::Always, 0);
-    const Result alarm = run(Policy::Alarm, 32);
+    const RunResult never = run(Policy::Never, 0);
+    const RunResult always = run(Policy::Always, 0);
+    const RunResult alarm = run(Policy::Alarm, 32);
     table.addRow({"never replicate", ResultTable::num(never.runtimeUs, 0),
                   std::to_string(never.replicated)});
     table.addRow({"replicate everything",

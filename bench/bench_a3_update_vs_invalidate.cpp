@@ -24,8 +24,7 @@ namespace {
 double
 producerConsumerUs(ProtocolKind kind, int rounds, std::size_t words)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 3;
+    ClusterSpec spec = ClusterSpec::star(3);
     Cluster cluster(spec);
     Segment &data = cluster.allocShared("data", 8192, 0);
     data.replicate(1, kind);
@@ -61,8 +60,7 @@ producerConsumerUs(ProtocolKind kind, int rounds, std::size_t words)
 double
 migratoryUs(ProtocolKind kind, int rounds, std::size_t words)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 3;
+    ClusterSpec spec = ClusterSpec::star(3);
     Cluster cluster(spec);
     Segment &data = cluster.allocShared("data", 8192, 0);
     data.replicate(1, kind);

@@ -27,8 +27,7 @@ namespace {
 double
 pingPongTelegraphosUs(int rounds)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster cluster(spec);
     Segment &seg = cluster.allocShared("s", 8192, 0);
 
@@ -50,8 +49,7 @@ pingPongTelegraphosUs(int rounds)
 double
 pingPongVsmUs(int rounds)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster cluster(spec);
     baseline::VsmDsm vsm(cluster);
     const VAddr base = vsm.alloc("v", 8192, 0);
@@ -73,8 +71,7 @@ pingPongVsmUs(int rounds)
 double
 falseSharingTelegraphosUs(int writes)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 3;
+    ClusterSpec spec = ClusterSpec::star(3);
     Cluster cluster(spec);
     Segment &seg = cluster.allocShared("s", 8192, 0);
 
@@ -94,8 +91,7 @@ falseSharingTelegraphosUs(int writes)
 double
 falseSharingVsmUs(int writes)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 3;
+    ClusterSpec spec = ClusterSpec::star(3);
     Cluster cluster(spec);
     baseline::VsmDsm vsm(cluster);
     const VAddr base = vsm.alloc("v", 8192, 0);
@@ -115,8 +111,7 @@ falseSharingVsmUs(int writes)
 double
 messageTelegraphosUs(int msgs)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster cluster(spec);
     Segment &seg = cluster.allocShared("s", 8192, 0);
 
@@ -138,8 +133,7 @@ messageTelegraphosUs(int msgs)
 double
 messageSocketsUs(int msgs)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster cluster(spec);
     baseline::SocketLayer sockets(cluster);
 

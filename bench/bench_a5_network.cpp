@@ -21,7 +21,7 @@ using namespace tg;
 
 namespace {
 
-struct Result
+struct RunResult
 {
     double runtimeUs = 0;
     double meanWriteUs = 0;
@@ -29,16 +29,15 @@ struct Result
     bool drained = false;
 };
 
-Result
+RunResult
 run(net::TopologyKind kind, std::size_t nodes, double link_bw,
     std::uint32_t switch_buf)
 {
-    ClusterSpec spec;
-    spec.topology.kind = kind;
-    spec.topology.nodes = nodes;
-    spec.topology.nodesPerSwitch = 2;
-    spec.config.linkBytesPerTick = link_bw;
-    spec.config.switchQueuePackets = switch_buf;
+    ClusterSpec spec =
+        ClusterSpec::forKind(kind, nodes, 2).tune([&](Config &c) {
+            c.linkBytesPerTick = link_bw;
+            c.switchQueuePackets = switch_buf;
+        });
     Cluster cluster(spec);
 
     std::vector<Segment *> segs;
@@ -55,7 +54,7 @@ run(net::TopologyKind kind, std::size_t nodes, double link_bw,
 
     const Tick end = cluster.run(40'000'000'000'000ULL);
 
-    Result r;
+    RunResult r;
     r.drained = cluster.allDone();
     r.runtimeUs = toUs(end);
     r.forwarded = cluster.network().switchForwarded();
@@ -97,7 +96,7 @@ main(int argc, char **argv)
           TopoCase{net::TopologyKind::Chain, 8},
           TopoCase{net::TopologyKind::Ring, 8},
           TopoCase{net::TopologyKind::Ring, 12}}) {
-        const Result r = run(tc.kind, tc.nodes, 0.035, 32);
+        const RunResult r = run(tc.kind, tc.nodes, 0.035, 32);
         topo.addRow({kindName(tc.kind), std::to_string(tc.nodes),
                      ResultTable::num(r.runtimeUs, 0),
                      std::to_string(r.forwarded),
@@ -111,7 +110,7 @@ main(int argc, char **argv)
     std::printf("\n--- link bandwidth sweep (star, 8 nodes) ---\n");
     ResultTable bw({"link MB/s", "runtime (us)"});
     for (double mbps : {10.0, 35.0, 100.0, 400.0}) {
-        const Result r =
+        const RunResult r =
             run(net::TopologyKind::Star, 8, mbps / 1000.0, 32);
         bw.addRow({ResultTable::num(mbps, 0),
                    ResultTable::num(r.runtimeUs, 0)});
@@ -124,7 +123,7 @@ main(int argc, char **argv)
     std::printf("\n--- switch buffer sweep (ring, 8 nodes) ---\n");
     ResultTable buf({"buffer (packets)", "runtime (us)", "drained"});
     for (std::uint32_t b : {2u, 4u, 8u, 32u, 128u}) {
-        const Result r = run(net::TopologyKind::Ring, 8, 0.035, b);
+        const RunResult r = run(net::TopologyKind::Ring, 8, 0.035, b);
         buf.addRow({std::to_string(b), ResultTable::num(r.runtimeUs, 0),
                     r.drained ? "yes" : "NO (deadlock!)"});
         report.metric("buf.ring8." + std::to_string(b) + "pkt.runtime_us",

@@ -28,8 +28,7 @@ namespace {
 double
 run(ProtocolKind kind, bool aligned, std::size_t parties)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = parties;
+    ClusterSpec spec = ClusterSpec::star(parties);
     Cluster cluster(spec);
     // One page per node: the alignment knob decides whether each node's
     // data stays within "its" page or interleaves across all of them.

@@ -22,21 +22,20 @@ using namespace tg;
 
 namespace {
 
-struct Result
+struct RunResult
 {
     double latencyUs = 0;    ///< one-way, measured at the receiver
     double throughputMBs = 0;///< sustained, pipelined stream
 };
 
-Result
+RunResult
 runChannel(std::size_t words, int msgs)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster cluster(spec);
     MsgChannel ch(cluster, "ch", 0, 1, /*slots=*/16, words);
 
-    Result r;
+    RunResult r;
     Tick first_latency = 0;
     Tick stream_start = 0, stream_end = 0;
 
@@ -66,15 +65,14 @@ runChannel(std::size_t words, int msgs)
     return r;
 }
 
-Result
+RunResult
 runSockets(std::size_t words, int msgs)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster cluster(spec);
     baseline::SocketLayer sockets(cluster);
 
-    Result r;
+    RunResult r;
     Tick t_send = 0, first_latency = 0;
     Tick stream_start = 0, stream_end = 0;
 
@@ -113,8 +111,8 @@ main(int argc, char **argv)
     ResultTable table({"message bytes", "channel lat (us)",
                        "socket lat (us)", "channel MB/s", "socket MB/s"});
     for (std::size_t words : {1u, 4u, 16u, 64u, 256u}) {
-        const Result ch = runChannel(words, kMsgs);
-        const Result so = runSockets(words, kMsgs);
+        const RunResult ch = runChannel(words, kMsgs);
+        const RunResult so = runSockets(words, kMsgs);
         table.addRow({std::to_string(words * 8),
                       ResultTable::num(ch.latencyUs, 1),
                       ResultTable::num(so.latencyUs, 1),

@@ -24,19 +24,17 @@ using coherence::ProtocolKind;
 
 namespace {
 
-struct Result
+struct RunResult
 {
     double divergentFrac = 0;
     std::uint64_t words = 0;
 };
 
-Result
+RunResult
 run(ProtocolKind kind, std::size_t writers, int writes_per_node,
     std::uint64_t seed)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = writers;
-    spec.config.seed = seed;
+    ClusterSpec spec = ClusterSpec::star(writers).seed(seed);
     Cluster cluster(spec);
 
     Segment &seg = cluster.allocShared("page", 8192, 0);
@@ -52,7 +50,7 @@ run(ProtocolKind kind, std::size_t writers, int writes_per_node,
 
     cluster.run(4'000'000'000'000ULL);
 
-    Result r;
+    RunResult r;
     r.words = cfg.words;
     std::uint64_t divergent = 0;
     for (std::size_t w = 0; w < cfg.words; ++w) {

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Experiment N1: interconnect scaling across topologies.
+ *
+ * The paper argues Telegraphos networks scale by adding switches
+ * (section 2.2): this bench measures how far each fabric actually
+ * carries that claim.  Uniform-random, transpose (bisection-crossing)
+ * and hotspot traffic run over ring, 2D-torus and fat-tree fabrics at
+ * 16/64/144/256 nodes (plus a small star baseline), reporting
+ * saturation goodput, p50/p99 remote-write latency and the mean
+ * switch-hop count from the packet-lifecycle tracer.
+ *
+ * Shape check (the scaling claim itself): on bisection-limited traffic
+ * at >= 64 nodes the ring saturates below both the torus and the
+ * fat-tree — more switches only help when the wiring adds bisection.
+ *
+ * Flags: --nodes=N   run only the N-node tier (CI smoke uses 64)
+ *        --json[=p]  write the tg-bench-v1 document (with the topology
+ *                    object and per-hop breakdown of the torus run)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/cluster.hpp"
+#include "api/context.hpp"
+#include "api/measure.hpp"
+#include "api/segment.hpp"
+#include "workload/traffic.hpp"
+
+using namespace tg;
+
+namespace {
+
+struct RunResult
+{
+    double goodputMBs = 0; ///< delivered write payload over runtime
+    double p50WriteUs = 0;
+    double p99WriteUs = 0;
+    double meanHops = 0;
+    double runtimeUs = 0;
+    bool drained = false;
+};
+
+constexpr int kOpsPerNode = 60;
+constexpr double kReadFraction = 0.1;
+
+ClusterSpec
+specFor(net::TopologyKind kind, std::size_t nodes)
+{
+    return ClusterSpec::forKind(kind, nodes, 4).trace(true).seed(11);
+}
+
+RunResult
+run(const ClusterSpec &spec, const std::string &pattern,
+    trace::Breakdown *bd_out = nullptr)
+{
+    Cluster cluster(spec);
+    const std::size_t nodes = cluster.numNodes();
+
+    std::vector<Segment *> segs;
+    for (NodeId n = 0; n < NodeId(nodes); ++n)
+        segs.push_back(
+            &cluster.allocShared("s" + std::to_string(n), 8192, n));
+
+    workload::TrafficConfig cfg;
+    cfg.ops = kOpsPerNode;
+    cfg.readFraction = kReadFraction;
+    cfg.gap = 0; // back-to-back: measures the fabric's saturation point
+    for (NodeId n = 0; n < NodeId(nodes); ++n) {
+        if (pattern == "transpose")
+            cluster.spawn(n, workload::transposeTraffic(segs, cfg));
+        else if (pattern == "hotspot")
+            cluster.spawn(n, workload::hotspotTraffic(segs, cfg, 0, 0.25));
+        else
+            cluster.spawn(n, workload::randomTraffic(segs, cfg));
+    }
+
+    const Tick end = cluster.run(500'000'000'000'000ULL);
+
+    RunResult r;
+    r.drained = cluster.allDone();
+    r.runtimeUs = toUs(end);
+    const double write_bytes =
+        double(nodes) * kOpsPerNode * (1.0 - kReadFraction) * 8.0;
+    r.goodputMBs = write_bytes / r.runtimeUs; // B/us == MB/s
+
+    const std::vector<Tick> lat =
+        cluster.tracer().opLifetimes(trace::OpKind::RemoteWrite);
+    if (!lat.empty()) {
+        r.p50WriteUs = toUs(lat[lat.size() / 2]);
+        r.p99WriteUs = toUs(lat[(lat.size() - 1) * 99 / 100]);
+    }
+    const trace::Breakdown bd = cluster.latencyBreakdown();
+    if (const trace::OpBreakdown *w = bd.of(trace::OpKind::RemoteWrite))
+        r.meanHops = w->meanHops;
+    if (bd_out)
+        *bd_out = bd;
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchReport report("bench_n1_scaling", argc, argv);
+    std::size_t only_nodes = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--nodes=", 8) == 0)
+            only_nodes = std::strtoul(argv[i] + 8, nullptr, 10);
+    }
+
+    std::printf("=== N1: topology scaling (section 2.2) ===\n");
+    std::printf("%d ops/node back-to-back, %.0f%% reads, 4 nodes/switch\n\n",
+                kOpsPerNode, kReadFraction * 100);
+
+    const std::vector<std::size_t> sizes = {16, 64, 144, 256};
+    const std::vector<std::pair<const char *, net::TopologyKind>> fabrics = {
+        {"ring", net::TopologyKind::Ring},
+        {"torus2d", net::TopologyKind::Torus2D},
+        {"fattree", net::TopologyKind::FatTree},
+    };
+    const std::vector<std::string> patterns = {"uniform", "transpose",
+                                              "hotspot"};
+
+    // goodput[pattern][fabric][size] for the scaling assertions.
+    std::map<std::string, std::map<std::string, std::map<std::size_t, double>>>
+        goodput;
+
+    ResultTable table({"pattern", "topology", "nodes", "goodput MB/s",
+                       "p50 wr us", "p99 wr us", "hops/wr", "drained"});
+
+    // Star baseline: one crossbar, only sensible small.
+    if (!only_nodes || only_nodes == 16) {
+        for (const std::string &pattern : patterns) {
+            const RunResult r =
+                run(specFor(net::TopologyKind::Star, 16), pattern);
+            table.addRow({pattern, "star", "16",
+                          ResultTable::num(r.goodputMBs, 3),
+                          ResultTable::num(r.p50WriteUs, 2),
+                          ResultTable::num(r.p99WriteUs, 2),
+                          ResultTable::num(r.meanHops, 2),
+                          r.drained ? "yes" : "NO"});
+            report.metric(pattern + ".star.16.goodput_mbs", r.goodputMBs,
+                          "MB/s");
+        }
+    }
+
+    trace::Breakdown torus_bd;
+    net::TopologySpec torus_spec;
+    for (std::size_t nodes : sizes) {
+        if (only_nodes && nodes != only_nodes)
+            continue;
+        for (const auto &[fname, kind] : fabrics) {
+            const ClusterSpec spec = specFor(kind, nodes);
+            for (const std::string &pattern : patterns) {
+                const bool keep_bd =
+                    kind == net::TopologyKind::Torus2D && pattern == "uniform";
+                const RunResult r =
+                    run(spec, pattern, keep_bd ? &torus_bd : nullptr);
+                if (keep_bd)
+                    torus_spec = spec.topology;
+                goodput[pattern][fname][nodes] = r.goodputMBs;
+                table.addRow({pattern, fname, std::to_string(nodes),
+                              ResultTable::num(r.goodputMBs, 3),
+                              ResultTable::num(r.p50WriteUs, 2),
+                              ResultTable::num(r.p99WriteUs, 2),
+                              ResultTable::num(r.meanHops, 2),
+                              r.drained ? "yes" : "NO"});
+                const std::string tag = pattern + "." + fname + "." +
+                                        std::to_string(nodes);
+                report.metric(tag + ".goodput_mbs", r.goodputMBs, "MB/s");
+                report.metric(tag + ".p50_write_us", r.p50WriteUs, "us");
+                report.metric(tag + ".p99_write_us", r.p99WriteUs, "us");
+                report.metric(tag + ".mean_hops", r.meanHops, "hops");
+            }
+        }
+    }
+    table.print();
+
+    // The scaling claim: bisection-limited patterns (transpose, hotspot)
+    // degrade on the ring but not on torus / fat-tree.
+    int checks = 0, failures = 0;
+    for (const std::string &pattern : {std::string("transpose"),
+                                       std::string("hotspot")}) {
+        for (std::size_t nodes : sizes) {
+            if (nodes < 64 || (only_nodes && nodes != only_nodes))
+                continue;
+            const double ring = goodput[pattern]["ring"][nodes];
+            const double torus = goodput[pattern]["torus2d"][nodes];
+            const double ftree = goodput[pattern]["fattree"][nodes];
+            const bool ok = ring < torus && ring < ftree;
+            ++checks;
+            failures += ok ? 0 : 1;
+            std::printf("check %-9s @%3zu nodes: ring %.3f < torus %.3f, "
+                        "fat-tree %.3f MB/s  [%s]\n",
+                        pattern.c_str(), nodes, ring, torus, ftree,
+                        ok ? "PASS" : "FAIL");
+        }
+    }
+    if (checks)
+        std::printf("\nshape check: %d/%d scaling assertions hold\n",
+                    checks - failures, checks);
+
+    if (torus_spec.nodes) {
+        report.topology(torus_spec);
+        report.breakdown(torus_bd);
+    }
+    report.write();
+    return failures ? 1 : 0;
+}

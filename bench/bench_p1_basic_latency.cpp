@@ -41,12 +41,9 @@ Latencies
 measure(Prototype proto, int ops, BenchReport *report = nullptr,
         bool traced = false)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
-    spec.config.prototype = proto;
     // Tracing is passive (DESIGN.md section 8): latencies are identical
     // with it on, so the traced run doubles as the measurement run.
-    spec.config.tracePackets = traced;
+    ClusterSpec spec = ClusterSpec::star(2).prototype(proto).trace(traced);
     Cluster cluster(spec);
     Segment &seg = cluster.allocShared("target", 8192, /*owner=*/0);
 

@@ -28,8 +28,7 @@ namespace {
 double
 batchPerWriteUs(int batch)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster cluster(spec);
     Segment &seg = cluster.allocShared("target", 8192, 0);
 

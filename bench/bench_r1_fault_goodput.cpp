@@ -27,7 +27,7 @@ using namespace tg;
 
 namespace {
 
-struct Result
+struct RunResult
 {
     double lossRate = 0;
     double goodputMBs = 0;   ///< delivered payload MB/s of the write stream
@@ -38,18 +38,18 @@ struct Result
     std::uint64_t wireFailures = 0;
 };
 
-Result
+RunResult
 run(double loss_rate, int writes, int reads)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
-    spec.config.seed = 1;
-    spec.config.fault.dropRate = loss_rate;
-    spec.config.fault.bitErrorRate = loss_rate;
+    ClusterSpec spec =
+        ClusterSpec::star(2).seed(1).tune([&](Config &c) {
+            c.fault.dropRate = loss_rate;
+            c.fault.bitErrorRate = loss_rate;
+        });
     Cluster cluster(spec);
     Segment &seg = cluster.allocShared("target", 8192, /*owner=*/0);
 
-    Result out;
+    RunResult out;
     out.lossRate = loss_rate;
 
     Sampler read_lat;
@@ -95,10 +95,10 @@ main(int argc, char **argv)
     std::printf("  %-10s %12s %12s %12s %10s %10s %8s\n", "loss", "MB/s",
                 "p50 rd us", "p99 rd us", "retx", "crc_err", "failed");
 
-    std::vector<Result> results;
+    std::vector<RunResult> results;
     for (double r : rates) {
         results.push_back(run(r, writes, reads));
-        const Result &x = results.back();
+        const RunResult &x = results.back();
         std::printf("  %-10g %12.2f %12.3f %12.3f %10llu %10llu %8llu\n",
                     x.lossRate, x.goodputMBs, x.p50ReadUs, x.p99ReadUs,
                     (unsigned long long)x.retransmissions,
@@ -108,7 +108,7 @@ main(int argc, char **argv)
 
     std::printf("\nJSON: {\"bench\":\"r1_fault_goodput\",\"results\":[");
     for (std::size_t i = 0; i < results.size(); ++i) {
-        const Result &x = results[i];
+        const RunResult &x = results[i];
         std::printf("%s{\"loss\":%g,\"goodput_mbs\":%.3f,"
                     "\"p50_read_us\":%.4f,\"p99_read_us\":%.4f,"
                     "\"retransmissions\":%llu,\"crc_errors\":%llu,"
@@ -120,7 +120,7 @@ main(int argc, char **argv)
     }
     std::printf("]}\n");
 
-    for (const Result &x : results) {
+    for (const RunResult &x : results) {
         std::ostringstream tag;
         tag << "loss" << x.lossRate;
         report.metric(tag.str() + ".goodput_mbs", x.goodputMBs, "MB/s");

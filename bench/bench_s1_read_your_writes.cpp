@@ -23,26 +23,28 @@ using coherence::ProtocolKind;
 
 namespace {
 
-struct Result
+struct RunResult
 {
     std::uint64_t errors = 0;
     std::uint64_t reads = 0;
     double writeUs = 0; // mean store latency seen by the CPU
 };
 
-Result
+RunResult
 run(bool with_counters, int pairs)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
-    spec.config.prototype = Prototype::TelegraphosII;
-    if (!with_counters)
-        spec.config.counterCacheEntries = 0; // Telegraphos I behaviour
+    ClusterSpec spec =
+        ClusterSpec::star(2)
+            .prototype(Prototype::TelegraphosII)
+            .tune([&](Config &c) {
+                if (!with_counters)
+                    c.counterCacheEntries = 0; // Telegraphos I behaviour
+            });
     Cluster cluster(spec);
     Segment &seg = cluster.allocShared("page", 8192, 0);
     seg.replicate(1, ProtocolKind::OwnerCounter);
 
-    Result r;
+    RunResult r;
     Tick write_ticks = 0;
     cluster.spawn(1, [&, pairs](Ctx &ctx) -> Task<void> {
         for (int k = 0; k < pairs; ++k) {
@@ -79,8 +81,8 @@ main(int argc, char **argv)
     ResultTable table({"write pairs", "variant", "erroneous reads",
                        "error rate", "store latency (us)"});
     for (int pairs : {10, 50, 200}) {
-        const Result no_ctr = run(false, pairs);
-        const Result ctr = run(true, pairs);
+        const RunResult no_ctr = run(false, pairs);
+        const RunResult ctr = run(true, pairs);
         table.addRow({std::to_string(pairs), "no counters (Tele I)",
                       std::to_string(no_ctr.errors),
                       ResultTable::num(100.0 * no_ctr.errors / no_ctr.reads,

@@ -23,7 +23,7 @@ using coherence::ProtocolKind;
 
 namespace {
 
-struct Result
+struct RunResult
 {
     std::uint64_t stalls = 0;
     double stallUs = 0;
@@ -31,13 +31,12 @@ struct Result
     double runtimeUs = 0;
 };
 
-Result
+RunResult
 run(std::uint32_t cam_entries, int burst, std::uint64_t seed)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 3;
-    spec.config.counterCacheEntries = cam_entries;
-    spec.config.seed = seed;
+    ClusterSpec spec =
+        ClusterSpec::star(3).seed(seed).tune(
+            [&](Config &c) { c.counterCacheEntries = cam_entries; });
     Cluster cluster(spec);
     Segment &seg = cluster.allocShared("page", 8192, 0);
     seg.replicate(1, ProtocolKind::OwnerCounter);
@@ -59,7 +58,7 @@ run(std::uint32_t cam_entries, int burst, std::uint64_t seed)
     }
     const Tick end = cluster.run(8'000'000'000'000ULL);
 
-    Result r;
+    RunResult r;
     for (NodeId n = 1; n <= 2; ++n) {
         r.stalls += cluster.hibOf(n).counterCache().stallEvents();
         r.stallUs += toUs(cluster.hibOf(n).counterCache().stallTicks());
@@ -85,7 +84,7 @@ main(int argc, char **argv)
         ResultTable table({"CAM entries", "stall events", "stall time (us)",
                            "peak live counters", "runtime (us)"});
         for (std::uint32_t cam : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
-            const Result r = run(cam, burst, 7);
+            const RunResult r = run(cam, burst, 7);
             table.addRow({std::to_string(cam), std::to_string(r.stalls),
                           ResultTable::num(r.stallUs, 1),
                           std::to_string(r.peak),

@@ -22,7 +22,7 @@ using coherence::ProtocolKind;
 
 namespace {
 
-struct Result
+struct RunResult
 {
     std::uint64_t staleRounds = 0;
     int rounds = 0;
@@ -30,18 +30,17 @@ struct Result
     double fenceUs = 0;
 };
 
-Result
+RunResult
 run(bool use_fence, int rounds, std::size_t words)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 3;
+    ClusterSpec spec = ClusterSpec::star(3);
     Cluster cluster(spec);
     Segment &data = cluster.allocShared("data", 8192, 0);
     data.replicate(1, ProtocolKind::OwnerCounter);
     data.replicate(2, ProtocolKind::OwnerCounter);
     Segment &flag = cluster.allocShared("flag", 8192, 2);
 
-    Result r;
+    RunResult r;
     r.rounds = rounds;
     Tick produce_ticks = 0, fence_ticks = 0;
 
@@ -93,8 +92,8 @@ main(int argc, char **argv)
     ResultTable table({"data words", "variant", "stale rounds",
                        "producer us/round", "fence us/round"});
     for (std::size_t words : {4u, 16u, 64u}) {
-        const Result plain = run(false, 25, words);
-        const Result fenced = run(true, 25, words);
+        const RunResult plain = run(false, 25, words);
+        const RunResult fenced = run(true, 25, words);
         table.addRow(
             {std::to_string(words), "write(flag) only",
              std::to_string(plain.staleRounds) + "/" +

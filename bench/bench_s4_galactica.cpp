@@ -26,7 +26,7 @@ using coherence::ProtocolKind;
 
 namespace {
 
-struct Result
+struct RunResult
 {
     std::uint64_t invalidSequences = 0; ///< regressions like 1,2,1
     std::uint64_t trials = 0;
@@ -52,15 +52,13 @@ isInvalidSequence(const std::vector<Word> &seq)
     return false;
 }
 
-Result
+RunResult
 run(ProtocolKind kind, int trials)
 {
-    Result r;
+    RunResult r;
     r.trials = trials;
     for (int t = 0; t < trials; ++t) {
-        ClusterSpec spec;
-        spec.topology.nodes = 3;
-        spec.config.seed = 1000 + t;
+        ClusterSpec spec = ClusterSpec::star(3).seed(1000 + t);
         Cluster cluster(spec);
         Segment &seg = cluster.allocShared("page", 8192, 0);
         // Ring order 0, 2, 1 puts the observer between the writers.
@@ -115,8 +113,8 @@ main(int argc, char **argv)
     std::printf("two conflicting writers, observer on the ring between "
                 "them, 24 timing offsets\n\n");
 
-    const Result gal = run(ProtocolKind::GalacticaRing, 24);
-    const Result own = run(ProtocolKind::OwnerCounter, 24);
+    const RunResult gal = run(ProtocolKind::GalacticaRing, 24);
+    const RunResult own = run(ProtocolKind::OwnerCounter, 24);
 
     ResultTable table({"protocol", "invalid sequences", "diverged",
                        "back-offs"});

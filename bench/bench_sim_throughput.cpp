@@ -137,8 +137,7 @@ BM_ClusterConstruction(benchmark::State &state)
 {
     const std::size_t nodes = std::size_t(state.range(0));
     for (auto _ : state) {
-        ClusterSpec spec;
-        spec.topology.nodes = nodes;
+        ClusterSpec spec = ClusterSpec::star(nodes);
         Cluster cluster(spec);
         benchmark::DoNotOptimize(cluster.numNodes());
     }
@@ -152,8 +151,7 @@ BM_RemoteWrites(benchmark::State &state)
     Tick simulated = 0;
     std::uint64_t events = 0;
     for (auto _ : state) {
-        ClusterSpec spec;
-        spec.topology.nodes = 2;
+        ClusterSpec spec = ClusterSpec::star(2);
         Cluster cluster(spec);
         Segment &seg = cluster.allocShared("s", 8192, 0);
         cluster.spawn(1, [&, ops](Ctx &ctx) -> Task<void> {
@@ -182,8 +180,7 @@ BM_CoherentWrites(benchmark::State &state)
     Tick simulated = 0;
     std::uint64_t events = 0;
     for (auto _ : state) {
-        ClusterSpec spec;
-        spec.topology.nodes = 3;
+        ClusterSpec spec = ClusterSpec::star(3);
         Cluster cluster(spec);
         Segment &seg = cluster.allocShared("s", 8192, 0);
         seg.replicate(1, coherence::ProtocolKind::OwnerCounter);
@@ -210,8 +207,7 @@ BM_AtomicRoundTrips(benchmark::State &state)
     Tick simulated = 0;
     std::uint64_t events = 0;
     for (auto _ : state) {
-        ClusterSpec spec;
-        spec.topology.nodes = 2;
+        ClusterSpec spec = ClusterSpec::star(2);
         Cluster cluster(spec);
         Segment &seg = cluster.allocShared("s", 8192, 0);
         cluster.spawn(1, [&](Ctx &ctx) -> Task<void> {

@@ -24,8 +24,7 @@ main()
     constexpr std::size_t kNodes = 4;
     constexpr std::size_t kSlice = 256; // elements per node
 
-    ClusterSpec spec;
-    spec.topology.nodes = kNodes;
+    ClusterSpec spec = ClusterSpec::star(kNodes);
     Cluster cluster(spec);
     Communicator comm(cluster, "comm", {0, 1, 2, 3});
 

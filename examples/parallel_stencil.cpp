@@ -26,8 +26,7 @@ namespace {
 double
 runStencil(std::size_t nodes, bool replicate_neighbours)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = nodes;
+    ClusterSpec spec = ClusterSpec::star(nodes);
     Cluster cluster(spec);
 
     std::vector<Segment *> blocks;

@@ -30,8 +30,7 @@ constexpr std::size_t kWords = 32;
 double
 remoteWriteStyle()
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster cluster(spec);
     Segment &data = cluster.allocShared("data", 8192, /*owner=*/1);
     Segment &flag = cluster.allocShared("flag", 8192, /*owner=*/1);
@@ -66,8 +65,7 @@ remoteWriteStyle()
 double
 eagerMulticastStyle()
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster cluster(spec);
     Segment &data = cluster.allocShared("data", 8192, /*owner=*/0);
     data.eagerTo(1); // map the producer's page out to the consumer
@@ -103,8 +101,7 @@ eagerMulticastStyle()
 double
 lockedSharedMemoryStyle()
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster cluster(spec);
     Segment &data = cluster.allocShared("data", 8192, /*owner=*/0);
     Segment &sync = cluster.allocShared("sync", 8192, /*owner=*/0);

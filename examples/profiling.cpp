@@ -29,8 +29,7 @@ main()
     constexpr std::size_t kPages = 6;
     constexpr std::uint16_t kProfile = 60000; // "very large values"
 
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster cluster(spec);
 
     std::vector<Segment *> pages;

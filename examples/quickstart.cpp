@@ -18,8 +18,7 @@
 int
 main()
 {
-    tg::ClusterSpec spec;
-    spec.topology.nodes = 2;
+    tg::ClusterSpec spec = tg::ClusterSpec::star(2);
 
     tg::Cluster cluster(spec);
     tg::Segment &seg = cluster.allocShared("data", 4096, /*owner=*/0);

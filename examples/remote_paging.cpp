@@ -30,8 +30,7 @@ struct Outcome
 Outcome
 run(bool remote_memory, double locality)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster cluster(spec);
     // Node 0 donates idle memory; node 1 runs the thrashing app.
     Segment &backing = cluster.allocShared("backing", 24 * 8192, 0);

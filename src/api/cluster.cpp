@@ -22,7 +22,130 @@ using coherence::ProtocolKind;
 using node::PageMode;
 using node::Pte;
 
+ClusterSpec
+ClusterSpec::star(std::size_t nodes)
+{
+    ClusterSpec s;
+    s.topology.kind = net::TopologyKind::Star;
+    s.topology.nodes = nodes;
+    return s;
+}
+
+ClusterSpec
+ClusterSpec::chain(std::size_t nodes, std::size_t perSwitch)
+{
+    ClusterSpec s;
+    s.topology.kind = net::TopologyKind::Chain;
+    s.topology.nodes = nodes;
+    s.topology.nodesPerSwitch = perSwitch;
+    return s;
+}
+
+ClusterSpec
+ClusterSpec::ring(std::size_t nodes, std::size_t perSwitch)
+{
+    ClusterSpec s;
+    s.topology.kind = net::TopologyKind::Ring;
+    s.topology.nodes = nodes;
+    s.topology.nodesPerSwitch = perSwitch;
+    return s;
+}
+
+ClusterSpec
+ClusterSpec::torus(std::size_t x, std::size_t y, std::size_t perSwitch)
+{
+    ClusterSpec s;
+    s.topology.kind = net::TopologyKind::Torus2D;
+    s.topology.torusX = x;
+    s.topology.torusY = y;
+    s.topology.nodesPerSwitch = perSwitch;
+    s.topology.nodes = x * y * perSwitch;
+    return s;
+}
+
+ClusterSpec
+ClusterSpec::fatTree(std::size_t nodes, std::size_t perSwitch,
+                     std::size_t spines)
+{
+    ClusterSpec s;
+    s.topology.kind = net::TopologyKind::FatTree;
+    s.topology.nodes = nodes;
+    s.topology.nodesPerSwitch = perSwitch;
+    s.topology.spines = spines == 0 ? perSwitch : spines;
+    return s;
+}
+
+ClusterSpec
+ClusterSpec::forKind(net::TopologyKind kind, std::size_t nodes,
+                     std::size_t perSwitch)
+{
+    switch (kind) {
+      case net::TopologyKind::Star:
+        return star(nodes);
+      case net::TopologyKind::Chain:
+        return chain(nodes, perSwitch);
+      case net::TopologyKind::Ring:
+        return ring(nodes, perSwitch);
+      case net::TopologyKind::Torus2D: {
+        const std::size_t nsw =
+            perSwitch ? (nodes + perSwitch - 1) / perSwitch : 1;
+        std::size_t gx = 1;
+        for (std::size_t d = 1; d * d <= nsw; ++d)
+            if (nsw % d == 0)
+                gx = d;
+        return torus(gx, nsw / gx, perSwitch);
+      }
+      case net::TopologyKind::FatTree:
+        return fatTree(nodes, perSwitch);
+    }
+    panic("forKind: unknown topology kind %d", int(kind));
+}
+
+ClusterSpec &
+ClusterSpec::protocol(coherence::ProtocolKind kind)
+{
+    defaultProtocol = kind;
+    return *this;
+}
+
+ClusterSpec &
+ClusterSpec::trace(bool on)
+{
+    config.tracePackets = on;
+    return *this;
+}
+
+ClusterSpec &
+ClusterSpec::seed(std::uint64_t s)
+{
+    config.seed = s;
+    return *this;
+}
+
+ClusterSpec &
+ClusterSpec::prototype(Prototype p)
+{
+    config.prototype = p;
+    return *this;
+}
+
+ClusterSpec &
+ClusterSpec::faults(const FaultSpec &f)
+{
+    config.fault = f;
+    return *this;
+}
+
+Expected<std::unique_ptr<Cluster>, ConfigError>
+Cluster::build(const ClusterSpec &spec)
+{
+    if (auto valid = spec.topology.validate(); !valid)
+        return valid.error();
+    return std::make_unique<Cluster>(spec);
+}
+
 Cluster::Cluster(const ClusterSpec &spec)
+    : _defaultProtocol(spec.defaultProtocol)
 {
     _sys = std::make_unique<System>(spec.config);
     _dir = std::make_unique<coherence::Directory>(*_sys, "dir");
@@ -134,6 +257,7 @@ Cluster::allocShared(const std::string &name, std::size_t bytes,
 
     _segments.push_back(
         std::make_unique<Segment>(*this, name, va, pages, owner, home));
+    _segments.back()->setReplicationKind(_defaultProtocol);
     return *_segments.back();
 }
 
@@ -364,6 +488,7 @@ Cluster::statsReport(std::ostream &os)
 {
     os << "=== cluster statistics @ " << _sys->now() << " ns ("
        << toUs(_sys->now()) << " us) ===\n";
+    os << "topology: " << _net->spec().describe() << "\n";
     os << "events executed: " << _sys->events().executed() << "\n";
     os << "switch packets forwarded: " << _net->switchForwarded() << "\n";
     // Unconditional: the reliability layer runs on every link, so these

@@ -8,9 +8,7 @@
  * nodes, and run the simulation:
  *
  * @code
- *   tg::ClusterSpec spec;
- *   spec.topology.nodes = 2;
- *   tg::Cluster cluster(spec);
+ *   tg::Cluster cluster(tg::ClusterSpec::star(2));
  *   auto &seg = cluster.allocShared("data", 4096, 0);
  *   cluster.spawn(1, [&](tg::Ctx &ctx) -> tg::Task<void> {
  *       co_await ctx.write(seg.word(0), 42);     // remote write
@@ -19,6 +17,10 @@
  *   });
  *   cluster.run();
  * @endcode
+ *
+ * Specs come from the named constructors (star/chain/ring/torus/fatTree)
+ * refined by chainers; Cluster::build() is the non-aborting factory for
+ * user-supplied configurations.
  */
 
 #ifndef TELEGRAPHOS_API_CLUSTER_HPP
@@ -34,6 +36,7 @@
 #include "net/network.hpp"
 #include "node/workstation.hpp"
 #include "os/os_kernel.hpp"
+#include "sim/expected.hpp"
 #include "sim/system.hpp"
 #include "sim/task.hpp"
 
@@ -42,11 +45,90 @@ namespace tg {
 class Ctx;
 class Segment;
 
-/** Everything needed to build a cluster. */
+/**
+ * Everything needed to build a cluster.
+ *
+ * Construct with a named topology constructor and refine with chainers:
+ *
+ * @code
+ *   auto spec = tg::ClusterSpec::torus(4, 4, 4)
+ *                   .protocol(tg::coherence::ProtocolKind::OwnerCounter)
+ *                   .trace(true)
+ *                   .seed(7);
+ * @endcode
+ *
+ * The `config` / `topology` members remain public for this release so
+ * existing field-poking code keeps building, but new code must use the
+ * builders (tglint's deprecated-api rule flags raw topology writes
+ * outside src/api/).
+ */
 struct ClusterSpec
 {
     Config config;
     net::TopologySpec topology;
+    /** Replication protocol newly allocated segments default to. */
+    coherence::ProtocolKind defaultProtocol =
+        coherence::ProtocolKind::OwnerCounter;
+
+    // ------------------------------------------------------------------
+    // Named constructors (one per topology)
+    // ------------------------------------------------------------------
+
+    /** One central switch, @p nodes one hop apart. */
+    static ClusterSpec star(std::size_t nodes);
+
+    /** Switches in a line, @p perSwitch nodes each. */
+    static ClusterSpec chain(std::size_t nodes, std::size_t perSwitch = 4);
+
+    /** Switches in a cycle (>= 3), @p perSwitch nodes each. */
+    static ClusterSpec ring(std::size_t nodes, std::size_t perSwitch = 4);
+
+    /** @p x by @p y torus of switches, @p perSwitch nodes each
+     *  (nodes = x * y * perSwitch). */
+    static ClusterSpec torus(std::size_t x, std::size_t y,
+                             std::size_t perSwitch = 4);
+
+    /** Two-level fat-tree: leaves of @p perSwitch nodes under @p spines
+     *  spine switches (0: one spine per leaf uplink = perSwitch). */
+    static ClusterSpec fatTree(std::size_t nodes,
+                               std::size_t perSwitch = 4,
+                               std::size_t spines = 0);
+
+    /** Topology chosen at runtime (parameter sweeps).  Star/Chain/Ring
+     *  map directly; Torus2D picks the most-square switch grid for
+     *  nodes/perSwitch switches (nodes is rounded up to fill it);
+     *  FatTree gets perSwitch spines. */
+    static ClusterSpec forKind(net::TopologyKind kind, std::size_t nodes,
+                               std::size_t perSwitch = 4);
+
+    // ------------------------------------------------------------------
+    // Chainers
+    // ------------------------------------------------------------------
+
+    /** Default replication protocol for shared segments. */
+    ClusterSpec &protocol(coherence::ProtocolKind kind);
+
+    /** Record packet-lifecycle spans (latency breakdowns, p50/p99). */
+    ClusterSpec &trace(bool on = true);
+
+    /** Seed for all stochastic decisions (determinism contract). */
+    ClusterSpec &seed(std::uint64_t s);
+
+    /** Which hardware prototype is modelled. */
+    ClusterSpec &prototype(Prototype p);
+
+    /** Link fault model (inert spec disables it). */
+    ClusterSpec &faults(const FaultSpec &f);
+
+    /** Escape hatch: arbitrary Config tuning without raw field pokes at
+     *  call sites (`spec.tune([](tg::Config &c) { c.linkDelay = 50; })`). */
+    template <typename F>
+    ClusterSpec &
+    tune(F &&fn)
+    {
+        fn(config);
+        return *this;
+    }
 };
 
 /** A simulated Telegraphos workstation cluster. */
@@ -55,8 +137,22 @@ class Cluster : public coherence::Fabric
   public:
     using Body = std::function<Task<void>(Ctx &)>;
 
+    /**
+     * Construct-or-die: validates the spec via fatal() on rejection.
+     * Fine for tests and fixed-configuration tools; code taking user
+     * input should use build().
+     */
     explicit Cluster(const ClusterSpec &spec);
     ~Cluster() override;
+
+    /**
+     * Non-aborting factory: returns the built cluster, or the
+     * ConfigError explaining why the spec was rejected (0 nodes,
+     * non-rectangular torus, port overflow, ...).  fatal() never fires
+     * on this path for bad user input.
+     */
+    static Expected<std::unique_ptr<Cluster>, ConfigError>
+    build(const ClusterSpec &spec);
 
     // ------------------------------------------------------------------
     // Introspection
@@ -236,6 +332,8 @@ class Cluster : public coherence::Fabric
     std::vector<std::unique_ptr<Segment>> _segments;
     std::vector<std::unique_ptr<Ctx>> _ctxs;
 
+    coherence::ProtocolKind _defaultProtocol =
+        coherence::ProtocolKind::OwnerCounter;
     VAddr _vaNext = 0x2000'0000;
     std::vector<std::uint32_t> _nextCtxIdx; // per node
     /** Telegraphos context index of each thread, per node (PID hook). */

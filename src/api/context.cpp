@@ -29,23 +29,23 @@ Ctx::now() const
     return _cluster.system().now();
 }
 
-OpAwaiter
+OpResult<Word>
 Ctx::read(VAddr va)
 {
     CpuOp op;
     op.kind = CpuOp::Kind::Read;
     op.va = va;
-    return OpAwaiter{&_cpu, op};
+    return OpResult<Word>(*this, _cpu, op);
 }
 
-OpAwaiter
+OpResult<void>
 Ctx::write(VAddr va, Word value)
 {
     CpuOp op;
     op.kind = CpuOp::Kind::Write;
     op.va = va;
     op.value = value;
-    return OpAwaiter{&_cpu, op};
+    return OpResult<void>(*this, _cpu, op);
 }
 
 OpAwaiter
@@ -57,12 +57,12 @@ Ctx::compute(Tick ticks)
     return OpAwaiter{&_cpu, op};
 }
 
-OpAwaiter
+OpResult<void>
 Ctx::fence()
 {
     CpuOp op;
     op.kind = CpuOp::Kind::Fence;
-    return OpAwaiter{&_cpu, op};
+    return OpResult<void>(*this, _cpu, op);
 }
 
 LaunchMode

@@ -13,6 +13,9 @@
 #ifndef TELEGRAPHOS_API_CONTEXT_HPP
 #define TELEGRAPHOS_API_CONTEXT_HPP
 
+#include <type_traits>
+
+#include "api/result.hpp"
 #include "hib/special_ops.hpp"
 #include "node/address.hpp"
 #include "node/cpu.hpp"
@@ -22,6 +25,7 @@
 namespace tg {
 
 class Cluster;
+class Ctx;
 
 /** How special operations are launched (experiment A1 sweeps this). */
 enum class LaunchMode
@@ -40,11 +44,32 @@ shadowOf(VAddr va)
     return va | node::kShadowBit;
 }
 
-/** Error status of a context's remote operations. */
-enum class OpError
+/**
+ * co_await-able remote operation yielding Result<T>.
+ *
+ * Wraps the CPU's raw OpAwaiter and snapshots the context's wire-failure
+ * count across the suspension: a failure charged to this node while the
+ * operation was in flight surfaces as OpError::LinkFailure on exactly
+ * the operation that observed it (the lost read that unblocked empty,
+ * the fence that drained over a lost write).
+ */
+template <typename T>
+class OpResult
 {
-    None,        ///< all operations so far delivered normally
-    LinkFailure, ///< a remote operation was lost by the network
+  public:
+    OpResult(Ctx &ctx, node::Cpu &cpu, const node::CpuOp &op)
+        : _ctx(&ctx), _inner{&cpu, op}
+    {
+    }
+
+    bool await_ready() const { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    Result<T> await_resume() const;
+
+  private:
+    Ctx *_ctx;
+    node::OpAwaiter _inner;
+    std::uint64_t _before = 0;
 };
 
 /** Per-thread program context. */
@@ -93,17 +118,21 @@ class Ctx
     // Single-instruction operations
     // ------------------------------------------------------------------
 
-    /** Load one word (blocking when remote, section 2.2.1). */
-    node::OpAwaiter read(VAddr va);
+    /** Load one word (blocking when remote, section 2.2.1).  Yields
+     *  Result<Word>: the value plus whether it was actually delivered
+     *  (implicitly converts to Word for the fault-free path). */
+    OpResult<Word> read(VAddr va);
 
     /** Store one word (non-blocking when remote, section 2.2.1). */
-    node::OpAwaiter write(VAddr va, Word value);
+    OpResult<void> write(VAddr va, Word value);
 
     /** Burn @p ticks of computation. */
     node::OpAwaiter compute(Tick ticks);
 
-    /** MEMORY_BARRIER: wait for all outstanding remote ops (2.3.5). */
-    node::OpAwaiter fence();
+    /** MEMORY_BARRIER: wait for all outstanding remote ops (2.3.5).
+     *  Yields Result<void>: LinkFailure when an operation the fence
+     *  drained over was lost by the network. */
+    OpResult<void> fence();
 
     // ------------------------------------------------------------------
     // Special operations (multi-instruction launch sequences, 2.2.4)
@@ -172,6 +201,27 @@ class Ctx
     OpError _lastError = OpError::None;
     std::uint64_t _wireFailureCount = 0;
 };
+
+template <typename T>
+inline void
+OpResult<T>::await_suspend(std::coroutine_handle<> h)
+{
+    _before = _ctx->wireFailures();
+    _inner.await_suspend(h);
+}
+
+template <typename T>
+inline Result<T>
+OpResult<T>::await_resume() const
+{
+    const OpError err = _ctx->wireFailures() > _before
+                            ? OpError::LinkFailure
+                            : OpError::None;
+    if constexpr (std::is_void_v<T>)
+        return Result<void>(err);
+    else
+        return Result<T>(_inner.result, err);
+}
 
 } // namespace tg
 

@@ -128,6 +128,18 @@ BenchReport::anchor(const std::string &name, double value, double paper,
 }
 
 void
+BenchReport::topology(const net::TopologySpec &spec)
+{
+    std::ostringstream os;
+    os << "{\"kind\":\"" << spec.model().name()
+       << "\",\"nodes\":" << spec.nodes
+       << ",\"switches\":" << spec.numSwitches()
+       << ",\"bisection_width\":" << spec.bisectionWidth()
+       << ",\"describe\":\"" << jsonEscape(spec.describe()) << "\"}";
+    _topologyJson = os.str();
+}
+
+void
 BenchReport::breakdown(const trace::Breakdown &bd)
 {
     _breakdownJson = bd.toJson();
@@ -152,7 +164,10 @@ BenchReport::write() const
         return false;
     }
     out << "{\"schema\":\"tg-bench-v1\",\"bench\":\"" << jsonEscape(_bench)
-        << "\",\"metrics\":[";
+        << "\"";
+    if (!_topologyJson.empty())
+        out << ",\"topology\":" << _topologyJson;
+    out << ",\"metrics\":[";
     for (std::size_t i = 0; i < _metrics.size(); ++i) {
         const Metric &m = _metrics[i];
         out << (i ? "," : "") << "{\"name\":\"" << jsonEscape(m.name)

@@ -63,6 +63,8 @@ class ResultTable
  * Document shape:
  * @code
  *   {"schema":"tg-bench-v1","bench":"<name>",
+ *    "topology":{"kind":...,"nodes":...,"switches":...,
+ *                "bisection_width":...,"describe":...},  // optional
  *    "metrics":[{"name":...,"value":...,"unit":...,"paper_anchor":...}],
  *    "breakdown":{...tg-breakdown-v1...},   // optional
  *    "stats":{...tg-stats-v1...}}           // optional
@@ -90,6 +92,10 @@ class BenchReport
     void anchor(const std::string &name, double value, double paper,
                 const std::string &unit = "us");
 
+    /** Record the interconnect the bench ran on; the JSON document is
+     *  then self-describing (switch count, bisection width). */
+    void topology(const net::TopologySpec &spec);
+
     /** Attach a latency breakdown (tg-breakdown-v1 sub-document). */
     void breakdown(const trace::Breakdown &bd);
 
@@ -114,6 +120,7 @@ class BenchReport
     std::string _bench;
     std::string _path;
     std::vector<Metric> _metrics;
+    std::string _topologyJson;
     std::string _breakdownJson;
     std::string _statsJson;
 };

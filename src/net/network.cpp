@@ -2,6 +2,16 @@
  * @file
  * Network implementation: topology construction, routing
  * tables and node attachment.
+ *
+ * The builder is topology-agnostic: everything shape-specific (switch
+ * count, trunk list, route/VC functions) comes from the spec's
+ * TopologyModel, so adding a fabric never touches this file.
+ *
+ * Determinism note: channel names seed the per-link fault RNGs and
+ * construction order fixes event ordering, so both are part of the
+ * reproducibility contract.  Switches are named ".sw<i>", trunks
+ * ".trunk<a>to<b>" in model trunk-list order (forward direction first),
+ * matching the historic star/chain/ring naming exactly.
  */
 
 #include "net/network.hpp"
@@ -14,21 +24,24 @@ Network::Network(System &sys, const std::string &name,
                  const TopologySpec &spec)
     : SimObject(sys, name), _spec(spec)
 {
-    _spec.validate();
+    // Legacy construction path: turn a rejection into fatal().  Callers
+    // wanting a recoverable error go through Cluster::build(), which
+    // validates before ever constructing a Network.
+    if (auto valid = _spec.validate(); !valid)
+        fatal("%s: %s", name.c_str(), valid.error().message.c_str());
 
+    const TopologyModel &model = _spec.model();
     const std::size_t nsw = _spec.numSwitches();
     for (std::size_t s = 0; s < nsw; ++s) {
         _switches.push_back(std::make_unique<Switch>(
-            sys, name + ".sw" + std::to_string(s), _spec.portsPerSwitch(),
+            sys, name + ".sw" + std::to_string(s), _spec.portsOf(s),
             /*vcs=*/2));
     }
 
-    // Trunk channels between adjacent switches (chain/ring).  Each
-    // direction is one physical wire carrying both VCs.
+    // Trunk channels between switches.  Each direction is one physical
+    // wire carrying both VCs.
     const double bw = config().linkBytesPerTick;
     const Tick delay = config().linkDelay;
-    const std::size_t right = _spec.nodesPerSwitch;    // trunk port to s+1
-    const std::size_t left = _spec.nodesPerSwitch + 1; // trunk port to s-1
 
     auto trunk_lanes = [&](std::size_t a, std::size_t pa, std::size_t b,
                            std::size_t pb) {
@@ -38,46 +51,44 @@ Network::Network(System &sys, const std::string &name,
                                           &_switches[b]->inQueue(pb, v)});
         return lanes;
     };
-    auto trunk = [&](std::size_t a, std::size_t pa, std::size_t b,
-                     std::size_t pb) {
+    for (const TopologyModel::Trunk &t : model.trunks(_spec)) {
         _channels.push_back(std::make_unique<Channel>(
             _sys,
-            name + ".trunk" + std::to_string(a) + "to" + std::to_string(b),
-            trunk_lanes(a, pa, b, pb), bw, delay));
+            name + ".trunk" + std::to_string(t.swA) + "to" +
+                std::to_string(t.swB),
+            trunk_lanes(t.swA, t.portA, t.swB, t.portB), bw, delay));
         _channels.push_back(std::make_unique<Channel>(
             _sys,
-            name + ".trunk" + std::to_string(b) + "to" + std::to_string(a),
-            trunk_lanes(b, pb, a, pa), bw, delay));
-    };
-
-    if (_spec.kind != TopologyKind::Star) {
-        for (std::size_t s = 0; s + 1 < nsw; ++s)
-            trunk(s, right, s + 1, left);
-        if (_spec.kind == TopologyKind::Ring && nsw > 2)
-            trunk(nsw - 1, right, 0, left);
+            name + ".trunk" + std::to_string(t.swB) + "to" +
+                std::to_string(t.swA),
+            trunk_lanes(t.swB, t.portB, t.swA, t.portA), bw, delay));
     }
 
-    // Dateline deadlock avoidance on the ring (paper reference [17]:
-    // VC-level flow control): a packet that crosses the wrap link is
-    // bumped to the escape VC, breaking the cyclic buffer dependency.
-    if (_spec.kind == TopologyKind::Ring) {
+    // Escape-VC maps (dateline deadlock avoidance on ring/torus).
+    if (model.usesDateline()) {
         for (std::size_t s = 0; s < nsw; ++s) {
-            const bool wraps_right = (s == nsw - 1);
-            const bool wraps_left = (s == 0);
             _switches[s]->setVcMap(
-                [right, left, wraps_right, wraps_left](
-                    const Packet &, std::size_t out_port,
-                    std::uint8_t in_vc) -> std::uint8_t {
-                    if (out_port == right && wraps_right)
-                        return 1;
-                    if (out_port == left && wraps_left)
-                        return 1;
-                    return in_vc;
+                [this, s](const Packet &, std::size_t in_port,
+                          std::size_t out_port,
+                          std::uint8_t in_vc) -> std::uint8_t {
+                    return _spec.model().vcFor(_spec, s, in_port, out_port,
+                                               in_vc);
                 });
         }
     }
 
-    buildRoutes();
+    // Routing: a static destination table when the path depends only on
+    // dst, a per-packet function when it also depends on src (fat-tree
+    // per-flow uplink hashing).
+    if (model.srcDependentRouting()) {
+        for (std::size_t s = 0; s < nsw; ++s) {
+            _switches[s]->setRouteFn([this, s](const Packet &pkt) {
+                return _spec.model().routePort(_spec, s, pkt.src, pkt.dst);
+            });
+        }
+    } else {
+        buildRoutes();
+    }
 }
 
 void
@@ -107,34 +118,16 @@ Network::attach(NodeId id, NodeEndpoint &ep)
         bw, delay));
 }
 
-int
-Network::trunkDirection(std::size_t s, std::size_t t) const
-{
-    const std::size_t nsw = _spec.numSwitches();
-    if (_spec.kind == TopologyKind::Chain)
-        return t > s ? +1 : -1;
-    // Ring: shortest direction, ties broken towards increasing index so
-    // that routing is deterministic (required for in-order delivery).
-    const std::size_t fwd = (t + nsw - s) % nsw;
-    const std::size_t bwd = (s + nsw - t) % nsw;
-    return fwd <= bwd ? +1 : -1;
-}
-
 void
 Network::buildRoutes()
 {
-    const std::size_t right = _spec.nodesPerSwitch;
-    const std::size_t left = _spec.nodesPerSwitch + 1;
-
+    const TopologyModel &model = _spec.model();
     for (std::size_t s = 0; s < _switches.size(); ++s) {
         for (std::size_t n = 0; n < _spec.nodes; ++n) {
-            const std::size_t t = _spec.switchOf(n);
-            std::size_t port;
-            if (t == s)
-                port = _spec.portOf(n);
-            else
-                port = trunkDirection(s, t) > 0 ? right : left;
-            _switches[s]->setRoute(static_cast<NodeId>(n), port);
+            _switches[s]->setRoute(
+                static_cast<NodeId>(n),
+                model.routePort(_spec, s, /*src=*/0,
+                                static_cast<NodeId>(n)));
         }
     }
 }
@@ -200,18 +193,7 @@ Network::wireFailures() const
 std::size_t
 Network::hops(NodeId a, NodeId b) const
 {
-    if (a == b)
-        return 0;
-    const std::size_t sa = _spec.switchOf(a);
-    const std::size_t sb = _spec.switchOf(b);
-    if (_spec.kind == TopologyKind::Star || sa == sb)
-        return 1;
-    if (_spec.kind == TopologyKind::Chain)
-        return 1 + (sa > sb ? sa - sb : sb - sa);
-    const std::size_t nsw = _spec.numSwitches();
-    const std::size_t fwd = (sb + nsw - sa) % nsw;
-    const std::size_t bwd = (sa + nsw - sb) % nsw;
-    return 1 + std::min(fwd, bwd);
+    return _spec.model().hops(_spec, a, b);
 }
 
 } // namespace tg::net

@@ -76,8 +76,6 @@ class Network : public SimObject
 
   private:
     void buildRoutes();
-    /** Trunk direction from switch s towards switch t: +1 right, -1 left. */
-    int trunkDirection(std::size_t s, std::size_t t) const;
 
     TopologySpec _spec;
     std::vector<std::unique_ptr<Switch>> _switches;

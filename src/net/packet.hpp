@@ -91,6 +91,10 @@ struct Packet
      *  are bit-identical with tracing on or off. */
     std::uint64_t traceId = 0;
 
+    /** Switches traversed so far (multi-hop accounting).  Observability
+     *  like traceId: excluded from computeCrc() and the audit hash. */
+    std::uint8_t hopsDone = 0;
+
     /** Bulk word data for CopyData / PageData transfers.  Shared so that
      *  copying packets through queues stays cheap. */
     std::shared_ptr<std::vector<Word>> bulk;

@@ -64,9 +64,13 @@ Switch::pump(std::size_t port, std::size_t vc)
         return;
 
     const Packet &head = in.front();
-    const std::size_t out = route(head.dst);
+    const std::size_t out = _routeFn ? _routeFn(head) : route(head.dst);
+    if (out >= _ports)
+        panic("%s: route produced port %zu of %zu", _name.c_str(), out,
+              _ports);
     const std::uint8_t out_vc =
-        _vcMap ? _vcMap(head, out, std::uint8_t(vc)) : std::uint8_t(vc);
+        _vcMap ? _vcMap(head, port, out, std::uint8_t(vc))
+               : std::uint8_t(vc);
     if (out_vc >= _vcs)
         panic("%s: VC map produced vc %u of %zu", _name.c_str(),
               unsigned(out_vc), _vcs);
@@ -79,12 +83,13 @@ Switch::pump(std::size_t port, std::size_t vc)
     schedule(config().switchLatency, [this, port, vc, out, out_vc] {
         Packet pkt = _in[idx(port, vc)]->pop();
         pkt.vc = out_vc;
+        ++pkt.hopsDone;
         Trace::log(now(), "net", "%s fwd p%zu.%zu->p%zu.%u %s",
                    _name.c_str(), port, vc, out, unsigned(out_vc),
                    pkt.toString().c_str());
         ++_forwarded;
         _sys.tracer().record(pkt.traceId, trace::Span::SwitchFwd, now(),
-                             _traceComp);
+                             _traceComp, pkt.hopsDone);
         _out[idx(out, out_vc)]->pushReserved(std::move(pkt));
         _busy[idx(port, vc)] = false;
         pump(port, vc);

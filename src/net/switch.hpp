@@ -38,11 +38,20 @@ class Switch : public SimObject
 {
   public:
     /**
-     * Choose the outgoing VC for a packet: (packet, out_port, in_vc) ->
-     * out_vc.  Defaults to keeping the incoming VC.
+     * Choose the outgoing VC for a packet:
+     * (packet, in_port, out_port, in_vc) -> out_vc.  The input port lets
+     * dimension-ordered schemes distinguish a dimension turn (restart on
+     * VC0) from continued travel.  Defaults to keeping the incoming VC.
      */
-    using VcMap =
-        Fn<std::uint8_t(const Packet &, std::size_t, std::uint8_t)>;
+    using VcMap = Fn<std::uint8_t(const Packet &, std::size_t, std::size_t,
+                                  std::uint8_t)>;
+
+    /**
+     * Per-packet output-port selection: packet -> out_port.  Installed
+     * instead of the static route table when routing depends on more
+     * than the destination (fat-tree per-flow uplink hashing).
+     */
+    using RouteFn = Fn<std::size_t(const Packet &)>;
 
     /**
      * @param sys    owning system
@@ -77,6 +86,9 @@ class Switch : public SimObject
     /** Install the VC-mapping hook (dateline schemes). */
     void setVcMap(VcMap map) { _vcMap = std::move(map); }
 
+    /** Install a per-packet route function (overrides the table). */
+    void setRouteFn(RouteFn fn) { _routeFn = std::move(fn); }
+
     /** Total packets forwarded. */
     std::uint64_t forwarded() const { return _forwarded; }
 
@@ -96,6 +108,7 @@ class Switch : public SimObject
     std::vector<bool> _busy;
     std::vector<std::size_t> _routes; // indexed by NodeId
     VcMap _vcMap;
+    RouteFn _routeFn;
     std::uint64_t _forwarded = 0;
     std::uint16_t _traceComp = 0;
 };

@@ -1,71 +1,628 @@
 /**
  * @file
- * Topology specifications (chain, ring, star) and their
- * validation.
+ * Topology model table: per-shape switch/port/route/VC functions for
+ * star, chain, ring, 2D torus and two-level fat-tree fabrics.
  */
 
 #include "net/topology.hpp"
 
+#include <algorithm>
+#include <cstdarg>
 #include <cstdio>
 
 #include "sim/log.hpp"
 
 namespace tg::net {
+namespace {
 
-std::size_t
-TopologySpec::numSwitches() const
+/** printf-style ConfigError construction. */
+ConfigError
+reject(const char *fmt, ...)
 {
-    if (kind == TopologyKind::Star)
+    char buf[192];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    return ConfigError{buf};
+}
+
+/** Shared rejection: some switch wants more ports than a board has. */
+Expected<void, ConfigError>
+checkPorts(const TopologySpec &s)
+{
+    const std::size_t nsw = s.numSwitches();
+    for (std::size_t sw = 0; sw < nsw; ++sw) {
+        const std::size_t ports = s.portsOf(sw);
+        if (ports > kMaxSwitchPorts)
+            return reject(
+                "switch %zu needs %zu ports; boards max out at %zu", sw,
+                ports, kMaxSwitchPorts);
+    }
+    return {};
+}
+
+/** Shared rejections common to every shape. */
+Expected<void, ConfigError>
+checkCommon(const TopologySpec &s, bool usesPerSwitch)
+{
+    if (s.nodes < 1)
+        return reject("topology needs at least one node");
+    if (usesPerSwitch && s.nodesPerSwitch < 1)
+        return reject("nodesPerSwitch must be >= 1");
+    return {};
+}
+
+/** Hop distance around a 1D ring of extent @p g. */
+std::size_t
+ringDist(std::size_t a, std::size_t b, std::size_t g)
+{
+    const std::size_t fwd = (b + g - a) % g;
+    const std::size_t bwd = (a + g - b) % g;
+    return std::min(fwd, bwd);
+}
+
+/** True when the shortest a -> b direction is +1 (ties towards +1, so
+ *  routing is deterministic — required for in-order delivery). */
+bool
+ringForward(std::size_t a, std::size_t b, std::size_t g)
+{
+    const std::size_t fwd = (b + g - a) % g;
+    const std::size_t bwd = (a + g - b) % g;
+    return fwd <= bwd;
+}
+
+// ---------------------------------------------------------------- Star
+
+class StarModel final : public TopologyModel
+{
+  public:
+    const char *name() const override { return "star"; }
+
+    std::size_t numSwitches(const TopologySpec &) const override
+    {
         return 1;
-    return (nodes + nodesPerSwitch - 1) / nodesPerSwitch;
-}
+    }
 
-std::size_t
-TopologySpec::switchOf(std::size_t node) const
-{
-    if (kind == TopologyKind::Star)
+    std::size_t switchOf(const TopologySpec &, std::size_t) const override
+    {
         return 0;
-    return node / nodesPerSwitch;
-}
+    }
 
-std::size_t
-TopologySpec::portOf(std::size_t node) const
-{
-    if (kind == TopologyKind::Star)
+    std::size_t
+    portOf(const TopologySpec &, std::size_t node) const override
+    {
         return node;
-    return node % nodesPerSwitch;
+    }
+
+    std::size_t portsOf(const TopologySpec &s, std::size_t) const override
+    {
+        return s.nodes;
+    }
+
+    std::vector<Trunk> trunks(const TopologySpec &) const override
+    {
+        return {};
+    }
+
+    std::size_t
+    routePort(const TopologySpec &, std::size_t, NodeId,
+              NodeId dst) const override
+    {
+        return dst;
+    }
+
+    std::size_t
+    hops(const TopologySpec &, NodeId a, NodeId b) const override
+    {
+        return a == b ? 0 : 1;
+    }
+
+    std::size_t bisectionWidth(const TopologySpec &s) const override
+    {
+        // Limited by the node links crossing the cut, not trunks.
+        return s.nodes / 2;
+    }
+
+    Expected<void, ConfigError>
+    validate(const TopologySpec &s) const override
+    {
+        if (auto r = checkCommon(s, /*usesPerSwitch=*/false); !r)
+            return r;
+        return checkPorts(s);
+    }
+};
+
+// ---------------------------------------------------- Chain and Ring
+
+/** Shared layout for the 1D shapes: nodes fill switches in index
+ *  order; trunk ports sit just above the node ports. */
+class LinearModel : public TopologyModel
+{
+  public:
+    std::size_t numSwitches(const TopologySpec &s) const override
+    {
+        return (s.nodes + s.nodesPerSwitch - 1) / s.nodesPerSwitch;
+    }
+
+    std::size_t
+    switchOf(const TopologySpec &s, std::size_t node) const override
+    {
+        return node / s.nodesPerSwitch;
+    }
+
+    std::size_t
+    portOf(const TopologySpec &s, std::size_t node) const override
+    {
+        return node % s.nodesPerSwitch;
+    }
+
+    std::size_t portsOf(const TopologySpec &s, std::size_t) const override
+    {
+        // node ports + right trunk + left trunk
+        return s.nodesPerSwitch + 2;
+    }
+
+  protected:
+    /** Trunk port towards switch s+1. */
+    static std::size_t right(const TopologySpec &s)
+    {
+        return s.nodesPerSwitch;
+    }
+
+    /** Trunk port towards switch s-1. */
+    static std::size_t left(const TopologySpec &s)
+    {
+        return s.nodesPerSwitch + 1;
+    }
+};
+
+class ChainModel final : public LinearModel
+{
+  public:
+    const char *name() const override { return "chain"; }
+
+    std::vector<Trunk> trunks(const TopologySpec &s) const override
+    {
+        std::vector<Trunk> out;
+        const std::size_t nsw = numSwitches(s);
+        for (std::size_t i = 0; i + 1 < nsw; ++i)
+            out.push_back(Trunk{i, right(s), i + 1, left(s)});
+        return out;
+    }
+
+    std::size_t
+    routePort(const TopologySpec &s, std::size_t sw, NodeId,
+              NodeId dst) const override
+    {
+        const std::size_t t = switchOf(s, dst);
+        if (t == sw)
+            return portOf(s, dst);
+        return t > sw ? right(s) : left(s);
+    }
+
+    std::size_t
+    hops(const TopologySpec &s, NodeId a, NodeId b) const override
+    {
+        if (a == b)
+            return 0;
+        const std::size_t sa = switchOf(s, a);
+        const std::size_t sb = switchOf(s, b);
+        return 1 + (sa > sb ? sa - sb : sb - sa);
+    }
+
+    std::size_t bisectionWidth(const TopologySpec &s) const override
+    {
+        return numSwitches(s) > 1 ? 1 : s.nodes / 2;
+    }
+
+    Expected<void, ConfigError>
+    validate(const TopologySpec &s) const override
+    {
+        if (auto r = checkCommon(s, /*usesPerSwitch=*/true); !r)
+            return r;
+        return checkPorts(s);
+    }
+};
+
+class RingModel final : public LinearModel
+{
+  public:
+    const char *name() const override { return "ring"; }
+
+    std::vector<Trunk> trunks(const TopologySpec &s) const override
+    {
+        std::vector<Trunk> out;
+        const std::size_t nsw = numSwitches(s);
+        for (std::size_t i = 0; i + 1 < nsw; ++i)
+            out.push_back(Trunk{i, right(s), i + 1, left(s)});
+        // Wrap link last, matching historic construction order (channel
+        // names seed the per-link fault RNGs; order must stay stable).
+        out.push_back(Trunk{nsw - 1, right(s), 0, left(s)});
+        return out;
+    }
+
+    std::size_t
+    routePort(const TopologySpec &s, std::size_t sw, NodeId,
+              NodeId dst) const override
+    {
+        const std::size_t t = switchOf(s, dst);
+        if (t == sw)
+            return portOf(s, dst);
+        return ringForward(sw, t, numSwitches(s)) ? right(s) : left(s);
+    }
+
+    bool usesDateline() const override { return true; }
+
+    std::uint8_t
+    vcFor(const TopologySpec &s, std::size_t sw, std::size_t /*in_port*/,
+          std::size_t out_port, std::uint8_t in_vc) const override
+    {
+        // Dateline deadlock avoidance (paper reference [17]: VC-level
+        // flow control): a packet crossing the wrap link is bumped to
+        // the escape VC, breaking the cyclic buffer dependency.
+        const std::size_t nsw = numSwitches(s);
+        if (out_port == right(s) && sw == nsw - 1)
+            return 1;
+        if (out_port == left(s) && sw == 0)
+            return 1;
+        return in_vc;
+    }
+
+    std::size_t
+    hops(const TopologySpec &s, NodeId a, NodeId b) const override
+    {
+        if (a == b)
+            return 0;
+        const std::size_t sa = switchOf(s, a);
+        const std::size_t sb = switchOf(s, b);
+        if (sa == sb)
+            return 1;
+        return 1 + ringDist(sa, sb, numSwitches(s));
+    }
+
+    std::size_t bisectionWidth(const TopologySpec &) const override
+    {
+        // Any half/half cut of the cycle severs exactly two trunks.
+        return 2;
+    }
+
+    Expected<void, ConfigError>
+    validate(const TopologySpec &s) const override
+    {
+        if (auto r = checkCommon(s, /*usesPerSwitch=*/true); !r)
+            return r;
+        if (numSwitches(s) < 3)
+            return reject(
+                "a ring needs at least 3 switches (%zu nodes / %zu per "
+                "switch)",
+                s.nodes, s.nodesPerSwitch);
+        return checkPorts(s);
+    }
+};
+
+// -------------------------------------------------------------- Torus2D
+
+class TorusModel final : public TopologyModel
+{
+  public:
+    const char *name() const override { return "torus2d"; }
+
+    std::size_t numSwitches(const TopologySpec &s) const override
+    {
+        return s.torusX * s.torusY;
+    }
+
+    std::size_t
+    switchOf(const TopologySpec &s, std::size_t node) const override
+    {
+        return node / s.nodesPerSwitch;
+    }
+
+    std::size_t
+    portOf(const TopologySpec &s, std::size_t node) const override
+    {
+        return node % s.nodesPerSwitch;
+    }
+
+    std::size_t portsOf(const TopologySpec &s, std::size_t) const override
+    {
+        // node ports + {+X, -X, +Y, -Y} trunks
+        return s.nodesPerSwitch + 4;
+    }
+
+    std::vector<Trunk> trunks(const TopologySpec &s) const override
+    {
+        // X-dimension rings row by row, then Y-dimension rings; within
+        // each ring the wrap link falls out last (i = extent-1).
+        std::vector<Trunk> out;
+        const std::size_t gx = s.torusX, gy = s.torusY;
+        for (std::size_t y = 0; y < gy; ++y)
+            for (std::size_t x = 0; x < gx; ++x)
+                out.push_back(Trunk{y * gx + x, posX(s),
+                                    y * gx + (x + 1) % gx, negX(s)});
+        for (std::size_t y = 0; y < gy; ++y)
+            for (std::size_t x = 0; x < gx; ++x)
+                out.push_back(Trunk{y * gx + x, posY(s),
+                                    ((y + 1) % gy) * gx + x, negY(s)});
+        return out;
+    }
+
+    std::size_t
+    routePort(const TopologySpec &s, std::size_t sw, NodeId,
+              NodeId dst) const override
+    {
+        // Dimension-ordered routing (Dally & Seitz): correct X fully,
+        // then Y; shortest direction per dimension, ties towards +.
+        const std::size_t t = switchOf(s, dst);
+        if (t == sw)
+            return portOf(s, dst);
+        const std::size_t gx = s.torusX, gy = s.torusY;
+        const std::size_t x = sw % gx, y = sw / gx;
+        const std::size_t tx = t % gx, ty = t / gx;
+        if (x != tx)
+            return ringForward(x, tx, gx) ? posX(s) : negX(s);
+        return ringForward(y, ty, gy) ? posY(s) : negY(s);
+    }
+
+    bool usesDateline() const override { return true; }
+
+    std::uint8_t
+    vcFor(const TopologySpec &s, std::size_t sw, std::size_t in_port,
+          std::size_t out_port, std::uint8_t in_vc) const override
+    {
+        // Per-dimension dateline: each X row and Y column is a ring with
+        // its own wrap-link dateline.  A packet starts each dimension on
+        // VC0 (injection, or the X->Y turn of dimension-ordered routing)
+        // and is bumped to the escape VC when it crosses that
+        // dimension's wrap link; it can never cross the same wrap twice,
+        // so no buffer-wait cycle closes in either VC.
+        const std::size_t nps = s.nodesPerSwitch;
+        if (out_port < nps)
+            return in_vc; // ejection to a node port
+
+        std::uint8_t vc = in_vc;
+        if (in_port < nps)
+            vc = 0; // fresh injection
+        else if (isX(s, in_port) != isX(s, out_port))
+            vc = 0; // dimension turn: a new ring, restart on VC0
+
+        const std::size_t gx = s.torusX, gy = s.torusY;
+        const std::size_t x = sw % gx, y = sw / gx;
+        if (out_port == posX(s) && x == gx - 1)
+            return 1;
+        if (out_port == negX(s) && x == 0)
+            return 1;
+        if (out_port == posY(s) && y == gy - 1)
+            return 1;
+        if (out_port == negY(s) && y == 0)
+            return 1;
+        return vc;
+    }
+
+    std::size_t
+    hops(const TopologySpec &s, NodeId a, NodeId b) const override
+    {
+        if (a == b)
+            return 0;
+        const std::size_t sa = switchOf(s, a);
+        const std::size_t sb = switchOf(s, b);
+        if (sa == sb)
+            return 1;
+        const std::size_t gx = s.torusX;
+        return 1 + ringDist(sa % gx, sb % gx, gx) +
+               ringDist(sa / gx, sb / gx, s.torusY);
+    }
+
+    std::size_t bisectionWidth(const TopologySpec &s) const override
+    {
+        // Cut across the longer dimension: 2 wrap-ring links per ring
+        // cut, min(gx, gy) parallel rings crossing the cut... the
+        // narrower count wins.
+        return 2 * std::min(s.torusX, s.torusY);
+    }
+
+    Expected<void, ConfigError>
+    validate(const TopologySpec &s) const override
+    {
+        if (auto r = checkCommon(s, /*usesPerSwitch=*/true); !r)
+            return r;
+        if (s.torusX < 2 || s.torusY < 2)
+            return reject("torus dimensions must be at least 2x2 (got "
+                          "%zux%zu)",
+                          s.torusX, s.torusY);
+        if (s.nodes != s.torusX * s.torusY * s.nodesPerSwitch)
+            return reject(
+                "non-rectangular torus: %zu nodes does not fill %zux%zu "
+                "switches at %zu per switch (want %zu)",
+                s.nodes, s.torusX, s.torusY, s.nodesPerSwitch,
+                s.torusX * s.torusY * s.nodesPerSwitch);
+        return checkPorts(s);
+    }
+
+  private:
+    static std::size_t posX(const TopologySpec &s)
+    {
+        return s.nodesPerSwitch;
+    }
+    static std::size_t negX(const TopologySpec &s)
+    {
+        return s.nodesPerSwitch + 1;
+    }
+    static std::size_t posY(const TopologySpec &s)
+    {
+        return s.nodesPerSwitch + 2;
+    }
+    static std::size_t negY(const TopologySpec &s)
+    {
+        return s.nodesPerSwitch + 3;
+    }
+    static bool isX(const TopologySpec &s, std::size_t trunkPort)
+    {
+        return trunkPort == posX(s) || trunkPort == negX(s);
+    }
+};
+
+// -------------------------------------------------------------- FatTree
+
+class FatTreeModel final : public TopologyModel
+{
+  public:
+    const char *name() const override { return "fattree"; }
+
+    std::size_t numSwitches(const TopologySpec &s) const override
+    {
+        return leaves(s) + s.spines;
+    }
+
+    std::size_t
+    switchOf(const TopologySpec &s, std::size_t node) const override
+    {
+        return node / s.nodesPerSwitch; // leaf index
+    }
+
+    std::size_t
+    portOf(const TopologySpec &s, std::size_t node) const override
+    {
+        return node % s.nodesPerSwitch;
+    }
+
+    std::size_t
+    portsOf(const TopologySpec &s, std::size_t sw) const override
+    {
+        // Leaves: node ports + one uplink per spine.  Spines: one
+        // downlink per leaf.
+        return sw < leaves(s) ? s.nodesPerSwitch + s.spines : leaves(s);
+    }
+
+    std::vector<Trunk> trunks(const TopologySpec &s) const override
+    {
+        std::vector<Trunk> out;
+        const std::size_t nl = leaves(s);
+        for (std::size_t l = 0; l < nl; ++l)
+            for (std::size_t j = 0; j < s.spines; ++j)
+                out.push_back(
+                    Trunk{l, s.nodesPerSwitch + j, nl + j, l});
+        return out;
+    }
+
+    bool srcDependentRouting() const override { return true; }
+
+    std::size_t
+    routePort(const TopologySpec &s, std::size_t sw, NodeId src,
+              NodeId dst) const override
+    {
+        // Up/down routing: a leaf sends cross-leaf traffic up the
+        // spine chosen by a deterministic (src, dst) hash — one path
+        // per flow, so per-flow order is preserved — and spines send
+        // straight down to the destination leaf.  The channel graph is
+        // layered (up then down), hence cycle-free without VCs.
+        const std::size_t nl = leaves(s);
+        const std::size_t t = switchOf(s, dst);
+        if (sw >= nl)
+            return t; // spine: downlink port = leaf index
+        if (t == sw)
+            return portOf(s, dst);
+        return s.nodesPerSwitch + uplinkHash(src, dst, s.spines);
+    }
+
+    std::size_t
+    hops(const TopologySpec &s, NodeId a, NodeId b) const override
+    {
+        if (a == b)
+            return 0;
+        return switchOf(s, a) == switchOf(s, b) ? 1 : 3;
+    }
+
+    std::size_t bisectionWidth(const TopologySpec &s) const override
+    {
+        const std::size_t nl = leaves(s);
+        // Half the leaves reach the other half through every spine.
+        return nl > 1 ? s.spines * (nl / 2) : s.nodes / 2;
+    }
+
+    Expected<void, ConfigError>
+    validate(const TopologySpec &s) const override
+    {
+        if (auto r = checkCommon(s, /*usesPerSwitch=*/true); !r)
+            return r;
+        if (s.spines < 1)
+            return reject("a fat-tree needs at least one spine switch");
+        return checkPorts(s);
+    }
+
+  private:
+    static std::size_t leaves(const TopologySpec &s)
+    {
+        return (s.nodes + s.nodesPerSwitch - 1) / s.nodesPerSwitch;
+    }
+
+    /** Deterministic per-flow spine selection (splitmix-style mix). */
+    static std::size_t
+    uplinkHash(NodeId src, NodeId dst, std::size_t spines)
+    {
+        std::uint64_t h = (std::uint64_t(src) + 1) * 0x9E3779B97F4A7C15ull;
+        h ^= (std::uint64_t(dst) + 1) * 0xC2B2AE3D27D4EB4Full;
+        h ^= h >> 29;
+        h *= 0xBF58476D1CE4E5B9ull;
+        h ^= h >> 32;
+        return std::size_t(h % spines);
+    }
+};
+
+} // namespace
+
+const TopologyModel &
+topologyModel(TopologyKind kind)
+{
+    static const StarModel star;
+    static const ChainModel chain;
+    static const RingModel ring;
+    static const TorusModel torus;
+    static const FatTreeModel fatTree;
+    switch (kind) {
+    case TopologyKind::Star:
+        return star;
+    case TopologyKind::Chain:
+        return chain;
+    case TopologyKind::Ring:
+        return ring;
+    case TopologyKind::Torus2D:
+        return torus;
+    case TopologyKind::FatTree:
+        return fatTree;
+    }
+    panic("unknown topology kind %d", int(kind));
 }
 
 std::size_t
 TopologySpec::portsPerSwitch() const
 {
-    if (kind == TopologyKind::Star)
-        return nodes;
-    // node ports + right trunk + left trunk
-    return nodesPerSwitch + 2;
-}
-
-void
-TopologySpec::validate() const
-{
-    if (nodes < 1)
-        fatal("topology needs at least one node");
-    if (kind != TopologyKind::Star && nodesPerSwitch < 1)
-        fatal("nodesPerSwitch must be >= 1");
-    if (kind == TopologyKind::Ring && numSwitches() < 3)
-        fatal("a ring needs at least 3 switches (%zu nodes / %zu per switch)",
-              nodes, nodesPerSwitch);
+    std::size_t widest = 0;
+    const std::size_t nsw = numSwitches();
+    for (std::size_t sw = 0; sw < nsw; ++sw)
+        widest = std::max(widest, portsOf(sw));
+    return widest;
 }
 
 std::string
 TopologySpec::describe() const
 {
-    const char *k = kind == TopologyKind::Star    ? "star"
-                    : kind == TopologyKind::Chain ? "chain"
-                                                  : "ring";
-    char buf[96];
-    std::snprintf(buf, sizeof(buf), "%s(%zu nodes, %zu switches)", k, nodes,
-                  numSwitches());
+    char buf[128];
+    if (kind == TopologyKind::Torus2D)
+        std::snprintf(buf, sizeof(buf),
+                      "torus2d(%zu nodes, %zux%zu switches, bisection %zu)",
+                      nodes, torusX, torusY, bisectionWidth());
+    else if (kind == TopologyKind::FatTree)
+        std::snprintf(
+            buf, sizeof(buf),
+            "fattree(%zu nodes, %zu leaves + %zu spines, bisection %zu)",
+            nodes, numSwitches() - spines, spines, bisectionWidth());
+    else
+        std::snprintf(buf, sizeof(buf),
+                      "%s(%zu nodes, %zu switches, bisection %zu)",
+                      model().name(), nodes, numSwitches(),
+                      bisectionWidth());
     return buf;
 }
 

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * tg::Expected — result-or-error return type for user-facing validation.
+ *
+ * The simulator distinguishes two failure classes (sim/log.hpp): internal
+ * invariant violations (panic/fatal, the model's own bug) and bad *user*
+ * input (an impossible topology, a zero-node cluster).  The latter must
+ * be reportable to the caller without killing the process — a test
+ * driver sweeping configurations, or a host program embedding the
+ * simulator, wants to inspect the rejection and move on.
+ *
+ * Expected<T, E> is a deliberately small value-or-error carrier (no
+ * exceptions, no <expected> dependency) used by TopologySpec::validate()
+ * and Cluster::build().  ConfigError is the standard error payload.
+ */
+
+#ifndef TELEGRAPHOS_SIM_EXPECTED_HPP
+#define TELEGRAPHOS_SIM_EXPECTED_HPP
+
+#include <string>
+#include <utility>
+
+#include "sim/log.hpp"
+
+namespace tg {
+
+/** Why a user-supplied configuration was rejected. */
+struct ConfigError
+{
+    std::string message;
+};
+
+/** Holds either a T (success) or an E (rejection). */
+template <typename T, typename E>
+class Expected
+{
+  public:
+    Expected(T value) : _value(std::move(value)), _ok(true) {}
+    Expected(E error) : _error(std::move(error)), _ok(false) {}
+
+    /** True when a value is present. */
+    bool ok() const { return _ok; }
+    explicit operator bool() const { return _ok; }
+
+    /** The value; panics when called on an error (check ok() first). */
+    T &
+    value()
+    {
+        if (!_ok)
+            panic("Expected::value() on an error result");
+        return _value;
+    }
+
+    const T &
+    value() const
+    {
+        if (!_ok)
+            panic("Expected::value() on an error result");
+        return _value;
+    }
+
+    /** The error; panics when called on a success. */
+    const E &
+    error() const
+    {
+        if (_ok)
+            panic("Expected::error() on a success result");
+        return _error;
+    }
+
+    /** Move the value out (for move-only payloads like unique_ptr). */
+    T
+    take()
+    {
+        if (!_ok)
+            panic("Expected::take() on an error result");
+        return std::move(_value);
+    }
+
+  private:
+    T _value{};
+    E _error{};
+    bool _ok;
+};
+
+/** Specialisation for operations that produce no value. */
+template <typename E>
+class Expected<void, E>
+{
+  public:
+    Expected() : _ok(true) {}
+    Expected(E error) : _error(std::move(error)), _ok(false) {}
+
+    bool ok() const { return _ok; }
+    explicit operator bool() const { return _ok; }
+
+    const E &
+    error() const
+    {
+        if (_ok)
+            panic("Expected::error() on a success result");
+        return _error;
+    }
+
+  private:
+    E _error{};
+    bool _ok;
+};
+
+} // namespace tg
+
+#endif // TELEGRAPHOS_SIM_EXPECTED_HPP

@@ -5,6 +5,7 @@
 
 #include "sim/trace.hpp"
 
+#include <algorithm>
 #include <iomanip>
 #include <sstream>
 
@@ -94,7 +95,9 @@ Breakdown::print(std::ostream &os) const
 {
     for (const auto &op : ops) {
         os << "-- breakdown: " << opKindName(op.kind) << " (" << op.ops
-           << " ops) --\n";
+           << " ops, " << std::fixed << std::setprecision(2) << op.meanHops
+           << std::defaultfloat << std::setprecision(6)
+           << " hops/op) --\n";
         os << "  " << std::left << std::setw(12) << "component"
            << std::right << std::setw(10) << "count" << std::setw(12)
            << "mean(us)" << std::setw(9) << "share" << "\n";
@@ -127,7 +130,7 @@ Breakdown::toJson() const
         firstOp = false;
         os << "{\"kind\":\"" << opKindName(op.kind) << "\",\"ops\":" << op.ops
            << ",\"total_us\":" << fmt(op.totalTicks / kTicksPerUs)
-           << ",\"components\":[";
+           << ",\"mean_hops\":" << fmt(op.meanHops) << ",\"components\":[";
         bool firstRow = true;
         for (const auto &r : op.rows) {
             if (!firstRow)
@@ -183,6 +186,7 @@ Tracer::breakdown() const
     };
     std::map<int, std::map<int, Cell>> cells; // kind -> span -> cell
     std::map<int, std::uint64_t> opCount;     // kind -> ops
+    std::map<int, std::uint64_t> hopCount;    // kind -> switch traversals
 
     for (const auto &[id, idxs] : byOp) {
         if (idxs.size() < 2)
@@ -196,6 +200,9 @@ Tracer::breakdown() const
             c.ticks += cur.tick - prev.tick;
             ++c.count;
         }
+        for (std::size_t idx : idxs)
+            if (_events[idx].span == Span::SwitchFwd)
+                ++hopCount[kind];
     }
 
     Breakdown bd;
@@ -204,6 +211,7 @@ Tracer::breakdown() const
         op.kind = static_cast<OpKind>(kind);
         op.ops = opCount[kind];
         double n = static_cast<double>(op.ops);
+        op.meanHops = static_cast<double>(hopCount[kind]) / n;
         for (const auto &[span, cell] : spans) {
             BreakdownRow row;
             row.span = static_cast<Span>(span);
@@ -217,6 +225,25 @@ Tracer::breakdown() const
         bd.ops.push_back(op);
     }
     return bd;
+}
+
+std::vector<Tick>
+Tracer::opLifetimes(OpKind kind) const
+{
+    std::map<std::uint64_t, std::pair<Tick, Tick>> range; // id -> first,last
+    std::map<std::uint64_t, std::size_t> seen;
+    for (const TraceEvent &ev : _events) {
+        auto [it, fresh] = range.try_emplace(ev.id, ev.tick, ev.tick);
+        if (!fresh)
+            it->second.second = ev.tick;
+        ++seen[ev.id];
+    }
+    std::vector<Tick> out;
+    for (const auto &[id, fl] : range)
+        if (seen[id] >= 2 && kindOf(id) == kind)
+            out.push_back(fl.second - fl.first);
+    std::sort(out.begin(), out.end());
+    return out;
 }
 
 void

@@ -100,6 +100,7 @@ struct OpBreakdown
     OpKind kind;
     std::uint64_t ops;  ///< operations with >= 2 recorded boundaries
     double totalTicks;  ///< mean first->last lifetime; == sum of rows
+    double meanHops;    ///< mean switch traversals per operation
     std::vector<BreakdownRow> rows;
 
     /** Sum of the component rows (equals totalTicks by construction;
@@ -174,6 +175,13 @@ class Tracer
 
     /** Derive the per-operation-kind latency breakdown table. */
     Breakdown breakdown() const;
+
+    /**
+     * First->last boundary lifetime of every completed (>= 2 boundaries)
+     * operation of @p kind, sorted ascending — ready for percentile
+     * extraction (bench_n1_scaling's p50/p99 latency columns).
+     */
+    std::vector<Tick> opLifetimes(OpKind kind) const;
 
     /** Write a Chrome trace_event JSON document of the whole recording. */
     void writeChromeTrace(std::ostream &os) const;

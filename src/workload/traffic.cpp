@@ -34,4 +34,55 @@ randomTraffic(std::vector<Segment *> segs, TrafficConfig cfg)
     };
 }
 
+Cluster::Body
+transposeTraffic(std::vector<Segment *> segs, TrafficConfig cfg)
+{
+    return [segs, cfg](Ctx &ctx) -> Task<void> {
+        // Fixed partner: the mirror node.  Self-paired middle node (odd
+        // n) falls back to its neighbour so it still loads the fabric.
+        std::size_t partner = segs.size() - 1 - ctx.self();
+        if (partner == ctx.self() && segs.size() > 1)
+            partner = (partner + 1) % segs.size();
+        for (int k = 0; k < cfg.ops; ++k) {
+            const VAddr va =
+                segs[partner]->word(ctx.rng().below(cfg.words));
+            if (ctx.rng().chance(cfg.readFraction)) {
+                (void)co_await ctx.read(va);
+            } else {
+                co_await ctx.write(va, Word(ctx.self()) << 32 | Word(k));
+            }
+            if (cfg.gap)
+                co_await ctx.compute(cfg.gap);
+        }
+        co_await ctx.fence();
+    };
+}
+
+Cluster::Body
+hotspotTraffic(std::vector<Segment *> segs, TrafficConfig cfg, NodeId hot,
+               double hotFraction)
+{
+    return [segs, cfg, hot, hotFraction](Ctx &ctx) -> Task<void> {
+        for (int k = 0; k < cfg.ops; ++k) {
+            std::size_t s;
+            if (ctx.self() != hot && ctx.rng().chance(hotFraction)) {
+                s = hot;
+            } else {
+                do {
+                    s = ctx.rng().below(segs.size());
+                } while (segs[s]->owner() == ctx.self() && segs.size() > 1);
+            }
+            const VAddr va = segs[s]->word(ctx.rng().below(cfg.words));
+            if (ctx.rng().chance(cfg.readFraction)) {
+                (void)co_await ctx.read(va);
+            } else {
+                co_await ctx.write(va, Word(ctx.self()) << 32 | Word(k));
+            }
+            if (cfg.gap)
+                co_await ctx.compute(cfg.gap);
+        }
+        co_await ctx.fence();
+    };
+}
+
 } // namespace tg::workload

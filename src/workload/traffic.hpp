@@ -26,6 +26,24 @@ struct TrafficConfig
 /** Uniform random remote traffic over @p segs (one segment per node). */
 Cluster::Body randomTraffic(std::vector<Segment *> segs, TrafficConfig cfg);
 
+/**
+ * Transpose (bit-reversal-style) permutation traffic: node i sends all
+ * its operations to node (n - 1 - i)'s segment.  A fixed-pair pattern
+ * that crosses the bisection on mesh-like fabrics — the classic
+ * adversary for low-bisection topologies.
+ */
+Cluster::Body transposeTraffic(std::vector<Segment *> segs,
+                               TrafficConfig cfg);
+
+/**
+ * Hotspot traffic: uniform background with @p hotFraction of operations
+ * aimed at @p hot's segment.  The mix keeps the fabric loaded everywhere
+ * (so bisection limits still bind) while the hot node contends — the
+ * saturation pattern of the scaling benchmarks.
+ */
+Cluster::Body hotspotTraffic(std::vector<Segment *> segs, TrafficConfig cfg,
+                             NodeId hot, double hotFraction = 0.25);
+
 } // namespace tg::workload
 
 #endif // TELEGRAPHOS_WORKLOAD_TRAFFIC_HPP

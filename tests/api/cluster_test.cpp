@@ -15,8 +15,7 @@ namespace {
 
 TEST(Cluster, SegmentsShareOneVaAcrossNodes)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 3;
+    ClusterSpec spec = ClusterSpec::star(3);
     Cluster c(spec);
     Segment &a = c.allocShared("a", 100, 0);
     Segment &b = c.allocShared("b", 100, 1);
@@ -36,8 +35,7 @@ TEST(Cluster, SegmentsShareOneVaAcrossNodes)
 
 TEST(Cluster, PrivateMemoryIsNodeLocalAndCacheable)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     const VAddr va = c.allocPrivate(0, 4096);
 
@@ -62,8 +60,7 @@ TEST(Cluster, PrivateMemoryIsNodeLocalAndCacheable)
 
 TEST(Cluster, RunReturnsWhenProgramsFinish)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 100, 0);
     c.spawn(1, [&](Ctx &ctx) -> Task<void> {
@@ -78,8 +75,7 @@ TEST(Cluster, RunReturnsWhenProgramsFinish)
 
 TEST(Cluster, RunLimitStopsSpinners)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 100, 0);
     c.spawn(1, [&](Ctx &ctx) -> Task<void> {
@@ -93,8 +89,7 @@ TEST(Cluster, RunLimitStopsSpinners)
 
 TEST(Cluster, LiveReplicationMakesAccessesLocal)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
     seg.poke(0, 31);
@@ -123,10 +118,7 @@ TEST(Cluster, LiveReplicationMakesAccessesLocal)
 
 TEST(Cluster, ManyNodesOnChainTopology)
 {
-    ClusterSpec spec;
-    spec.topology.kind = net::TopologyKind::Chain;
-    spec.topology.nodes = 8;
-    spec.topology.nodesPerSwitch = 3;
+    ClusterSpec spec = ClusterSpec::chain(8, 3);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
 

@@ -14,8 +14,7 @@ namespace {
 
 TEST(Collectives, BroadcastDeliversPayloadToAllMembers)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 4;
+    ClusterSpec spec = ClusterSpec::star(4);
     Cluster c(spec);
     Communicator comm(c, "comm", {0, 1, 2, 3}, 8);
 
@@ -41,8 +40,7 @@ TEST(Collectives, BroadcastDeliversPayloadToAllMembers)
 
 TEST(Collectives, RepeatedBroadcastsStaySequenced)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 3;
+    ClusterSpec spec = ClusterSpec::star(3);
     Cluster c(spec);
     Communicator comm(c, "comm", {0, 1, 2}, 4);
 
@@ -66,8 +64,7 @@ TEST(Collectives, RepeatedBroadcastsStaySequenced)
 
 TEST(Collectives, ReduceSumsContributionsAtRoot)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 4;
+    ClusterSpec spec = ClusterSpec::star(4);
     Cluster c(spec);
     Communicator comm(c, "comm", {0, 1, 2, 3});
 
@@ -87,8 +84,7 @@ TEST(Collectives, ReduceSumsContributionsAtRoot)
 
 TEST(Collectives, AllReduceGivesEveryoneTheSum)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 3;
+    ClusterSpec spec = ClusterSpec::star(3);
     Cluster c(spec);
     Communicator comm(c, "comm", {0, 1, 2});
 
@@ -107,8 +103,7 @@ TEST(Collectives, AllReduceGivesEveryoneTheSum)
 TEST(Collectives, ManyRoundsOfAllReduceRotateSlotsSafely)
 {
     // More rounds than the internal slot rotation: exercises reuse.
-    ClusterSpec spec;
-    spec.topology.nodes = 3;
+    ClusterSpec spec = ClusterSpec::star(3);
     Cluster c(spec);
     Communicator comm(c, "comm", {0, 1, 2});
 
@@ -130,8 +125,7 @@ TEST(Collectives, ManyRoundsOfAllReduceRotateSlotsSafely)
 
 TEST(Collectives, BarrierSynchronizesMembers)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 3;
+    ClusterSpec spec = ClusterSpec::star(3);
     Cluster c(spec);
     Communicator comm(c, "comm", {0, 1, 2});
 

@@ -17,8 +17,7 @@ namespace {
 
 TEST(Isolation, UnmappedProcessCannotTouchSharedSegments)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     Segment &seg = c.allocShared("secret", 8192, 0);
     seg.poke(0, 12345);
@@ -36,8 +35,7 @@ TEST(Isolation, UnmappedProcessCannotTouchSharedSegments)
 
 TEST(Isolation, IsolatedWriteIsAlsoBlocked)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     Segment &seg = c.allocShared("secret", 8192, 0);
 
@@ -56,8 +54,7 @@ TEST(Isolation, IsolatedProcessStillOwnsItsContext)
     // The isolated process cannot reach shared memory, but its own
     // Telegraphos context page IS mapped — the per-process protection
     // boundary is exactly the mapping set.
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
 
     bool survived = false;
@@ -75,8 +72,7 @@ TEST(Isolation, IsolatedProcessStillOwnsItsContext)
 
 TEST(Isolation, ProcessesShareTheCpuButNotTheAddressSpace)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     spec.config.cpuQuantum = 50'000;
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);

@@ -30,10 +30,7 @@ readLatency(Cluster &c, NodeId reader, Segment &seg)
 
 TEST(LatencySweep, ReadLatencyGrowsWithHopCount)
 {
-    ClusterSpec spec;
-    spec.topology.kind = net::TopologyKind::Chain;
-    spec.topology.nodes = 8;
-    spec.topology.nodesPerSwitch = 2;
+    ClusterSpec spec = ClusterSpec::chain(8, 2);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
 
@@ -62,11 +59,8 @@ class OpsEverywhere : public ::testing::TestWithParam<SweepParam>
 TEST_P(OpsEverywhere, AllBasicOpsWork)
 {
     const SweepParam p = GetParam();
-    ClusterSpec spec;
-    spec.config.prototype = p.proto;
-    spec.topology.kind = p.kind;
-    spec.topology.nodes = p.nodes;
-    spec.topology.nodesPerSwitch = 2;
+    ClusterSpec spec =
+        ClusterSpec::forKind(p.kind, p.nodes, 2).prototype(p.proto);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
     Segment &dst = c.allocShared("d", 8192, NodeId(p.nodes - 1));

@@ -17,8 +17,7 @@ namespace {
 
 TEST(Stopwatch, MeasuresSimulatedTime)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 1;
+    ClusterSpec spec = ClusterSpec::star(1);
     Cluster c(spec);
 
     Tick measured = 0;

@@ -15,8 +15,7 @@ namespace {
 
 TEST(MsgChannel, MessagesArriveInOrderWithPayloadIntact)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     MsgChannel ch(c, "ch", /*sender=*/0, /*receiver=*/1, /*slots=*/4,
                   /*slot_words=*/3);
@@ -47,8 +46,7 @@ TEST(MsgChannel, MessagesArriveInOrderWithPayloadIntact)
 
 TEST(MsgChannel, SenderBlocksWhenRingIsFull)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     MsgChannel ch(c, "ch", 0, 1, /*slots=*/2, 1);
 
@@ -76,8 +74,7 @@ TEST(MsgChannel, SenderBlocksWhenRingIsFull)
 
 TEST(MsgChannel, PendingProbeCountsWaitingMessages)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     MsgChannel ch(c, "ch", 0, 1, 8, 1);
 
@@ -103,8 +100,7 @@ TEST(MsgChannel, PendingProbeCountsWaitingMessages)
 
 TEST(MsgChannel, BeatsSocketsOnSmallMessages)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     MsgChannel ch(c, "ch", 0, 1, 16, 2);
     baseline::SocketLayer sockets(c);

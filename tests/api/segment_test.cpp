@@ -17,8 +17,7 @@ using coherence::ProtocolKind;
 
 TEST(Segment, GeometryHelpers)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 3 * 8192, 1);
 
@@ -33,8 +32,7 @@ TEST(Segment, GeometryHelpers)
 
 TEST(Segment, PokeThenPeekRoundTrip)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
     seg.poke(3, 333);
@@ -43,8 +41,7 @@ TEST(Segment, PokeThenPeekRoundTrip)
 
 TEST(Segment, ReplicationCopiesContentAndRemaps)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 2 * 8192, 0);
     seg.poke(0, 5);
@@ -70,8 +67,7 @@ TEST(Segment, ReplicationCopiesContentAndRemaps)
 
 TEST(Segment, ReplicatedReadsAreLocalFast)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
     seg.poke(0, 9);
@@ -92,8 +88,7 @@ TEST(Segment, ReplicatedReadsAreLocalFast)
 
 TEST(Segment, MixedProtocolReplicationIsFatal)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 3;
+    ClusterSpec spec = ClusterSpec::star(3);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
     seg.replicate(1, ProtocolKind::OwnerCounter);
@@ -102,8 +97,7 @@ TEST(Segment, MixedProtocolReplicationIsFatal)
 
 TEST(Segment, EagerMappingUsesMulticastEntries)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 3;
+    ClusterSpec spec = ClusterSpec::star(3);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 2 * 8192, 0);
     seg.eagerTo(1);
@@ -114,8 +108,7 @@ TEST(Segment, EagerMappingUsesMulticastEntries)
 
 TEST(Segment, CountersOnlyMeterRemoteNodes)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
     EXPECT_DEATH(seg.armCounters(0, 4, 4), "remote");

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests of the builder-style ClusterSpec API and the non-aborting
+ * Cluster::build() factory: every named constructor produces a valid
+ * spec, every documented rejection path returns a ConfigError instead
+ * of dying, and the Result<T> op returns compose with co_await.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/cluster.hpp"
+#include "api/context.hpp"
+#include "api/segment.hpp"
+
+namespace tg {
+namespace {
+
+using coherence::ProtocolKind;
+
+// ---------------------------------------------------------------------
+// Named constructors
+// ---------------------------------------------------------------------
+
+TEST(SpecBuilder, StarDefaults)
+{
+    const ClusterSpec spec = ClusterSpec::star(8);
+    EXPECT_EQ(spec.topology.kind, net::TopologyKind::Star);
+    EXPECT_EQ(spec.topology.nodes, 8u);
+    EXPECT_TRUE(spec.topology.validate().ok());
+}
+
+TEST(SpecBuilder, RingAndChainCarryPerSwitch)
+{
+    const ClusterSpec ring = ClusterSpec::ring(12, 3);
+    EXPECT_EQ(ring.topology.kind, net::TopologyKind::Ring);
+    EXPECT_EQ(ring.topology.numSwitches(), 4u);
+
+    const ClusterSpec chain = ClusterSpec::chain(10, 4);
+    EXPECT_EQ(chain.topology.kind, net::TopologyKind::Chain);
+    EXPECT_EQ(chain.topology.numSwitches(), 3u);
+}
+
+TEST(SpecBuilder, TorusComputesNodeCount)
+{
+    const ClusterSpec spec = ClusterSpec::torus(4, 4, 4);
+    EXPECT_EQ(spec.topology.kind, net::TopologyKind::Torus2D);
+    EXPECT_EQ(spec.topology.nodes, 64u);
+    EXPECT_EQ(spec.topology.numSwitches(), 16u);
+    EXPECT_TRUE(spec.topology.validate().ok());
+}
+
+TEST(SpecBuilder, FatTreeDefaultsSpinesToPerSwitch)
+{
+    const ClusterSpec spec = ClusterSpec::fatTree(16, 4);
+    EXPECT_EQ(spec.topology.kind, net::TopologyKind::FatTree);
+    EXPECT_EQ(spec.topology.spines, 4u);
+    EXPECT_EQ(spec.topology.numSwitches(), 8u); // 4 leaves + 4 spines
+    EXPECT_TRUE(spec.topology.validate().ok());
+}
+
+TEST(SpecBuilder, ForKindPicksSquareTorus)
+{
+    const ClusterSpec spec =
+        ClusterSpec::forKind(net::TopologyKind::Torus2D, 64, 4);
+    EXPECT_EQ(spec.topology.torusX, 4u);
+    EXPECT_EQ(spec.topology.torusY, 4u);
+    EXPECT_EQ(spec.topology.nodes, 64u);
+}
+
+TEST(SpecBuilder, ChainersCompose)
+{
+    const ClusterSpec spec = ClusterSpec::torus(2, 2, 2)
+                                 .protocol(ProtocolKind::Invalidate)
+                                 .trace()
+                                 .seed(77)
+                                 .prototype(Prototype::TelegraphosII)
+                                 .tune([](Config &c) { c.cpuQuantum = 1; });
+    EXPECT_EQ(spec.defaultProtocol, ProtocolKind::Invalidate);
+    EXPECT_TRUE(spec.config.tracePackets);
+    EXPECT_EQ(spec.config.seed, 77u);
+    EXPECT_EQ(spec.config.prototype, Prototype::TelegraphosII);
+    EXPECT_EQ(spec.config.cpuQuantum, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Cluster::build rejection paths (no fatal(), a ConfigError instead)
+// ---------------------------------------------------------------------
+
+TEST(ClusterBuild, ZeroNodesIsRejected)
+{
+    auto r = Cluster::build(ClusterSpec::star(0));
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message.find("node"), std::string::npos);
+}
+
+TEST(ClusterBuild, TooSmallRingIsRejected)
+{
+    auto r = Cluster::build(ClusterSpec::ring(4, 4));
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message.find("ring"), std::string::npos);
+}
+
+TEST(ClusterBuild, NonRectangularTorusIsRejected)
+{
+    ClusterSpec spec = ClusterSpec::torus(3, 3, 2);
+    spec.topology.nodes = 17; // deliberately corrupt the raw field
+    auto r = Cluster::build(spec);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message.find("non-rectangular"), std::string::npos);
+}
+
+TEST(ClusterBuild, PortOverflowIsRejected)
+{
+    auto r = Cluster::build(ClusterSpec::star(5000));
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message.find("ports"), std::string::npos);
+}
+
+TEST(ClusterBuild, ValidSpecYieldsWorkingCluster)
+{
+    auto r = Cluster::build(ClusterSpec::torus(2, 2, 2).seed(3));
+    ASSERT_TRUE(r.ok());
+    Cluster &c = *r.value();
+    EXPECT_EQ(c.numNodes(), 8u);
+
+    Segment &seg = c.allocShared("s", 8192, 0);
+    c.spawn(7, [&](Ctx &ctx) -> Task<void> {
+        co_await ctx.write(seg.word(0), 1234);
+        co_await ctx.fence();
+    });
+    c.run();
+    EXPECT_TRUE(c.allDone());
+    EXPECT_EQ(seg.peek(0), 1234u);
+}
+
+// ---------------------------------------------------------------------
+// Result<T> op returns
+// ---------------------------------------------------------------------
+
+TEST(OpResult, SuccessfulOpsReportNoError)
+{
+    Cluster c(ClusterSpec::star(2));
+    Segment &seg = c.allocShared("s", 8192, 0);
+    bool checked = false;
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        Result<void> w = co_await ctx.write(seg.word(0), 5);
+        EXPECT_TRUE(w.ok());
+        Result<Word> r = co_await ctx.read(seg.word(0));
+        EXPECT_TRUE(r.ok());
+        EXPECT_EQ(r.value(), 5u);
+        Word plain = co_await ctx.read(seg.word(0)); // implicit unwrap
+        EXPECT_EQ(plain, 5u);
+        Result<void> f = co_await ctx.fence();
+        EXPECT_TRUE(f.ok());
+        checked = true;
+    });
+    c.run();
+    EXPECT_TRUE(checked);
+}
+
+TEST(OpResult, LinkFailureSurfacesInResult)
+{
+    FaultSpec fault;
+    fault.dropRate = 1.0;      // node 1's egress always lost:
+    fault.linkFilter = "up1";  // retries exhaust, the write dies
+    fault.retryTimeout = 1000;
+    fault.maxRetries = 2;
+    ClusterSpec spec = ClusterSpec::star(2).seed(5).faults(fault);
+    Cluster c(spec);
+    Segment &seg = c.allocShared("s", 8192, 0);
+    bool saw_error = false;
+    c.spawn(1, [&](Ctx &ctx) -> Task<void> {
+        co_await ctx.write(seg.word(0), 1);
+        Result<void> f = co_await ctx.fence();
+        saw_error = !f.ok() && f.error() == OpError::LinkFailure;
+    });
+    c.run(/*limit=*/10'000'000'000ULL);
+    EXPECT_TRUE(saw_error);
+}
+
+} // namespace
+} // namespace tg

@@ -16,8 +16,7 @@ namespace {
 
 TEST(Sync, MutualExclusionUnderContention)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 4;
+    ClusterSpec spec = ClusterSpec::star(4);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
     // word 0: lock; word 1: inside-critical-section flag; word 2: counter
@@ -58,8 +57,7 @@ namespace {
 Word
 runFlagData(bool use_fence)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 3;
+    ClusterSpec spec = ClusterSpec::star(3);
     Cluster c(spec);
     Segment &data = c.allocShared("data", 8192, 0);
     data.replicate(1, coherence::ProtocolKind::OwnerCounter);
@@ -99,8 +97,7 @@ TEST(Sync, FlagDataRaceFixedByFence)
 
 TEST(Sync, BarrierReusableAcrossGenerations)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 3;
+    ClusterSpec spec = ClusterSpec::star(3);
     Cluster c(spec);
     Segment &sync = c.allocShared("sync", 8192, 0);
     Segment &data = c.allocShared("data", 8192, 0);

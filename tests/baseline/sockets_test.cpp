@@ -15,8 +15,7 @@ namespace {
 
 TEST(Sockets, SendRecvRoundTrip)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     baseline::SocketLayer sockets(c);
 
@@ -36,8 +35,7 @@ TEST(Sockets, SendRecvRoundTrip)
 
 TEST(Sockets, TagsAreIndependentChannels)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     baseline::SocketLayer sockets(c);
 
@@ -61,8 +59,7 @@ TEST(Sockets, MessagingCostsDwarfRemoteWrites)
 {
     // The section 1 motivation: OS-mediated messaging vs a user-level
     // remote store for the same small payload.
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     baseline::SocketLayer sockets(c);
     Segment &seg = c.allocShared("s", 8192, 0);

@@ -16,8 +16,7 @@ namespace {
 
 TEST(VsmRaces, ConcurrentReadFaultsBothSucceed)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 3;
+    ClusterSpec spec = ClusterSpec::star(3);
     Cluster c(spec);
     baseline::VsmDsm vsm(c);
     const VAddr base = vsm.alloc("v", 8192, 0);
@@ -44,8 +43,7 @@ TEST(VsmRaces, ConcurrentReadFaultsBothSucceed)
 
 TEST(VsmRaces, ConcurrentWriteFaultsSerializeToOneWinnerAtATime)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     baseline::VsmDsm vsm(c);
     const VAddr base = vsm.alloc("v", 8192, 0);
@@ -81,8 +79,7 @@ TEST(VsmRaces, ConcurrentWriteFaultsSerializeToOneWinnerAtATime)
 
 TEST(VsmRaces, ReaderDuringMigrationSeesOldOrNewNeverGarbage)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 3;
+    ClusterSpec spec = ClusterSpec::star(3);
     Cluster c(spec);
     baseline::VsmDsm vsm(c);
     const VAddr base = vsm.alloc("v", 8192, 0);

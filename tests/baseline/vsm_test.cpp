@@ -17,8 +17,7 @@ namespace {
 
 TEST(Vsm, ReadFaultReplicatesPage)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     baseline::VsmDsm vsm(c);
     const VAddr base = vsm.alloc("v", 8192, /*home=*/0);
@@ -42,8 +41,7 @@ TEST(Vsm, ReadFaultReplicatesPage)
 
 TEST(Vsm, WriteFaultInvalidatesReaders)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 3;
+    ClusterSpec spec = ClusterSpec::star(3);
     Cluster c(spec);
     baseline::VsmDsm vsm(c);
     const VAddr base = vsm.alloc("v", 8192, 0);
@@ -79,8 +77,7 @@ TEST(Vsm, SequentialCountingThroughSharedPage)
 {
     // Ping-pong increments: the page migrates back and forth; the final
     // count must be exact (coherence under write faults).
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     baseline::VsmDsm vsm(c);
     const VAddr base = vsm.alloc("v", 8192, 0);
@@ -114,8 +111,7 @@ TEST(Vsm, SequentialCountingThroughSharedPage)
 TEST(Vsm, FaultCostDwarfsTelegraphosRemoteAccess)
 {
     // The motivating comparison of paper section 2.1.
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     baseline::VsmDsm vsm(c);
     const VAddr vsm_base = vsm.alloc("v", 8192, 0);

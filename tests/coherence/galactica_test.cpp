@@ -21,8 +21,7 @@ using coherence::ProtocolKind;
 
 TEST(Galactica, SingleWriterCirculatesToAllCopies)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 3;
+    ClusterSpec spec = ClusterSpec::star(3);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
     seg.replicate(1, ProtocolKind::GalacticaRing);
@@ -42,8 +41,7 @@ TEST(Galactica, SingleWriterCirculatesToAllCopies)
 
 TEST(Galactica, ConflictBacksOffAndConverges)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 3;
+    ClusterSpec spec = ClusterSpec::star(3);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
     // Ring order: 0 (owner), then 2, then 1.
@@ -74,8 +72,7 @@ TEST(Galactica, ConflictBacksOffAndConverges)
 
 TEST(Galactica, ThreeConcurrentWritersStillConverge)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 4;
+    ClusterSpec spec = ClusterSpec::star(4);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
     for (NodeId n = 1; n < 4; ++n)
@@ -101,8 +98,7 @@ TEST(Galactica, ThirdNodeObservesInvalid121Sequence)
     // The paper: "it is possible that a third processor sees the
     // sequence 1,2,1 which is a sequence that is not a valid program
     // sequence under any memory consistency model."
-    ClusterSpec spec;
-    spec.topology.nodes = 3;
+    ClusterSpec spec = ClusterSpec::star(3);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
     seg.replicate(2, ProtocolKind::GalacticaRing); // ring: 0, 2, 1

@@ -18,8 +18,7 @@ using coherence::ProtocolKind;
 
 TEST(Invalidate, WriteRemovesOtherCopies)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 3;
+    ClusterSpec spec = ClusterSpec::star(3);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
     seg.replicate(1, ProtocolKind::Invalidate);
@@ -45,8 +44,7 @@ TEST(Invalidate, WriteRemovesOtherCopies)
 
 TEST(Invalidate, InvalidatedReaderFallsBackToRemoteReads)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
     seg.replicate(1, ProtocolKind::Invalidate);
@@ -69,8 +67,7 @@ TEST(Invalidate, InvalidatedReaderFallsBackToRemoteReads)
 
 TEST(Invalidate, ExclusiveWriterPaysNothing)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
     seg.replicate(1, ProtocolKind::Invalidate);

@@ -17,8 +17,7 @@ using coherence::ProtocolKind;
 
 TEST(NaiveMulticast, SingleWriterPropagatesToAllCopies)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 3;
+    ClusterSpec spec = ClusterSpec::star(3);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
     seg.replicate(1, ProtocolKind::Naive);
@@ -45,8 +44,7 @@ TEST(NaiveMulticast, Figure2ConcurrentWritersDiverge)
     // the same word simultaneously and multicast; each applies the
     // other's (older) update on top of its own — the copies end up
     // *permanently different*.
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
     seg.replicate(1, ProtocolKind::Naive);
@@ -72,8 +70,7 @@ TEST(NaiveMulticast, SynchronizedWritersStayConsistent)
 {
     // With a lock separating the writes (the discipline Telegraphos I
     // requires), the naive protocol is safe.
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     Segment &lock = c.allocShared("lock", 8192, 0);
     Segment &seg = c.allocShared("s", 8192, 0);

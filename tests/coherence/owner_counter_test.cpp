@@ -23,8 +23,7 @@ using coherence::ProtocolKind;
 ClusterSpec
 spec3(Prototype proto = Prototype::TelegraphosII)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 3;
+    ClusterSpec spec = ClusterSpec::star(3);
     spec.config.prototype = proto;
     return spec;
 }

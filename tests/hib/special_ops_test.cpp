@@ -23,8 +23,7 @@ class LaunchModes
 TEST_P(LaunchModes, AtomicsWorkThroughEveryLaunchPath)
 {
     const auto [proto, mode] = GetParam();
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     spec.config.prototype = proto;
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
@@ -68,8 +67,7 @@ TEST(SpecialOps, ContextsSurvivePreemption)
     // Two compute-heavy threads share node 1's CPU with a small quantum;
     // the launching thread is preempted mid-sequence, but the Telegraphos
     // context preserves its arguments (section 2.2.4).
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     spec.config.prototype = Prototype::TelegraphosII;
     spec.config.cpuQuantum = 3000; // preempt aggressively
     Cluster c(spec);
@@ -98,8 +96,7 @@ TEST(SpecialOps, ContextsSurvivePreemption)
 
 TEST(SpecialOps, ForgedKeyIsRejected)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
 
@@ -120,8 +117,7 @@ TEST(SpecialOps, ShadowStoreToUnmappedAddressKills)
     // "an application that attempts to write to a Telegraphos context it
     // is not allowed to, will immediately take a page fault" — same for
     // shadow space without a base mapping.
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     c.allocShared("s", 8192, 0);
 
@@ -138,8 +134,7 @@ TEST(SpecialOps, PalDisablesPreemptionDuringSequence)
     // With PAL protection, the Telegraphos I sequence is atomic even
     // under aggressive time slicing (the paper's whole point for using
     // PAL code).
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     spec.config.prototype = Prototype::TelegraphosI;
     spec.config.cpuQuantum = 3000;
     Cluster c(spec);
@@ -168,8 +163,7 @@ TEST(SpecialOps, FlashPidWorksWithOsSupport)
 {
     // FLASH-style launches are correct when the OS saves/restores the
     // PID register on every context switch (section 2.2.5).
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     spec.config.cpuQuantum = 3000;
     Cluster c(spec);
     c.enableFlashOsSupport();
@@ -195,8 +189,7 @@ TEST(SpecialOps, FlashPidSilentlyMisfiresOnStockOs)
     // the shadow store lands elsewhere and the launch loses its target —
     // exactly why Telegraphos uses keys ("most potential Telegraphos
     // users just want a device driver", section 2.2.5).
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
 
@@ -216,8 +209,7 @@ TEST(SpecialOps, FlashPidSilentlyMisfiresOnStockOs)
 
 TEST(SpecialOps, CopyLaunchIsNonBlocking)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     Segment &src = c.allocShared("src", 8192, 0);
     Segment &dst = c.allocShared("dst", 8192, 1);

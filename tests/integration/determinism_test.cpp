@@ -38,10 +38,7 @@ struct Fingerprint
 Fingerprint
 runOnce(std::uint64_t seed, FaultSpec fault = {})
 {
-    ClusterSpec spec;
-    spec.topology.kind = net::TopologyKind::Chain;
-    spec.topology.nodes = 4;
-    spec.topology.nodesPerSwitch = 2;
+    ClusterSpec spec = ClusterSpec::chain(4, 2);
     spec.config.seed = seed;
     spec.config.fault = std::move(fault);
     Cluster c(spec);
@@ -122,8 +119,7 @@ TEST(Determinism, FaultedDifferentSeedDiverges)
 
 TEST(Determinism, StatsReportIsStable)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
     c.spawn(1, [&](Ctx &ctx) -> Task<void> {

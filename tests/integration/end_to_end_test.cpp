@@ -17,8 +17,7 @@ namespace {
 ClusterSpec
 twoNodes()
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     return spec;
 }
 
@@ -55,8 +54,7 @@ TEST(EndToEnd, RemoteReadSeesRemoteData)
 
 TEST(EndToEnd, RemoteAtomicsAreAtomicAcrossNodes)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 4;
+    ClusterSpec spec = ClusterSpec::star(4);
     Cluster c(spec);
     Segment &seg = c.allocShared("ctr", 4096, 0);
 
@@ -75,8 +73,7 @@ TEST(EndToEnd, RemoteAtomicsAreAtomicAcrossNodes)
 
 TEST(EndToEnd, LockProtectsReadModifyWrite)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 3;
+    ClusterSpec spec = ClusterSpec::star(3);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 4096, 0);
     // word 0 = lock, word 1 = plain shared counter
@@ -101,8 +98,7 @@ TEST(EndToEnd, LockProtectsReadModifyWrite)
 
 TEST(EndToEnd, BarrierSeparatesPhases)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 3;
+    ClusterSpec spec = ClusterSpec::star(3);
     Cluster c(spec);
     Segment &sync = c.allocShared("sync", 4096, 0);
     Segment &data = c.allocShared("data", 4096, 0);

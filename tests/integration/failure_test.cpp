@@ -23,8 +23,7 @@ namespace {
 
 TEST(Failure, KilledThreadLeavesHardwareClean)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
 
@@ -54,8 +53,7 @@ TEST(Failure, KilledThreadLeavesHardwareClean)
 
 TEST(Failure, LockHolderDeathStarvesOthersDetectably)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
 
@@ -75,8 +73,7 @@ TEST(Failure, LockHolderDeathStarvesOthersDetectably)
 
 TEST(Failure, MinimalResourcesStillCorrect)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     spec.config.writeBufferEntries = 1;
     spec.config.hibFifoPackets = 1;
     spec.config.switchQueuePackets = 1;
@@ -105,8 +102,7 @@ TEST(Failure, MinimalResourcesStillCorrect)
 
 TEST(Failure, SlowLinksOnlySlowThingsDown)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     spec.config.linkBytesPerTick = 0.001; // 1 MB/s: ~24 us per packet
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
@@ -124,13 +120,11 @@ TEST(Failure, SlowLinksOnlySlowThingsDown)
 
 TEST(FailureDeathTest, InvalidConfigurationsDieLoudly)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     spec.config.pageBytes = 1000; // not a power of two
     EXPECT_DEATH({ Cluster c(spec); }, "power of two");
 
-    ClusterSpec spec2;
-    spec2.topology.nodes = 2;
+    ClusterSpec spec2 = ClusterSpec::star(2);
     spec2.config.linkBytesPerTick = 0;
     EXPECT_DEATH({ Cluster c(spec2); }, "positive");
 }

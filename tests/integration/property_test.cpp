@@ -37,11 +37,8 @@ class ConvergenceProperty : public ::testing::TestWithParam<PropertyParam>
 TEST_P(ConvergenceProperty, OwnerProtocolCopiesConvergeAfterQuiescence)
 {
     const auto param = GetParam();
-    ClusterSpec spec;
-    spec.topology.kind = param.kind;
-    spec.topology.nodes = param.nodes;
-    spec.topology.nodesPerSwitch = 2;
-    spec.config.seed = param.seed;
+    ClusterSpec spec =
+        ClusterSpec::forKind(param.kind, param.nodes, 2).seed(param.seed);
     Cluster c(spec);
 
     Segment &seg = c.allocShared("s", 8192, 0);
@@ -96,8 +93,7 @@ class TrafficProperty : public ::testing::TestWithParam<std::uint64_t>
 
 TEST_P(TrafficProperty, RandomTrafficDrainsWithoutDeadlock)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 4;
+    ClusterSpec spec = ClusterSpec::star(4);
     spec.config.seed = GetParam();
     Cluster c(spec);
 
@@ -129,8 +125,7 @@ class AtomicityProperty : public ::testing::TestWithParam<std::uint64_t>
 
 TEST_P(AtomicityProperty, FetchAddNeverLosesUpdates)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 3;
+    ClusterSpec spec = ClusterSpec::star(3);
     spec.config.seed = GetParam();
     Cluster c(spec);
     Segment &seg = c.allocShared("ctr", 8192, 0);

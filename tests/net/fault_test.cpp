@@ -254,8 +254,7 @@ TEST_F(FaultChannelTest, StatsAreDeterministic)
 
 TEST(FaultCluster, LossyLinkStillCompletesAllOps)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     spec.config.fault.dropRate = 0.05;
     spec.config.fault.bitErrorRate = 0.05;
     Cluster c(spec);
@@ -279,8 +278,7 @@ TEST(FaultCluster, LossyLinkStillCompletesAllOps)
 
 TEST(FaultCluster, BudgetExhaustionSurfacesAsCtxError)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     spec.config.fault.dropRate = 1.0; // every transfer lost
     spec.config.fault.linkFilter = "up1"; // only node 1's egress link
     spec.config.fault.retryTimeout = 1000;
@@ -289,19 +287,23 @@ TEST(FaultCluster, BudgetExhaustionSurfacesAsCtxError)
     Segment &seg = c.allocShared("s", 8192, 0);
 
     OpError err = OpError::None;
+    OpError sticky = OpError::None;
     bool finished = false;
     c.spawn(1, [&](Ctx &ctx) -> Task<void> {
         co_await ctx.write(seg.word(0), 1);
-        co_await ctx.fence();
-        err = ctx.lastError();
+        Result<void> f = co_await ctx.fence();
+        err = f.error();
+        sticky = ctx.lastError();
         finished = true;
     });
     c.run(10'000'000'000ULL);
 
     // The write was lost for good — but the fence still drained and the
-    // failure is visible instead of silent.
+    // failure is visible on the fence's own Result (and on the sticky
+    // per-context aggregate).
     EXPECT_TRUE(finished);
     EXPECT_EQ(err, OpError::LinkFailure);
+    EXPECT_EQ(sticky, OpError::LinkFailure);
     EXPECT_EQ(c.hibOf(1).outstanding().current(), 0u);
     EXPECT_GT(c.network().wireFailures(), 0u);
     EXPECT_GT(c.hibOf(1).wireFailures(), 0u);
@@ -310,8 +312,7 @@ TEST(FaultCluster, BudgetExhaustionSurfacesAsCtxError)
 
 TEST(FaultCluster, LostReadUnblocksWithError)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     spec.config.fault.dropRate = 1.0;
     spec.config.fault.linkFilter = "down0"; // replies towards node 0 die
     spec.config.fault.retryTimeout = 1000;
@@ -320,23 +321,27 @@ TEST(FaultCluster, LostReadUnblocksWithError)
     Segment &seg = c.allocShared("s", 8192, 1);
 
     bool finished = false;
+    bool flagged = false;
     Word got = 1234;
     c.spawn(0, [&](Ctx &ctx) -> Task<void> {
-        got = co_await ctx.read(seg.word(0));
+        Result<Word> r = co_await ctx.read(seg.word(0));
+        flagged = !r.ok() && r.error() == OpError::LinkFailure;
+        got = r.value();
         finished = true;
     });
     c.run(10'000'000'000ULL);
 
-    // The blocked CPU unblocked (with the error value 0) instead of
-    // hanging forever on a reply that will never come.
+    // The blocked CPU unblocked (with the error value 0 and the loss
+    // flagged on the Result) instead of hanging forever on a reply that
+    // will never come.
     EXPECT_TRUE(finished);
+    EXPECT_TRUE(flagged);
     EXPECT_EQ(got, 0u);
 }
 
 TEST(FaultCluster, InertSpecKeepsFastPath)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     // All-zero FaultSpec: enabled() is false, stats stay unregistered.
     ASSERT_FALSE(spec.config.fault.enabled());
     Cluster c(spec);

@@ -77,6 +77,29 @@ makeSpec(TopologyKind kind, std::size_t nodes, std::size_t nps = 2)
     return s;
 }
 
+TopologySpec
+makeTorus(std::size_t x, std::size_t y, std::size_t nps)
+{
+    TopologySpec s;
+    s.kind = TopologyKind::Torus2D;
+    s.torusX = x;
+    s.torusY = y;
+    s.nodesPerSwitch = nps;
+    s.nodes = x * y * nps;
+    return s;
+}
+
+TopologySpec
+makeFatTree(std::size_t nodes, std::size_t nps, std::size_t spines)
+{
+    TopologySpec s;
+    s.kind = TopologyKind::FatTree;
+    s.nodes = nodes;
+    s.nodesPerSwitch = nps;
+    s.spines = spines;
+    return s;
+}
+
 class NetworkTopologies
     : public ::testing::TestWithParam<TopologySpec>
 {
@@ -144,12 +167,15 @@ INSTANTIATE_TEST_SUITE_P(
                       makeSpec(TopologyKind::Star, 8),
                       makeSpec(TopologyKind::Chain, 6, 2),
                       makeSpec(TopologyKind::Ring, 6, 2),
-                      makeSpec(TopologyKind::Ring, 9, 3)),
+                      makeSpec(TopologyKind::Ring, 9, 3),
+                      makeTorus(2, 2, 2),
+                      makeTorus(3, 4, 2),
+                      makeFatTree(8, 2, 2),
+                      makeFatTree(12, 4, 3)),
     [](const ::testing::TestParamInfo<TopologySpec> &info) {
         const auto &s = info.param;
-        std::string name = s.kind == TopologyKind::Star    ? "Star"
-                           : s.kind == TopologyKind::Chain ? "Chain"
-                                                           : "Ring";
+        std::string name = s.model().name();
+        name[0] = char(std::toupper(name[0]));
         return name + std::to_string(s.nodes);
     });
 

@@ -1,6 +1,7 @@
 /**
  * @file
- * Unit tests of topology math (switch counts, port assignment).
+ * Unit tests of topology math (switch counts, port assignment, trunk
+ * tables, bisection widths) across all five fabric models.
  */
 
 #include <gtest/gtest.h>
@@ -21,6 +22,7 @@ TEST(Topology, StarHasOneSwitch)
         EXPECT_EQ(s.switchOf(n), 0u);
         EXPECT_EQ(s.portOf(n), n);
     }
+    EXPECT_EQ(s.bisectionWidth(), 4u);
 }
 
 TEST(Topology, ChainSpreadsNodes)
@@ -35,6 +37,7 @@ TEST(Topology, ChainSpreadsNodes)
     EXPECT_EQ(s.switchOf(4), 1u);
     EXPECT_EQ(s.switchOf(9), 2u);
     EXPECT_EQ(s.portOf(5), 1u);
+    EXPECT_EQ(s.bisectionWidth(), 1u);
 }
 
 TEST(Topology, RingNeedsThreeSwitches)
@@ -44,16 +47,86 @@ TEST(Topology, RingNeedsThreeSwitches)
     s.nodes = 12;
     s.nodesPerSwitch = 4;
     EXPECT_EQ(s.numSwitches(), 3u);
-    s.validate(); // must not die
+    EXPECT_TRUE(s.validate().ok());
+    EXPECT_EQ(s.bisectionWidth(), 2u);
 }
 
-TEST(TopologyDeathTest, TooSmallRingIsFatal)
+TEST(Topology, TooSmallRingIsRejected)
 {
     TopologySpec s;
     s.kind = TopologyKind::Ring;
     s.nodes = 4;
     s.nodesPerSwitch = 4;
-    EXPECT_DEATH(s.validate(), "ring");
+    auto v = s.validate();
+    ASSERT_FALSE(v.ok());
+    EXPECT_NE(v.error().message.find("ring"), std::string::npos);
+}
+
+TEST(Topology, TorusGridMath)
+{
+    TopologySpec s;
+    s.kind = TopologyKind::Torus2D;
+    s.torusX = 3;
+    s.torusY = 2;
+    s.nodesPerSwitch = 2;
+    s.nodes = 12;
+    ASSERT_TRUE(s.validate().ok());
+    EXPECT_EQ(s.numSwitches(), 6u);
+    EXPECT_EQ(s.portsPerSwitch(), 6u); // 2 node ports + 4 trunk dirs
+    EXPECT_EQ(s.switchOf(0), 0u);
+    EXPECT_EQ(s.switchOf(11), 5u);
+    EXPECT_EQ(s.portOf(5), 1u);
+    EXPECT_EQ(s.bisectionWidth(), 4u); // 2 * min(3, 2)
+    // 6 X-ring trunks (3 per row x 2 rows) + 6 Y-ring trunks.
+    EXPECT_EQ(s.model().trunks(s).size(), 12u);
+}
+
+TEST(Topology, NonRectangularTorusIsRejected)
+{
+    TopologySpec s;
+    s.kind = TopologyKind::Torus2D;
+    s.torusX = 3;
+    s.torusY = 3;
+    s.nodesPerSwitch = 2;
+    s.nodes = 17; // does not fill 3x3x2
+    auto v = s.validate();
+    ASSERT_FALSE(v.ok());
+    EXPECT_NE(v.error().message.find("non-rectangular"), std::string::npos);
+}
+
+TEST(Topology, FatTreeLeavesAndSpines)
+{
+    TopologySpec s;
+    s.kind = TopologyKind::FatTree;
+    s.nodes = 16;
+    s.nodesPerSwitch = 4;
+    s.spines = 4;
+    ASSERT_TRUE(s.validate().ok());
+    EXPECT_EQ(s.numSwitches(), 8u); // 4 leaves + 4 spines
+    EXPECT_EQ(s.switchOf(0), 0u);
+    EXPECT_EQ(s.switchOf(15), 3u);
+    EXPECT_EQ(s.bisectionWidth(), 8u); // 4 spines * (4 leaves / 2)
+    // One trunk per (leaf, spine) pair.
+    EXPECT_EQ(s.model().trunks(s).size(), 16u);
+}
+
+TEST(Topology, FatTreeNeedsSpines)
+{
+    TopologySpec s;
+    s.kind = TopologyKind::FatTree;
+    s.nodes = 8;
+    s.nodesPerSwitch = 4;
+    s.spines = 0;
+    auto v = s.validate();
+    ASSERT_FALSE(v.ok());
+    EXPECT_NE(v.error().message.find("spine"), std::string::npos);
+}
+
+TEST(Topology, ZeroNodesIsRejected)
+{
+    TopologySpec s;
+    s.nodes = 0;
+    EXPECT_FALSE(s.validate().ok());
 }
 
 TEST(Topology, DescribeMentionsKind)
@@ -63,6 +136,19 @@ TEST(Topology, DescribeMentionsKind)
     s.nodes = 6;
     s.nodesPerSwitch = 2;
     EXPECT_NE(s.describe().find("chain"), std::string::npos);
+}
+
+TEST(Topology, DescribeReportsSwitchCountAndBisection)
+{
+    TopologySpec s;
+    s.kind = TopologyKind::Torus2D;
+    s.torusX = 4;
+    s.torusY = 4;
+    s.nodesPerSwitch = 4;
+    s.nodes = 64;
+    const std::string d = s.describe();
+    EXPECT_NE(d.find("4x4"), std::string::npos);
+    EXPECT_NE(d.find("bisection 8"), std::string::npos);
 }
 
 } // namespace

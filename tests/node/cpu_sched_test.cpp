@@ -18,8 +18,7 @@ namespace {
 
 TEST(CpuSched, SingleThreadNeverContextSwitches)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 1;
+    ClusterSpec spec = ClusterSpec::star(1);
     spec.config.cpuQuantum = 1000; // tiny quantum, nobody to switch to
     Cluster c(spec);
 
@@ -34,8 +33,7 @@ TEST(CpuSched, SingleThreadNeverContextSwitches)
 
 TEST(CpuSched, TwoThreadsInterleaveUnderSmallQuantum)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 1;
+    ClusterSpec spec = ClusterSpec::star(1);
     spec.config.cpuQuantum = 10'000;
     Cluster c(spec);
 
@@ -68,8 +66,7 @@ TEST(CpuSched, TwoThreadsInterleaveUnderSmallQuantum)
 TEST(CpuSched, ContextSwitchCostIsCharged)
 {
     auto run_with_quantum = [](Tick quantum) {
-        ClusterSpec spec;
-        spec.topology.nodes = 1;
+        ClusterSpec spec = ClusterSpec::star(1);
         spec.config.cpuQuantum = quantum;
         Cluster c(spec);
         for (int t = 0; t < 2; ++t) {
@@ -88,8 +85,7 @@ TEST(CpuSched, ContextSwitchCostIsCharged)
 
 TEST(CpuSched, CacheIsPollutedAcrossSwitches)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 1;
+    ClusterSpec spec = ClusterSpec::star(1);
     spec.config.cpuQuantum = 20'000;
     Cluster c(spec);
     const VAddr a = c.allocPrivate(0, 8192);
@@ -114,8 +110,7 @@ TEST(CpuSched, CacheIsPollutedAcrossSwitches)
 
 TEST(CpuSched, ThreeProcessesAllFinish)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     spec.config.cpuQuantum = 30'000;
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);

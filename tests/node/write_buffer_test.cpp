@@ -18,8 +18,7 @@ namespace {
 
 TEST(WriteBuffer, StoresCompleteFasterThanTheBus)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
 
@@ -40,8 +39,7 @@ TEST(WriteBuffer, StoresCompleteFasterThanTheBus)
 
 TEST(WriteBuffer, FullBufferStallsUntilDrain)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     spec.config.writeBufferEntries = 2;
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
@@ -71,8 +69,7 @@ TEST(WriteBuffer, ProgramOrderOfStoresIsPreserved)
 {
     // Two stores to the SAME remote word must land in program order,
     // even through the buffer and the network.
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
 
@@ -90,8 +87,7 @@ TEST(WriteBuffer, UncachedReadDrainsBufferedStores)
 {
     // A read that follows buffered stores to the same device must see
     // their effect (launch sequences depend on this ordering).
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
 
@@ -107,8 +103,7 @@ TEST(WriteBuffer, UncachedReadDrainsBufferedStores)
 
 TEST(WriteBuffer, FenceDrainsBufferBeforeCountingOutstanding)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
 
@@ -127,8 +122,7 @@ TEST(WriteBuffer, FenceDrainsBufferBeforeCountingOutstanding)
 TEST(WriteBuffer, PrivateStoresBypassTheBuffer)
 {
     // Cacheable local stores never enter the uncached write buffer.
-    ClusterSpec spec;
-    spec.topology.nodes = 1;
+    ClusterSpec spec = ClusterSpec::star(1);
     Cluster c(spec);
     const VAddr priv = c.allocPrivate(0, 8192);
 

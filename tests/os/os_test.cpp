@@ -16,8 +16,7 @@ namespace {
 
 TEST(Os, UnhandledFaultKillsWithTrapCharge)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 1;
+    ClusterSpec spec = ClusterSpec::star(1);
     Cluster c(spec);
 
     Tick start = 0;
@@ -32,8 +31,7 @@ TEST(Os, UnhandledFaultKillsWithTrapCharge)
 
 TEST(Os, FaultServicesAreTriedInOrder)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 1;
+    ClusterSpec spec = ClusterSpec::star(1);
     Cluster c(spec);
     const VAddr priv = c.allocPrivate(0, 8192);
 
@@ -71,8 +69,7 @@ TEST(Os, FaultServicesAreTriedInOrder)
 
 TEST(Os, AlarmReplicatorReplicatesHotPage)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
     seg.poke(0, 7);
@@ -105,8 +102,7 @@ TEST(Os, AlarmReplicatorReplicatesHotPage)
 
 TEST(Os, AlarmRepliesOnlyOncePerPage)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
 

@@ -36,10 +36,7 @@ struct Trace
 Trace
 runHotspot(std::uint64_t seed)
 {
-    tg::ClusterSpec spec;
-    spec.topology.kind = tg::net::TopologyKind::Chain;
-    spec.topology.nodes = kNodes;
-    spec.topology.nodesPerSwitch = 2;
+    tg::ClusterSpec spec = tg::ClusterSpec::chain(kNodes, 2);
     spec.config.seed = seed;
     tg::Cluster c(spec);
 
@@ -62,10 +59,7 @@ runHotspot(std::uint64_t seed)
 Trace
 runTraffic(std::uint64_t seed)
 {
-    tg::ClusterSpec spec;
-    spec.topology.kind = tg::net::TopologyKind::Chain;
-    spec.topology.nodes = kNodes;
-    spec.topology.nodesPerSwitch = 2;
+    tg::ClusterSpec spec = tg::ClusterSpec::chain(kNodes, 2);
     spec.config.seed = seed;
     tg::Cluster c(spec);
 

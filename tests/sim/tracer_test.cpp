@@ -46,8 +46,7 @@ struct RunResult
 RunResult
 runWorkload(std::uint64_t seed, bool traced)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     spec.config.seed = seed;
     spec.config.tracePackets = traced;
     Cluster c(spec);
@@ -152,8 +151,7 @@ TEST(TracerTest, StatsReportShowsNetCountersWithoutFaults)
     // Regression: statsReport() hid the reliability counters behind
     // fault.enabled(), so a healthy run reported nothing about the
     // link layer it always exercises.
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     Segment &seg = c.allocShared("data", 4096, 0);
     c.spawn(1, [&](Ctx &ctx) -> Task<void> {
@@ -177,8 +175,7 @@ TEST(TracerTest, TurboChannelWaitHistogramIsRegistered)
 {
     // Regression: the TurboChannel tracked wait time only as a Scalar;
     // the Histogram type existed but nothing registered one.
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     Segment &seg = c.allocShared("data", 4096, 0);
     c.spawn(1, [&](Ctx &ctx) -> Task<void> {

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Fixture: raw ClusterSpec topology field writes (deprecated-api).
+ */
+
+struct TopoSpec
+{
+    int kind, nodes, nodesPerSwitch;
+};
+struct Spec
+{
+    TopoSpec topology;
+};
+
+int
+build()
+{
+    Spec spec;
+    spec.topology.nodes = 4;          // finding: raw field write
+    spec.topology.kind = 1;           // finding: raw field write
+    spec.topology.nodesPerSwitch = 2; // tglint: allow(deprecated-api)
+    if (spec.topology.nodes == 4)     // comparison: no finding
+        return spec.topology.kind;    // read: no finding
+    return 0;
+}

@@ -24,8 +24,7 @@ namespace {
 
 TEST(Workloads, ProducerConsumerWithFenceHasNoStaleReads)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     Segment &data = c.allocShared("data", 8192, 1); // homed at consumer
     Segment &flag = c.allocShared("flag", 8192, 1);
@@ -48,8 +47,7 @@ TEST(Workloads, ProducerConsumerWithFenceHasNoStaleReads)
 
 TEST(Workloads, HotspotCountsExactly)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 3;
+    ClusterSpec spec = ClusterSpec::star(3);
     Cluster c(spec);
     Segment &ctr = c.allocShared("ctr", 8192, 0);
 
@@ -65,8 +63,7 @@ TEST(Workloads, HotspotCountsExactly)
 
 TEST(Workloads, StencilConvergesTowardsMean)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 3;
+    ClusterSpec spec = ClusterSpec::star(3);
     Cluster c(spec);
     std::vector<Segment *> blocks;
     for (NodeId n = 0; n < 3; ++n)
@@ -98,8 +95,7 @@ TEST(Workloads, StencilConvergesTowardsMean)
 
 TEST(Workloads, ChaoticWritersDrainCompletely)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     Segment &seg = c.allocShared("s", 8192, 0);
     seg.replicate(1, coherence::ProtocolKind::OwnerCounter);
@@ -118,8 +114,7 @@ TEST(Workloads, ChaoticWritersDrainCompletely)
 
 TEST(Workloads, TrafficRespectsReadFraction)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     std::vector<Segment *> segs{&c.allocShared("a", 8192, 0),
                                 &c.allocShared("b", 8192, 1)};
@@ -168,8 +163,7 @@ TEST(Workloads, TraceGeneratorIsDeterministicAndLayoutAware)
 
 TEST(Workloads, TraceReplayRunsCleanly)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     Segment &seg = c.allocShared("t", 2 * 8192, 0);
     seg.replicate(1, coherence::ProtocolKind::OwnerCounter);
@@ -188,8 +182,7 @@ TEST(Workloads, TraceReplayRunsCleanly)
 
 TEST(Workloads, PagingMissRateTracksLocality)
 {
-    ClusterSpec spec;
-    spec.topology.nodes = 2;
+    ClusterSpec spec = ClusterSpec::star(2);
     Cluster c(spec);
     Segment &backing = c.allocShared("back", 8 * 8192, 0);
     Segment &buf = c.allocShared("buf", 4 * 8192, 1);

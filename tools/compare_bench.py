@@ -1,12 +1,24 @@
 #!/usr/bin/env python3
-"""Compare a google-benchmark JSON run against a committed baseline.
+"""Compare a benchmark JSON run against a committed baseline.
 
-Used by the CI perf-smoke job:
+Used by the CI perf-smoke and scaling-smoke jobs:
 
     tools/compare_bench.py BENCH_sim_throughput.json candidate.json
+    tools/compare_bench.py BENCH_n1_scaling.json candidate.json
 
-Exits non-zero when any benchmark's events/sec (items_per_second, or the
-events_per_s counter for end-to-end benches) regressed by more than the
+Two input schemas are auto-detected per file:
+
+  google-benchmark   {"benchmarks": [...]} — gates events/sec
+                     (items_per_second, or the events_per_s counter
+                     for end-to-end benches); higher is better.
+  tg-bench-v1        {"schema": "tg-bench-v1", "metrics": [...]} —
+                     the simulator's own BenchReport format.  Rate
+                     units (MB/s, ops/s, .../s) gate on drops;
+                     latency units (ns, us, ms) gate on increases.
+                     Unitless and count-like metrics (hops, bytes)
+                     are informational only.
+
+Exits non-zero when any gated metric regressed by more than the
 threshold (default 25%).  Improvements and new benchmarks never fail;
 re-baseline by committing a fresh JSON (see DESIGN.md section 9).
 
@@ -19,12 +31,40 @@ import argparse
 import json
 import sys
 
+# Direction per metric: "up" = higher is better (rates), "down" = lower
+# is better (latencies).
+_RATE_UNITS = {"MB/s", "GB/s", "ops/s", "events/s", "items/s"}
+_LATENCY_UNITS = {"ns", "us", "ms", "s", "ticks"}
 
-def load_rates(path):
-    """Map benchmark name -> {metric: value} for the rate metrics."""
+
+def _tg_direction(unit):
+    """Classify a tg-bench-v1 metric unit; None means don't gate."""
+    if unit in _RATE_UNITS or unit.endswith("/s"):
+        return "up"
+    if unit in _LATENCY_UNITS:
+        return "down"
+    return None
+
+
+def load_metrics(path):
+    """Map benchmark name -> {metric: (value, direction)}."""
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
-    rates = {}
+
+    out = {}
+    if doc.get("schema") == "tg-bench-v1":
+        metrics = {}
+        for m in doc.get("metrics", []):
+            value = m.get("value")
+            if not isinstance(value, (int, float)) or value <= 0:
+                continue
+            direction = _tg_direction(m.get("unit", ""))
+            if direction is not None:
+                metrics[m["name"]] = (float(value), direction)
+        if metrics:
+            out[doc.get("bench", path)] = metrics
+        return out
+
     for bench in doc.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
             continue
@@ -32,10 +72,10 @@ def load_rates(path):
         for key in ("items_per_second", "events_per_s"):
             value = bench.get(key)
             if isinstance(value, (int, float)) and value > 0:
-                metrics[key] = float(value)
+                metrics[key] = (float(value), "up")
         if metrics:
-            rates[bench["name"]] = metrics
-    return rates
+            out[bench["name"]] = metrics
+    return out
 
 
 def main():
@@ -50,8 +90,8 @@ def main():
     )
     args = parser.parse_args()
 
-    base = load_rates(args.baseline)
-    cand = load_rates(args.candidate)
+    base = load_metrics(args.baseline)
+    cand = load_metrics(args.candidate)
 
     failures = []
     compared = 0
@@ -60,18 +100,23 @@ def main():
         if cand_metrics is None:
             print(f"WARN  {name}: missing from candidate run (skipped)")
             continue
-        for metric, base_value in sorted(base_metrics.items()):
-            cand_value = cand_metrics.get(metric)
-            if cand_value is None:
+        for metric, (base_value, direction) in sorted(base_metrics.items()):
+            entry = cand_metrics.get(metric)
+            if entry is None:
                 print(f"WARN  {name}/{metric}: missing from candidate")
                 continue
+            cand_value, _ = entry
             compared += 1
             ratio = cand_value / base_value
             line = (
-                f"{name}/{metric}: baseline {base_value:.3g}/s, "
-                f"candidate {cand_value:.3g}/s ({ratio:.2f}x)"
+                f"{name}/{metric}: baseline {base_value:.3g}, "
+                f"candidate {cand_value:.3g} ({ratio:.2f}x)"
             )
-            if ratio < 1.0 - args.threshold:
+            if direction == "up":
+                regressed = ratio < 1.0 - args.threshold
+            else:
+                regressed = ratio > 1.0 + args.threshold
+            if regressed:
                 failures.append(line)
                 print(f"FAIL  {line}")
             else:
@@ -87,7 +132,7 @@ def main():
             file=sys.stderr,
         )
         return 1
-    print(f"\nall {compared} rate metrics within {args.threshold:.0%} of baseline")
+    print(f"\nall {compared} gated metrics within {args.threshold:.0%} of baseline")
     return 0
 
 
