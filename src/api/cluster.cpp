@@ -26,8 +26,8 @@ ClusterSpec
 ClusterSpec::star(std::size_t nodes)
 {
     ClusterSpec s;
-    s.topology.kind = net::TopologyKind::Star;
-    s.topology.nodes = nodes;
+    s._topology.kind = net::TopologyKind::Star;
+    s._topology.nodes = nodes;
     return s;
 }
 
@@ -35,9 +35,9 @@ ClusterSpec
 ClusterSpec::chain(std::size_t nodes, std::size_t perSwitch)
 {
     ClusterSpec s;
-    s.topology.kind = net::TopologyKind::Chain;
-    s.topology.nodes = nodes;
-    s.topology.nodesPerSwitch = perSwitch;
+    s._topology.kind = net::TopologyKind::Chain;
+    s._topology.nodes = nodes;
+    s._topology.nodesPerSwitch = perSwitch;
     return s;
 }
 
@@ -45,9 +45,9 @@ ClusterSpec
 ClusterSpec::ring(std::size_t nodes, std::size_t perSwitch)
 {
     ClusterSpec s;
-    s.topology.kind = net::TopologyKind::Ring;
-    s.topology.nodes = nodes;
-    s.topology.nodesPerSwitch = perSwitch;
+    s._topology.kind = net::TopologyKind::Ring;
+    s._topology.nodes = nodes;
+    s._topology.nodesPerSwitch = perSwitch;
     return s;
 }
 
@@ -55,11 +55,25 @@ ClusterSpec
 ClusterSpec::torus(std::size_t x, std::size_t y, std::size_t perSwitch)
 {
     ClusterSpec s;
-    s.topology.kind = net::TopologyKind::Torus2D;
-    s.topology.torusX = x;
-    s.topology.torusY = y;
-    s.topology.nodesPerSwitch = perSwitch;
-    s.topology.nodes = x * y * perSwitch;
+    s._topology.kind = net::TopologyKind::Torus2D;
+    s._topology.torusX = x;
+    s._topology.torusY = y;
+    s._topology.nodesPerSwitch = perSwitch;
+    s._topology.nodes = x * y * perSwitch;
+    return s;
+}
+
+ClusterSpec
+ClusterSpec::torus3d(std::size_t x, std::size_t y, std::size_t z,
+                     std::size_t perSwitch)
+{
+    ClusterSpec s;
+    s._topology.kind = net::TopologyKind::Torus3D;
+    s._topology.torusX = x;
+    s._topology.torusY = y;
+    s._topology.torusZ = z;
+    s._topology.nodesPerSwitch = perSwitch;
+    s._topology.nodes = x * y * z * perSwitch;
     return s;
 }
 
@@ -68,10 +82,18 @@ ClusterSpec::fatTree(std::size_t nodes, std::size_t perSwitch,
                      std::size_t spines)
 {
     ClusterSpec s;
-    s.topology.kind = net::TopologyKind::FatTree;
-    s.topology.nodes = nodes;
-    s.topology.nodesPerSwitch = perSwitch;
-    s.topology.spines = spines == 0 ? perSwitch : spines;
+    s._topology.kind = net::TopologyKind::FatTree;
+    s._topology.nodes = nodes;
+    s._topology.nodesPerSwitch = perSwitch;
+    s._topology.spines = spines == 0 ? perSwitch : spines;
+    return s;
+}
+
+ClusterSpec
+ClusterSpec::fromTopology(const net::TopologySpec &t)
+{
+    ClusterSpec s;
+    s._topology = t;
     return s;
 }
 
@@ -94,6 +116,23 @@ ClusterSpec::forKind(net::TopologyKind kind, std::size_t nodes,
             if (nsw % d == 0)
                 gx = d;
         return torus(gx, nsw / gx, perSwitch);
+      }
+      case net::TopologyKind::Torus3D: {
+        // Most-cubical switch grid for nodes/perSwitch switches: the
+        // largest factor pair (a, b*c) with b*c split most-squarely in
+        // turn.  Rounds nodes up to fill the grid.
+        const std::size_t nsw =
+            perSwitch ? (nodes + perSwitch - 1) / perSwitch : 1;
+        std::size_t gz = 1;
+        for (std::size_t d = 1; d * d * d <= nsw; ++d)
+            if (nsw % d == 0)
+                gz = d;
+        const std::size_t rest = nsw / gz;
+        std::size_t gy = 1;
+        for (std::size_t d = 1; d * d <= rest; ++d)
+            if (rest % d == 0)
+                gy = d;
+        return torus3d(rest / gy, gy, gz, perSwitch);
       }
       case net::TopologyKind::FatTree:
         return fatTree(nodes, perSwitch);
@@ -139,7 +178,7 @@ ClusterSpec::faults(const FaultSpec &f)
 Expected<std::unique_ptr<Cluster>, ConfigError>
 Cluster::build(const ClusterSpec &spec)
 {
-    if (auto valid = spec.topology.validate(); !valid)
+    if (auto valid = spec.topology().validate(); !valid)
         return valid.error();
     return std::make_unique<Cluster>(spec);
 }
@@ -149,9 +188,9 @@ Cluster::Cluster(const ClusterSpec &spec)
 {
     _sys = std::make_unique<System>(spec.config);
     _dir = std::make_unique<coherence::Directory>(*_sys, "dir");
-    _net = std::make_unique<net::Network>(*_sys, "net", spec.topology);
+    _net = std::make_unique<net::Network>(*_sys, "net", spec.topology());
 
-    const std::size_t n = spec.topology.nodes;
+    const std::size_t n = spec.topology().nodes;
     _nextCtxIdx.assign(n, 0);
     _tidCtx.assign(n, {});
     for (std::size_t i = 0; i < n; ++i) {
@@ -498,6 +537,12 @@ Cluster::statsReport(std::ostream &os)
     os << "net.retransmissions: " << _net->retransmissions() << "\n";
     os << "net.dup_discards: " << _net->duplicateDiscards() << "\n";
     os << "net.wire_failures: " << _net->wireFailures() << "\n";
+    if (_net->rerouter()) {
+        os << "net.routing_epochs: " << _net->routingEpochs() << "\n";
+        os << "net.reroutes_applied: " << _net->reroutesApplied() << "\n";
+        os << "net.dead_trunks_now: " << _net->rerouter()->deadTrunksNow()
+           << "\n";
+    }
 
     for (auto &ws : _nodes) {
         const auto &cpu = ws->cpu();

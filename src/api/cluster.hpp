@@ -18,9 +18,10 @@
  *   cluster.run();
  * @endcode
  *
- * Specs come from the named constructors (star/chain/ring/torus/fatTree)
- * refined by chainers; Cluster::build() is the non-aborting factory for
- * user-supplied configurations.
+ * Specs come from the named constructors
+ * (star/chain/ring/torus/torus3d/fatTree) refined by chainers;
+ * Cluster::build() is the non-aborting factory for user-supplied
+ * configurations.
  */
 
 #ifndef TELEGRAPHOS_API_CLUSTER_HPP
@@ -57,18 +58,27 @@ class Segment;
  *                   .seed(7);
  * @endcode
  *
- * The `config` / `topology` members remain public for this release so
- * existing field-poking code keeps building, but new code must use the
- * builders (tglint's deprecated-api rule flags raw topology writes
- * outside src/api/).
+ * The raw `topology` field went away as promised one release ago: the
+ * interconnect description is now read-only (topology() accessor), and
+ * every spec comes from the named builders or, for runtime-assembled
+ * sweeps, fromTopology().
  */
 struct ClusterSpec
 {
     Config config;
-    net::TopologySpec topology;
     /** Replication protocol newly allocated segments default to. */
     coherence::ProtocolKind defaultProtocol =
         coherence::ProtocolKind::OwnerCounter;
+
+    /** The interconnect description the builders assembled. */
+    const net::TopologySpec &topology() const { return _topology; }
+
+    /**
+     * Adopt a runtime-assembled net::TopologySpec verbatim (parameter
+     * sweeps, rejection-path tests).  Validation still happens in
+     * Cluster::build() / the Cluster constructor.
+     */
+    static ClusterSpec fromTopology(const net::TopologySpec &t);
 
     // ------------------------------------------------------------------
     // Named constructors (one per topology)
@@ -88,6 +98,11 @@ struct ClusterSpec
     static ClusterSpec torus(std::size_t x, std::size_t y,
                              std::size_t perSwitch = 4);
 
+    /** @p x by @p y by @p z torus of switches, @p perSwitch nodes each
+     *  (nodes = x * y * z * perSwitch). */
+    static ClusterSpec torus3d(std::size_t x, std::size_t y, std::size_t z,
+                               std::size_t perSwitch = 4);
+
     /** Two-level fat-tree: leaves of @p perSwitch nodes under @p spines
      *  spine switches (0: one spine per leaf uplink = perSwitch). */
     static ClusterSpec fatTree(std::size_t nodes,
@@ -95,9 +110,9 @@ struct ClusterSpec
                                std::size_t spines = 0);
 
     /** Topology chosen at runtime (parameter sweeps).  Star/Chain/Ring
-     *  map directly; Torus2D picks the most-square switch grid for
-     *  nodes/perSwitch switches (nodes is rounded up to fill it);
-     *  FatTree gets perSwitch spines. */
+     *  map directly; Torus2D/Torus3D pick the most-square (most-cubical)
+     *  switch grid for nodes/perSwitch switches (nodes is rounded up to
+     *  fill it); FatTree gets perSwitch spines. */
     static ClusterSpec forKind(net::TopologyKind kind, std::size_t nodes,
                                std::size_t perSwitch = 4);
 
@@ -129,6 +144,9 @@ struct ClusterSpec
         fn(config);
         return *this;
     }
+
+  private:
+    net::TopologySpec _topology;
 };
 
 /** A simulated Telegraphos workstation cluster. */

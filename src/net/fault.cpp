@@ -6,6 +6,10 @@
 
 #include "net/fault.hpp"
 
+#include <algorithm>
+
+#include "sim/glob.hpp"
+
 namespace tg::net {
 
 namespace {
@@ -27,11 +31,42 @@ fnv1a(const std::string &s)
 
 FaultInjector::FaultInjector(const FaultSpec &spec, std::uint64_t seed,
                              const std::string &link_name)
-    : _spec(spec), _rng(seed ^ fnv1a(link_name))
+    : _spec(spec), _name(link_name), _rng(seed ^ fnv1a(link_name))
 {
     _active = spec.enabled() &&
               (spec.linkFilter.empty() ||
                link_name.find(spec.linkFilter) != std::string::npos);
+}
+
+bool
+FaultInjector::windowApplies(const FaultWindow &w) const
+{
+    if (!w.target.empty())
+        return globMatch(w.target, _name);
+    return _active;
+}
+
+std::vector<FaultWindow>
+FaultInjector::mergedDownWindows() const
+{
+    std::vector<FaultWindow> mine;
+    for (const auto &w : _spec.downWindows) {
+        if (windowApplies(w))
+            mine.push_back(FaultWindow{w.from, w.until, {}});
+    }
+    std::sort(mine.begin(), mine.end(),
+              [](const FaultWindow &a, const FaultWindow &b) {
+                  return a.from != b.from ? a.from < b.from
+                                          : a.until < b.until;
+              });
+    std::vector<FaultWindow> merged;
+    for (const auto &w : mine) {
+        if (!merged.empty() && w.from <= merged.back().until)
+            merged.back().until = std::max(merged.back().until, w.until);
+        else
+            merged.push_back(w);
+    }
+    return merged;
 }
 
 bool
@@ -61,10 +96,8 @@ FaultInjector::corruptBit(std::uint32_t bits)
 bool
 FaultInjector::isDown(Tick now) const
 {
-    if (!_active)
-        return false;
     for (const auto &w : _spec.downWindows) {
-        if (now >= w.from && now < w.until)
+        if (now >= w.from && now < w.until && windowApplies(w))
             return true;
     }
     return false;
@@ -74,13 +107,14 @@ Tick
 FaultInjector::downUntil(Tick now) const
 {
     Tick until = now;
-    // Windows may overlap or abut; extend across the union of windows
-    // covering `until` so one wake-up lands past the whole outage.
+    // Windows may overlap or abut; extend across the union of applicable
+    // windows covering `until` so one wake-up lands past the whole
+    // outage.
     bool grew = true;
     while (grew) {
         grew = false;
         for (const auto &w : _spec.downWindows) {
-            if (until >= w.from && until < w.until) {
+            if (until >= w.from && until < w.until && windowApplies(w)) {
                 until = w.until;
                 grew = true;
             }
@@ -94,13 +128,13 @@ FaultInjector::downStart(Tick now) const
 {
     if (!isDown(now))
         return now;
-    // Start of the union of windows covering `now`.
+    // Start of the union of applicable windows covering `now`.
     Tick start = now;
     bool grew = true;
     while (grew) {
         grew = false;
         for (const auto &w : _spec.downWindows) {
-            if (w.from < start && w.until > start) {
+            if (w.from < start && w.until > start && windowApplies(w)) {
                 start = w.from;
                 grew = true;
             }

@@ -21,6 +21,7 @@
 #define TELEGRAPHOS_NET_FAULT_HPP
 
 #include <string>
+#include <vector>
 
 #include "sim/config.hpp"
 #include "sim/random.hpp"
@@ -41,9 +42,22 @@ class FaultInjector
     FaultInjector(const FaultSpec &spec, std::uint64_t seed,
                   const std::string &link_name);
 
-    /** True when this link can experience injected faults (spec enabled
-     *  and the link name matches the spec's filter). */
+    /** True when this link can experience injected *random* faults
+     *  (spec enabled and the link name matches the spec's filter).
+     *  Targeted down-windows apply independently of this: a window whose
+     *  target pattern matches the link downs it even when the link is
+     *  outside the random-fault filter. */
     bool active() const { return _active; }
+
+    /** Does down-window @p w cover this link?  Targeted windows match
+     *  the link name against their glob; untargeted windows follow the
+     *  spec-wide linkFilter. */
+    bool windowApplies(const FaultWindow &w) const;
+
+    /** Union-merged down-windows applicable to this link, sorted by
+     *  start (abutting/overlapping windows coalesced).  The fabric-level
+     *  rerouter plans routing epochs from this. */
+    std::vector<FaultWindow> mergedDownWindows() const;
 
     // ------------------------------------------------------------------
     // Per-transmission decisions (each consumes RNG state; call exactly
@@ -85,6 +99,7 @@ class FaultInjector
 
   private:
     const FaultSpec &_spec;
+    std::string _name;
     bool _active;
     Rng _rng;
 };

@@ -127,7 +127,9 @@ Channel::pumpReliable()
     // Administrative outage: the wire transmits nothing.  Past the
     // deadline everything pending fails over to the error path; otherwise
     // wake up when the link comes back (or when the deadline passes).
-    if (_inj.active() && _inj.isDown(now())) {
+    // isDown is checked regardless of active(): targeted down-windows
+    // apply to matching links outside the random-fault filter too.
+    if (_inj.isDown(now())) {
         if (_inj.downPastDeadline(now())) {
             failFast();
             return;

@@ -51,17 +51,32 @@ Network::Network(System &sys, const std::string &name,
                                           &_switches[b]->inQueue(pb, v)});
         return lanes;
     };
+    std::vector<FabricRerouter::TrunkRef> trunk_refs;
     for (const TopologyModel::Trunk &t : model.trunks(_spec)) {
+        std::string fwd = name + ".trunk" + std::to_string(t.swA) + "to" +
+                          std::to_string(t.swB);
+        std::string rev = name + ".trunk" + std::to_string(t.swB) + "to" +
+                          std::to_string(t.swA);
         _channels.push_back(std::make_unique<Channel>(
-            _sys,
-            name + ".trunk" + std::to_string(t.swA) + "to" +
-                std::to_string(t.swB),
-            trunk_lanes(t.swA, t.portA, t.swB, t.portB), bw, delay));
+            _sys, fwd, trunk_lanes(t.swA, t.portA, t.swB, t.portB), bw,
+            delay));
         _channels.push_back(std::make_unique<Channel>(
-            _sys,
-            name + ".trunk" + std::to_string(t.swB) + "to" +
-                std::to_string(t.swA),
-            trunk_lanes(t.swB, t.portB, t.swA, t.portA), bw, delay));
+            _sys, rev, trunk_lanes(t.swB, t.portB, t.swA, t.portA), bw,
+            delay));
+        trunk_refs.push_back(
+            FabricRerouter::TrunkRef{t, std::move(fwd), std::move(rev)});
+    }
+
+    // Fault-aware routing epochs: only multi-path fabrics can route
+    // around an outage, and only scheduled down-windows produce one.
+    // The rerouter is inert (no flips, baseline DeadView) when no window
+    // outlives the link-down deadline.
+    if (model.multiPath() && !config().fault.downWindows.empty()) {
+        std::vector<Switch *> sws;
+        for (auto &sw : _switches)
+            sws.push_back(sw.get());
+        _rerouter = std::make_unique<FabricRerouter>(
+            sys, name + ".reroute", _spec, std::move(sws), trunk_refs);
     }
 
     // Escape-VC maps (dateline deadlock avoidance on ring/torus).
@@ -83,7 +98,11 @@ Network::Network(System &sys, const std::string &name,
     if (model.srcDependentRouting()) {
         for (std::size_t s = 0; s < nsw; ++s) {
             _switches[s]->setRouteFn([this, s](const Packet &pkt) {
-                return _spec.model().routePort(_spec, s, pkt.src, pkt.dst);
+                const TopologyModel &m = _spec.model();
+                if (_rerouter)
+                    return m.routePortAvoiding(_spec, s, pkt.src, pkt.dst,
+                                               *_rerouter);
+                return m.routePort(_spec, s, pkt.src, pkt.dst);
             });
         }
     } else {

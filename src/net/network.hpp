@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "net/link.hpp"
+#include "net/reroute.hpp"
 #include "net/switch.hpp"
 #include "net/topology.hpp"
 #include "sim/sim_object.hpp"
@@ -74,12 +75,34 @@ class Network : public SimObject
     /** Packets permanently failed by the links, all links. */
     std::uint64_t wireFailures() const;
 
+    // ------------------------------------------------------------------
+    // Fault-aware routing (present on multi-path fabrics when the fault
+    // spec schedules down-windows; see net/reroute.hpp)
+    // ------------------------------------------------------------------
+
+    /** The routing-epoch engine, or nullptr when the fabric routes
+     *  statically (single-path shape or no scheduled outages). */
+    const FabricRerouter *rerouter() const { return _rerouter.get(); }
+
+    /** Planned routing epochs beyond the baseline (0 = static routing). */
+    std::size_t routingEpochs() const
+    {
+        return _rerouter ? _rerouter->plannedFlips() : 0;
+    }
+
+    /** Routing-epoch flips applied so far. */
+    std::uint64_t reroutesApplied() const
+    {
+        return _rerouter ? _rerouter->flipsApplied() : 0;
+    }
+
   private:
     void buildRoutes();
 
     TopologySpec _spec;
     std::vector<std::unique_ptr<Switch>> _switches;
     std::vector<std::unique_ptr<Channel>> _channels;
+    std::unique_ptr<FabricRerouter> _rerouter;
 };
 
 } // namespace tg::net

@@ -40,6 +40,17 @@ Switch::setRoute(NodeId node, std::size_t port)
     _routes[node] = port;
 }
 
+void
+Switch::applyRoutes(std::vector<std::size_t> routes)
+{
+    for (std::size_t p : routes)
+        if (p != SIZE_MAX && p >= _ports)
+            fatal("%s: epoch route to port %zu of %zu", _name.c_str(), p,
+                  _ports);
+    _routes = std::move(routes);
+    pumpAll();
+}
+
 std::size_t
 Switch::route(NodeId node) const
 {

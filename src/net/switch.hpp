@@ -80,6 +80,19 @@ class Switch : public SimObject
     /** Install/overwrite a routing entry: packets for @p node leave @p port. */
     void setRoute(NodeId node, std::size_t port);
 
+    /**
+     * Atomically replace the whole routing table (one entry per node;
+     * SIZE_MAX = unrouted) and re-evaluate every stalled input.  The
+     * fabric rerouter swaps tables with this at routing-epoch flips so a
+     * switch never forwards under a half-updated table.
+     */
+    void applyRoutes(std::vector<std::size_t> routes);
+
+    /** Re-evaluate every stalled input head (route function changed
+     *  underneath us: a routing-epoch flip on a per-packet-routed
+     *  fabric). */
+    void refreshRoutes() { pumpAll(); }
+
     /** Routing lookup (panics on unrouted destination). */
     std::size_t route(NodeId node) const;
 

@@ -1,7 +1,7 @@
 /**
  * @file
  * Topology model table: per-shape switch/port/route/VC functions for
- * star, chain, ring, 2D torus and two-level fat-tree fabrics.
+ * star, chain, ring, 2D/3D torus and two-level fat-tree fabrics.
  */
 
 #include "net/topology.hpp"
@@ -367,6 +367,8 @@ class TorusModel final : public TopologyModel
 
     bool usesDateline() const override { return true; }
 
+    bool multiPath() const override { return true; }
+
     std::uint8_t
     vcFor(const TopologySpec &s, std::size_t sw, std::size_t in_port,
           std::size_t out_port, std::uint8_t in_vc) const override
@@ -463,6 +465,206 @@ class TorusModel final : public TopologyModel
     }
 };
 
+// -------------------------------------------------------------- Torus3D
+
+class Torus3DModel final : public TopologyModel
+{
+  public:
+    const char *name() const override { return "torus3d"; }
+
+    std::size_t numSwitches(const TopologySpec &s) const override
+    {
+        return s.torusX * s.torusY * s.torusZ;
+    }
+
+    std::size_t
+    switchOf(const TopologySpec &s, std::size_t node) const override
+    {
+        return node / s.nodesPerSwitch;
+    }
+
+    std::size_t
+    portOf(const TopologySpec &s, std::size_t node) const override
+    {
+        return node % s.nodesPerSwitch;
+    }
+
+    std::size_t portsOf(const TopologySpec &s, std::size_t) const override
+    {
+        // node ports + {+X, -X, +Y, -Y, +Z, -Z} trunks
+        return s.nodesPerSwitch + 6;
+    }
+
+    std::vector<Trunk> trunks(const TopologySpec &s) const override
+    {
+        // One dimension at a time (X rings, then Y, then Z), switches in
+        // id order within each; every ring's wrap link falls out at its
+        // extent-1 coordinate, mirroring the 2D construction order.
+        std::vector<Trunk> out;
+        const std::size_t gx = s.torusX, gy = s.torusY, gz = s.torusZ;
+        for (std::size_t z = 0; z < gz; ++z)
+            for (std::size_t y = 0; y < gy; ++y)
+                for (std::size_t x = 0; x < gx; ++x)
+                    out.push_back(Trunk{id(s, x, y, z), posX(s),
+                                        id(s, (x + 1) % gx, y, z),
+                                        negX(s)});
+        for (std::size_t z = 0; z < gz; ++z)
+            for (std::size_t y = 0; y < gy; ++y)
+                for (std::size_t x = 0; x < gx; ++x)
+                    out.push_back(Trunk{id(s, x, y, z), posY(s),
+                                        id(s, x, (y + 1) % gy, z),
+                                        negY(s)});
+        for (std::size_t z = 0; z < gz; ++z)
+            for (std::size_t y = 0; y < gy; ++y)
+                for (std::size_t x = 0; x < gx; ++x)
+                    out.push_back(Trunk{id(s, x, y, z), posZ(s),
+                                        id(s, x, y, (z + 1) % gz),
+                                        negZ(s)});
+        return out;
+    }
+
+    std::size_t
+    routePort(const TopologySpec &s, std::size_t sw, NodeId,
+              NodeId dst) const override
+    {
+        // Dimension-ordered routing: correct X fully, then Y, then Z;
+        // shortest direction per dimension, ties towards +.
+        const std::size_t t = switchOf(s, dst);
+        if (t == sw)
+            return portOf(s, dst);
+        const std::size_t gx = s.torusX, gy = s.torusY, gz = s.torusZ;
+        const std::size_t x = sw % gx, y = (sw / gx) % gy, z = sw / (gx * gy);
+        const std::size_t tx = t % gx, ty = (t / gx) % gy,
+                          tz = t / (gx * gy);
+        if (x != tx)
+            return ringForward(x, tx, gx) ? posX(s) : negX(s);
+        if (y != ty)
+            return ringForward(y, ty, gy) ? posY(s) : negY(s);
+        (void)gz;
+        return ringForward(z, tz, gz) ? posZ(s) : negZ(s);
+    }
+
+    bool usesDateline() const override { return true; }
+
+    bool multiPath() const override { return true; }
+
+    std::uint8_t
+    vcFor(const TopologySpec &s, std::size_t sw, std::size_t in_port,
+          std::size_t out_port, std::uint8_t in_vc) const override
+    {
+        // Same per-dimension dateline argument as the 2D torus: each X
+        // row, Y column and Z pillar is an independent ring; a packet
+        // restarts on VC0 whenever it enters a new dimension (injection
+        // or dimension turn) and is bumped to the escape VC when it
+        // crosses that dimension's wrap link.
+        const std::size_t nps = s.nodesPerSwitch;
+        if (out_port < nps)
+            return in_vc; // ejection to a node port
+
+        std::uint8_t vc = in_vc;
+        if (in_port < nps)
+            vc = 0; // fresh injection
+        else if (dimOf(s, in_port) != dimOf(s, out_port))
+            vc = 0; // dimension turn: a new ring, restart on VC0
+
+        const std::size_t gx = s.torusX, gy = s.torusY, gz = s.torusZ;
+        const std::size_t x = sw % gx, y = (sw / gx) % gy, z = sw / (gx * gy);
+        if (out_port == posX(s) && x == gx - 1)
+            return 1;
+        if (out_port == negX(s) && x == 0)
+            return 1;
+        if (out_port == posY(s) && y == gy - 1)
+            return 1;
+        if (out_port == negY(s) && y == 0)
+            return 1;
+        if (out_port == posZ(s) && z == gz - 1)
+            return 1;
+        if (out_port == negZ(s) && z == 0)
+            return 1;
+        return vc;
+    }
+
+    std::size_t
+    hops(const TopologySpec &s, NodeId a, NodeId b) const override
+    {
+        if (a == b)
+            return 0;
+        const std::size_t sa = switchOf(s, a);
+        const std::size_t sb = switchOf(s, b);
+        if (sa == sb)
+            return 1;
+        const std::size_t gx = s.torusX, gy = s.torusY;
+        return 1 + ringDist(sa % gx, sb % gx, gx) +
+               ringDist((sa / gx) % gy, (sb / gx) % gy, gy) +
+               ringDist(sa / (gx * gy), sb / (gx * gy), s.torusZ);
+    }
+
+    std::size_t bisectionWidth(const TopologySpec &s) const override
+    {
+        // Cut perpendicular to the longest dimension: every ring in that
+        // dimension crosses the cut twice, and there are nsw / extent
+        // such rings — the longest extent minimizes the crossing count.
+        const std::size_t nsw = numSwitches(s);
+        const std::size_t gmax =
+            std::max(s.torusX, std::max(s.torusY, s.torusZ));
+        return 2 * (nsw / gmax);
+    }
+
+    Expected<void, ConfigError>
+    validate(const TopologySpec &s) const override
+    {
+        if (auto r = checkCommon(s, /*usesPerSwitch=*/true); !r)
+            return r;
+        if (s.torusX < 2 || s.torusY < 2 || s.torusZ < 2)
+            return reject("torus3d dimensions must be at least 2x2x2 "
+                          "(got %zux%zux%zu)",
+                          s.torusX, s.torusY, s.torusZ);
+        if (s.nodes != s.torusX * s.torusY * s.torusZ * s.nodesPerSwitch)
+            return reject(
+                "non-rectangular torus3d: %zu nodes does not fill "
+                "%zux%zux%zu switches at %zu per switch (want %zu)",
+                s.nodes, s.torusX, s.torusY, s.torusZ, s.nodesPerSwitch,
+                s.torusX * s.torusY * s.torusZ * s.nodesPerSwitch);
+        return checkPorts(s);
+    }
+
+  private:
+    static std::size_t
+    id(const TopologySpec &s, std::size_t x, std::size_t y, std::size_t z)
+    {
+        return (z * s.torusY + y) * s.torusX + x;
+    }
+    static std::size_t posX(const TopologySpec &s)
+    {
+        return s.nodesPerSwitch;
+    }
+    static std::size_t negX(const TopologySpec &s)
+    {
+        return s.nodesPerSwitch + 1;
+    }
+    static std::size_t posY(const TopologySpec &s)
+    {
+        return s.nodesPerSwitch + 2;
+    }
+    static std::size_t negY(const TopologySpec &s)
+    {
+        return s.nodesPerSwitch + 3;
+    }
+    static std::size_t posZ(const TopologySpec &s)
+    {
+        return s.nodesPerSwitch + 4;
+    }
+    static std::size_t negZ(const TopologySpec &s)
+    {
+        return s.nodesPerSwitch + 5;
+    }
+    /** Dimension index (0=X, 1=Y, 2=Z) of a trunk port. */
+    static std::size_t dimOf(const TopologySpec &s, std::size_t trunkPort)
+    {
+        return (trunkPort - s.nodesPerSwitch) / 2;
+    }
+};
+
 // -------------------------------------------------------------- FatTree
 
 class FatTreeModel final : public TopologyModel
@@ -508,6 +710,8 @@ class FatTreeModel final : public TopologyModel
 
     bool srcDependentRouting() const override { return true; }
 
+    bool multiPath() const override { return true; }
+
     std::size_t
     routePort(const TopologySpec &s, std::size_t sw, NodeId src,
               NodeId dst) const override
@@ -524,6 +728,35 @@ class FatTreeModel final : public TopologyModel
         if (t == sw)
             return portOf(s, dst);
         return s.nodesPerSwitch + uplinkHash(src, dst, s.spines);
+    }
+
+    std::size_t
+    routePortAvoiding(const TopologySpec &s, std::size_t sw, NodeId src,
+                      NodeId dst, const DeadView &dead) const override
+    {
+        // Alternate-spine rehash: starting at the flow's baseline spine,
+        // probe spines in deterministic (hash + k) order and take the
+        // first whose full up/down path is alive — the source leaf's
+        // uplink and the spine's downlink to the destination leaf.  All
+        // flows displaced by the same dead trunk land on the same
+        // alternate, and recovery epochs restore the baseline exactly
+        // (k = 0 wins again once the trunk is back).
+        const std::size_t nl = leaves(s);
+        const std::size_t t = switchOf(s, dst);
+        if (sw >= nl)
+            return t; // spine downlinks have no alternative
+        if (t == sw)
+            return portOf(s, dst);
+        const std::size_t base = uplinkHash(src, dst, s.spines);
+        for (std::size_t k = 0; k < s.spines; ++k) {
+            const std::size_t j = (base + k) % s.spines;
+            if (!dead.trunkDead(sw, s.nodesPerSwitch + j) &&
+                !dead.trunkDead(nl + j, t))
+                return s.nodesPerSwitch + j;
+        }
+        // No live spine path: keep the baseline route and let the link
+        // layer fail the packet fast (endpoint failover story).
+        return s.nodesPerSwitch + base;
     }
 
     std::size_t
@@ -579,6 +812,7 @@ topologyModel(TopologyKind kind)
     static const ChainModel chain;
     static const RingModel ring;
     static const TorusModel torus;
+    static const Torus3DModel torus3d;
     static const FatTreeModel fatTree;
     switch (kind) {
     case TopologyKind::Star:
@@ -589,6 +823,8 @@ topologyModel(TopologyKind kind)
         return ring;
     case TopologyKind::Torus2D:
         return torus;
+    case TopologyKind::Torus3D:
+        return torus3d;
     case TopologyKind::FatTree:
         return fatTree;
     }
@@ -613,6 +849,11 @@ TopologySpec::describe() const
         std::snprintf(buf, sizeof(buf),
                       "torus2d(%zu nodes, %zux%zu switches, bisection %zu)",
                       nodes, torusX, torusY, bisectionWidth());
+    else if (kind == TopologyKind::Torus3D)
+        std::snprintf(
+            buf, sizeof(buf),
+            "torus3d(%zu nodes, %zux%zux%zu switches, bisection %zu)",
+            nodes, torusX, torusY, torusZ, bisectionWidth());
     else if (kind == TopologyKind::FatTree)
         std::snprintf(
             buf, sizeof(buf),

@@ -15,6 +15,9 @@
  *             dimensions and dimension-ordered X-then-Y routing (Dally &
  *             Seitz); per-dimension dateline VCs keep it deadlock-free
  *             under the credit/back-pressure flow control
+ *  - Torus3D: the gx x gy x gz generalization (APEnet+/QCDSP-style),
+ *             dimension-ordered X-then-Y-then-Z with the same
+ *             per-dimension dateline VCs
  *  - FatTree: a two-level folded Clos — leaf switches holding the node
  *             ports, spine switches above them, deterministic per-flow
  *             uplink hashing; up/down routing is cycle-free by layering
@@ -23,6 +26,11 @@
  * route/port/switch-count functions that net::Network consumes
  * generically.  Adding a topology means adding a model, not editing the
  * network builder.
+ *
+ * Multi-path shapes (tori, fat-tree) additionally support fault-aware
+ * routing: net::FabricRerouter precomputes per-epoch routes around
+ * trunks that FaultSpec down-windows disable (DESIGN.md, "Routing
+ * epochs"), using multiPath() / routePortAvoiding() below.
  */
 
 #ifndef TELEGRAPHOS_NET_TOPOLOGY_HPP
@@ -47,6 +55,7 @@ enum class TopologyKind
     Chain,   ///< switches in a line, nodes spread across them
     Ring,    ///< switches in a cycle, shortest-direction routing
     Torus2D, ///< 2D torus of switches, dimension-ordered (X-Y) routing
+    Torus3D, ///< 3D torus of switches, dimension-ordered (X-Y-Z) routing
     FatTree, ///< two-level folded Clos, up/down routing with uplink hash
 };
 
@@ -105,6 +114,39 @@ class TopologyModel
      *  the network then routes per packet instead of per destination. */
     virtual bool srcDependentRouting() const { return false; }
 
+    /** True when the shape offers redundant switch-to-switch paths a
+     *  fault-aware routing layer can exploit (tori, fat-tree). */
+    virtual bool multiPath() const { return false; }
+
+    /**
+     * Liveness view the fault-aware routing layer exposes to models:
+     * is the trunk leaving switch @p sw through output port @p port
+     * currently declared dead by the fabric?
+     */
+    class DeadView
+    {
+      public:
+        virtual ~DeadView() = default;
+        virtual bool trunkDead(std::size_t sw, std::size_t port) const = 0;
+    };
+
+    /**
+     * Fault-aware variant of routePort(): the output port at @p sw for
+     * @p src -> @p dst avoiding trunks @p dead declares dead, falling
+     * back to the baseline route when no live alternative exists (the
+     * packet then fails over at the link, the pre-epoch story).  Only
+     * src-dependent models override this (fat-tree alternate-spine
+     * rehash); destination-routed fabrics get per-epoch BFS tables from
+     * net::FabricRerouter instead.
+     */
+    virtual std::size_t
+    routePortAvoiding(const TopologySpec &s, std::size_t sw, NodeId src,
+                      NodeId dst, const DeadView &dead) const
+    {
+        (void)dead;
+        return routePort(s, sw, src, dst);
+    }
+
     /** True when the shape needs a dateline escape-VC map installed. */
     virtual bool usesDateline() const { return false; }
 
@@ -143,10 +185,12 @@ struct TopologySpec
     std::size_t nodes = 2;
     /** Node ports per switch (ignored for Star). */
     std::size_t nodesPerSwitch = 4;
-    /** Torus2D: switch-grid extent in X (columns). */
+    /** Torus2D/Torus3D: switch-grid extent in X (columns). */
     std::size_t torusX = 0;
-    /** Torus2D: switch-grid extent in Y (rows). */
+    /** Torus2D/Torus3D: switch-grid extent in Y (rows). */
     std::size_t torusY = 0;
+    /** Torus3D: switch-grid extent in Z (planes; 0 for Torus2D). */
+    std::size_t torusZ = 0;
     /** FatTree: number of spine switches (= uplinks per leaf). */
     std::size_t spines = 0;
 

@@ -18,6 +18,7 @@
 #ifndef TELEGRAPHOS_SIM_CONFIG_HPP
 #define TELEGRAPHOS_SIM_CONFIG_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -31,6 +32,13 @@ struct FaultWindow
 {
     Tick from = 0;
     Tick until = 0;
+    /**
+     * Restrict this window to links whose name matches this glob
+     * ('*' = any substring, e.g. "*.trunk3to4" downs one directed trunk
+     * channel).  Empty: the window follows the spec-wide linkFilter like
+     * every other fault.  Validated by FaultSpec::validate().
+     */
+    std::string target;
 };
 
 /**
@@ -84,7 +92,22 @@ struct FaultSpec
                !downWindows.empty();
     }
 
-    /** Sanity checks; fatal() on nonsense.  Called by Config::validate. */
+    /**
+     * Append a down-window restricted to links matching @p pattern
+     * ('*' glob).  Chainable; the pattern is checked by validate().
+     */
+    FaultSpec &downLink(const std::string &pattern, Tick from, Tick until);
+
+    /**
+     * Down both directed channels of the trunk between switches @p a and
+     * @p b in [from, until): appends "*.trunk<a>to<b>" and
+     * "*.trunk<b>to<a>" targeted windows.
+     */
+    FaultSpec &downTrunk(std::size_t a, std::size_t b, Tick from,
+                         Tick until);
+
+    /** Sanity checks; fatal() on nonsense (bad rates, empty or
+     *  malformed-pattern windows).  Called by Config::validate. */
     void validate() const;
 };
 

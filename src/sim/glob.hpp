@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Minimal deterministic glob matching for component-name patterns.
+ *
+ * Fault specifications target links by name (e.g. "*.trunk3to4"); the
+ * only metacharacter is '*' (any run of characters, including empty).
+ * The matcher is iterative with single-star backtracking — linear in
+ * practice, no recursion, no allocation — and the validity check
+ * rejects patterns that cannot name a component (whitespace, control
+ * characters, unsupported metacharacters, redundant "**").
+ */
+
+#ifndef TELEGRAPHOS_SIM_GLOB_HPP
+#define TELEGRAPHOS_SIM_GLOB_HPP
+
+#include <string>
+
+namespace tg {
+
+/** True when @p name matches @p pattern ('*' = any substring). */
+inline bool
+globMatch(const std::string &pattern, const std::string &name)
+{
+    std::size_t p = 0, n = 0;
+    std::size_t star = std::string::npos; // position of last '*' seen
+    std::size_t mark = 0;                 // name position that star ate to
+    while (n < name.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == name[n])) {
+            ++p;
+            ++n;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            mark = n;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            n = ++mark;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+/**
+ * True when @p pattern is a well-formed component-name glob: non-empty,
+ * printable non-space characters only, '*' the sole metacharacter
+ * (no '?' / '[' / ']'), and no redundant "**" runs.
+ */
+inline bool
+globValid(const std::string &pattern)
+{
+    if (pattern.empty())
+        return false;
+    char prev = '\0';
+    for (char c : pattern) {
+        if (c == '*' && prev == '*')
+            return false; // "**" is always a typo for "*"
+        if (c == '?' || c == '[' || c == ']')
+            return false; // unsupported metacharacters
+        if (c <= ' ' || c > '~')
+            return false; // whitespace / control / non-ASCII
+        prev = c;
+    }
+    return true;
+}
+
+} // namespace tg
+
+#endif // TELEGRAPHOS_SIM_GLOB_HPP

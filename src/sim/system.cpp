@@ -5,9 +5,27 @@
 
 #include "sim/system.hpp"
 
+#include "sim/glob.hpp"
 #include "sim/log.hpp"
 
 namespace tg {
+
+FaultSpec &
+FaultSpec::downLink(const std::string &pattern, Tick from, Tick until)
+{
+    downWindows.push_back(FaultWindow{from, until, pattern});
+    return *this;
+}
+
+FaultSpec &
+FaultSpec::downTrunk(std::size_t a, std::size_t b, Tick from, Tick until)
+{
+    downLink("*.trunk" + std::to_string(a) + "to" + std::to_string(b),
+             from, until);
+    downLink("*.trunk" + std::to_string(b) + "to" + std::to_string(a),
+             from, until);
+    return *this;
+}
 
 void
 FaultSpec::validate() const
@@ -24,6 +42,10 @@ FaultSpec::validate() const
         if (w.until <= w.from)
             fatal("fault.downWindows: window [%llu, %llu) is empty",
                   (unsigned long long)w.from, (unsigned long long)w.until);
+        if (!w.target.empty() && !globValid(w.target))
+            fatal("fault.downWindows: malformed target pattern '%s' "
+                  "('*' globs over printable names; no '**', '?', '[')",
+                  w.target.c_str());
     }
     if (windowPackets == 0)
         fatal("fault.windowPackets must be >= 1");

@@ -65,7 +65,7 @@ TEST(FaultInjector, LinkFilterRestrictsActivation)
 TEST(FaultInjector, DownWindowsAndDeadline)
 {
     FaultSpec spec;
-    spec.downWindows = {{100, 200}, {150, 300}};
+    spec.downWindows = {{100, 200, ""}, {150, 300, ""}};
     spec.linkDownDeadline = 50;
     FaultInjector inj(spec, 1, "ch");
     EXPECT_FALSE(inj.isDown(99));
@@ -77,6 +77,90 @@ TEST(FaultInjector, DownWindowsAndDeadline)
     EXPECT_EQ(inj.downStart(250), 100u);
     EXPECT_FALSE(inj.downPastDeadline(120));
     EXPECT_TRUE(inj.downPastDeadline(250));
+}
+
+// ---------------------------------------------------------------------
+// Targeted down-windows (glob patterns on link names)
+// ---------------------------------------------------------------------
+
+TEST(FaultTargets, TargetedWindowDownsOnlyMatchingLinks)
+{
+    FaultSpec spec;
+    spec.downLink("*.trunk3to4", 100, 200);
+    FaultInjector hit(spec, 1, "net.trunk3to4");
+    FaultInjector miss(spec, 1, "net.trunk4to3");
+    EXPECT_TRUE(hit.isDown(150));
+    EXPECT_FALSE(miss.isDown(150));
+    EXPECT_FALSE(hit.isDown(200));
+}
+
+TEST(FaultTargets, TargetedWindowIgnoresLinkFilter)
+{
+    // The spec-wide random-fault filter confines rates to node links,
+    // but a targeted window still downs the trunk it names.
+    FaultSpec spec;
+    spec.dropRate = 0.5;
+    spec.linkFilter = "up";
+    spec.downLink("*.trunk0to1", 10, 20);
+    FaultInjector trunk(spec, 1, "net.trunk0to1");
+    EXPECT_FALSE(trunk.active());
+    EXPECT_TRUE(trunk.isDown(15));
+}
+
+TEST(FaultTargets, UntargetedWindowFollowsLinkFilter)
+{
+    FaultSpec spec;
+    spec.linkFilter = "up";
+    spec.downWindows = {{10, 20, ""}};
+    FaultInjector up(spec, 1, "net.up0");
+    FaultInjector trunk(spec, 1, "net.trunk0to1");
+    EXPECT_TRUE(up.isDown(15));
+    EXPECT_FALSE(trunk.isDown(15));
+}
+
+TEST(FaultTargets, DownTrunkCoversBothDirections)
+{
+    FaultSpec spec;
+    spec.downTrunk(3, 4, 100, 200);
+    ASSERT_EQ(spec.downWindows.size(), 2u);
+    FaultInjector fwd(spec, 1, "net.trunk3to4");
+    FaultInjector rev(spec, 1, "net.trunk4to3");
+    FaultInjector other(spec, 1, "net.trunk3to2");
+    EXPECT_TRUE(fwd.isDown(150));
+    EXPECT_TRUE(rev.isDown(150));
+    EXPECT_FALSE(other.isDown(150));
+}
+
+TEST(FaultTargets, MergedDownWindowsCoalescePerLink)
+{
+    FaultSpec spec;
+    spec.downLink("*.trunk0to1", 100, 200);
+    spec.downLink("*.trunk0to1", 150, 300); // overlaps the first
+    spec.downLink("*.trunk0to1", 300, 400); // abuts the merged window
+    spec.downLink("*.trunk9to9", 50, 60);   // different link
+    FaultInjector inj(spec, 1, "net.trunk0to1");
+    const auto merged = inj.mergedDownWindows();
+    ASSERT_EQ(merged.size(), 1u);
+    EXPECT_EQ(merged[0].from, 100u);
+    EXPECT_EQ(merged[0].until, 400u);
+}
+
+TEST(FaultSpecValidate, RejectsMalformedTargetPattern)
+{
+    FaultSpec doubleStar;
+    doubleStar.downLink("**trunk", 10, 20);
+    EXPECT_DEATH(doubleStar.validate(), "pattern");
+
+    FaultSpec questionMark;
+    questionMark.downLink("*.trunk?to1", 10, 20);
+    EXPECT_DEATH(questionMark.validate(), "pattern");
+}
+
+TEST(FaultSpecValidate, AcceptsWellFormedTargetPattern)
+{
+    FaultSpec f;
+    f.downLink("*.trunk3to4", 10, 20).downTrunk(1, 2, 30, 40);
+    f.validate(); // must not die
 }
 
 // ---------------------------------------------------------------------
@@ -167,7 +251,7 @@ TEST_F(FaultChannelTest, DuplicatesAreDiscarded)
 TEST_F(FaultChannelTest, LinkDownWindowDelaysDelivery)
 {
     FaultSpec f;
-    f.downWindows = {{0, 5000}};
+    f.downWindows = {{0, 5000, ""}};
     System sys(cfg(f));
     BoundedQueue up(8), down(8);
     Channel ch(sys, "ch", up, down, 1.0, 10);
@@ -181,10 +265,28 @@ TEST_F(FaultChannelTest, LinkDownWindowDelaysDelivery)
     EXPECT_EQ(ch.wireFailures(), 0u);
 }
 
+TEST_F(FaultChannelTest, TargetedWindowDownsNamedChannelOutsideFilter)
+{
+    FaultSpec f;
+    f.linkFilter = "somewhere-else"; // random faults confined elsewhere
+    f.downLink("ch", 0, 5000);       // ...but this channel is named
+    System sys(cfg(f));
+    BoundedQueue up(8), down(8);
+    Channel ch(sys, "ch", up, down, 1.0, 10);
+
+    up.push(mkPkt(7));
+    sys.events().run();
+
+    ASSERT_EQ(down.size(), 1u);
+    EXPECT_EQ(down.pop().value, 7u);
+    EXPECT_GE(sys.now(), 5000u); // held until the targeted outage ended
+    EXPECT_EQ(ch.wireFailures(), 0u);
+}
+
 TEST_F(FaultChannelTest, DownPastDeadlineFailsOver)
 {
     FaultSpec f;
-    f.downWindows = {{0, 1'000'000}};
+    f.downWindows = {{0, 1'000'000, ""}};
     f.linkDownDeadline = 100;
     System sys(cfg(f));
     BoundedQueue up(8), down(8);

@@ -53,6 +53,19 @@ torus(std::size_t x, std::size_t y, std::size_t nps)
 }
 
 TopologySpec
+torus3d(std::size_t x, std::size_t y, std::size_t z, std::size_t nps)
+{
+    TopologySpec s;
+    s.kind = TopologyKind::Torus3D;
+    s.torusX = x;
+    s.torusY = y;
+    s.torusZ = z;
+    s.nodesPerSwitch = nps;
+    s.nodes = x * y * z * nps;
+    return s;
+}
+
+TopologySpec
 fatTree(std::size_t nodes, std::size_t nps, std::size_t spines)
 {
     TopologySpec s;
@@ -163,6 +176,8 @@ INSTANTIATE_TEST_SUITE_P(
                       linear(TopologyKind::Ring, 12, 4),
                       torus(2, 2, 2), torus(4, 4, 4), torus(3, 5, 2),
                       torus(8, 8, 4),                      // 256 nodes
+                      torus3d(2, 2, 2, 2), torus3d(3, 4, 5, 2),
+                      torus3d(4, 4, 4, 4),                 // 256 nodes
                       fatTree(16, 4, 4), fatTree(64, 4, 4),
                       fatTree(256, 4, 8)),
     [](const ::testing::TestParamInfo<TopologySpec> &info) {
@@ -242,7 +257,7 @@ TEST(RoutingDeterminism, SameSeedRunsHashIdentically)
 {
     for (const TopologySpec &spec :
          {linear(TopologyKind::Ring, 16, 2), torus(8, 8, 4),
-          fatTree(256, 4, 8)}) {
+          torus3d(4, 4, 4, 4), fatTree(256, 4, 8)}) {
         const auto a = runRandom(spec, 99);
         const auto b = runRandom(spec, 99);
         EXPECT_EQ(a.first, b.first) << spec.describe();

@@ -94,6 +94,72 @@ TEST(Topology, NonRectangularTorusIsRejected)
     EXPECT_NE(v.error().message.find("non-rectangular"), std::string::npos);
 }
 
+TEST(Topology, Torus3dGridMath)
+{
+    TopologySpec s;
+    s.kind = TopologyKind::Torus3D;
+    s.torusX = 4;
+    s.torusY = 3;
+    s.torusZ = 2;
+    s.nodesPerSwitch = 2;
+    s.nodes = 48;
+    ASSERT_TRUE(s.validate().ok());
+    EXPECT_EQ(s.numSwitches(), 24u);
+    EXPECT_EQ(s.portsPerSwitch(), 8u); // 2 node ports + 6 trunk dirs
+    EXPECT_EQ(s.switchOf(0), 0u);
+    EXPECT_EQ(s.switchOf(47), 23u);
+    EXPECT_EQ(s.portOf(5), 1u);
+    // Cut perpendicular to X (the longest extent): 2 crossings per ring,
+    // 24/4 = 6 rings.
+    EXPECT_EQ(s.bisectionWidth(), 12u);
+    // One trunk per switch per dimension (each ring of length g has g
+    // links): 24 X + 24 Y + 24 Z.
+    EXPECT_EQ(s.model().trunks(s).size(), 72u);
+}
+
+TEST(Topology, Torus3dRejectsFlatDimensions)
+{
+    TopologySpec s;
+    s.kind = TopologyKind::Torus3D;
+    s.torusX = 4;
+    s.torusY = 4;
+    s.torusZ = 1; // a 3D torus degenerated to a plane
+    s.nodesPerSwitch = 2;
+    s.nodes = 32;
+    auto v = s.validate();
+    ASSERT_FALSE(v.ok());
+    EXPECT_NE(v.error().message.find("2x2x2"), std::string::npos);
+}
+
+TEST(Topology, NonRectangularTorus3dIsRejected)
+{
+    TopologySpec s;
+    s.kind = TopologyKind::Torus3D;
+    s.torusX = 2;
+    s.torusY = 2;
+    s.torusZ = 2;
+    s.nodesPerSwitch = 2;
+    s.nodes = 15; // does not fill 2x2x2x2
+    auto v = s.validate();
+    ASSERT_FALSE(v.ok());
+    EXPECT_NE(v.error().message.find("non-rectangular"), std::string::npos);
+}
+
+TEST(Topology, Torus3dDescribeReportsGrid)
+{
+    TopologySpec s;
+    s.kind = TopologyKind::Torus3D;
+    s.torusX = 4;
+    s.torusY = 4;
+    s.torusZ = 4;
+    s.nodesPerSwitch = 4;
+    s.nodes = 256;
+    const std::string d = s.describe();
+    EXPECT_NE(d.find("torus3d"), std::string::npos);
+    EXPECT_NE(d.find("4x4x4"), std::string::npos);
+    EXPECT_NE(d.find("bisection 32"), std::string::npos);
+}
+
 TEST(Topology, FatTreeLeavesAndSpines)
 {
     TopologySpec s;

@@ -105,29 +105,6 @@ TEST(TglintTest, HotStdFunctionIgnoresColdNamespaces)
     EXPECT_TRUE(out.empty());
 }
 
-TEST(TglintTest, DeprecatedApiFixtureFires)
-{
-    auto fs = lintFixture("deprecated_api.cpp");
-    EXPECT_EQ(rulesOf(fs), std::set<std::string>{"deprecated-api"});
-    // nodes + kind writes fire; the allow()-ed write, the comparison and
-    // the reads stay silent.
-    EXPECT_EQ(fs.size(), 2u);
-    for (const Finding &f : fs)
-        EXPECT_NE(f.message.find("builder"), std::string::npos);
-}
-
-TEST(TglintTest, DeprecatedApiExemptsBuilderLayer)
-{
-    // The builder implementations in src/api legitimately write the raw
-    // fields they wrap.
-    std::vector<Finding> out;
-    tglint::lintSource("src/api/cluster.cpp",
-                       "/** @file cluster */\n"
-                       "void f(S &s) { s.topology.nodes = 4; }\n",
-                       Options{}, out);
-    EXPECT_TRUE(out.empty());
-}
-
 TEST(TglintTest, AllowCommentSuppressesEveryRule)
 {
     // suppressed.cpp contains a banned call, a float->Tick cast, raw

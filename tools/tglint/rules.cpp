@@ -29,7 +29,6 @@ const char *kTickFloat = "tick-float";
 const char *kRawNew = "raw-new";
 const char *kFileDoc = "file-doc";
 const char *kHotStdFunction = "hot-path-std-function";
-const char *kDeprecatedApi = "deprecated-api";
 
 /** Namespace components whose event/packet ordering is part of the
  *  determinism contract. */
@@ -383,43 +382,6 @@ ruleHotStdFunction(FileCtx &ctx)
     }
 }
 
-// ---------------------------------------------------------------------
-// deprecated-api
-// ---------------------------------------------------------------------
-
-/** Fields of net::TopologySpec (the one-release-deprecated raw spec). */
-const std::set<std::string> kTopologyFields = {
-    "kind", "nodes", "nodesPerSwitch", "torusX", "torusY", "spines",
-};
-
-void
-ruleDeprecatedApi(FileCtx &ctx)
-{
-    if (pathContains(ctx.path, ctx.opts.deprecatedExemptSubstring))
-        return;
-    const std::vector<Token> &t = ctx.lex.tokens;
-    for (std::size_t i = 0; i + 4 < t.size(); ++i) {
-        // <expr> . topology . <field> =   (but not "==")
-        if (!(t[i].is(".") || t[i].is("->")))
-            continue;
-        if (!(t[i + 1].kind == TokKind::Ident && t[i + 1].is("topology")))
-            continue;
-        if (!t[i + 2].is("."))
-            continue;
-        if (t[i + 3].kind != TokKind::Ident ||
-            !kTopologyFields.count(t[i + 3].text))
-            continue;
-        if (!t[i + 4].is("=") ||
-            (i + 5 < t.size() && t[i + 5].is("=")))
-            continue;
-        ctx.emit(t[i + 1].line, kDeprecatedApi,
-                 "raw write to ClusterSpec topology field '" +
-                     t[i + 3].text +
-                     "'; use the named builders (ClusterSpec::star/ring/"
-                     "torus/fatTree) — raw fields go away next release");
-    }
-}
-
 } // namespace
 
 // ---------------------------------------------------------------------
@@ -430,8 +392,8 @@ const std::vector<std::string> &
 allRules()
 {
     static const std::vector<std::string> rules = {
-        kBannedApi, kUnorderedIter,  kTickFloat,     kRawNew,
-        kFileDoc,   kHotStdFunction, kDeprecatedApi,
+        kBannedApi, kUnorderedIter,  kTickFloat, kRawNew,
+        kFileDoc,   kHotStdFunction,
     };
     return rules;
 }
@@ -448,7 +410,6 @@ lintSource(const std::string &path, const std::string &source,
     ruleTickFloat(ctx);
     ruleRawNew(ctx);
     ruleHotStdFunction(ctx);
-    ruleDeprecatedApi(ctx);
 }
 
 bool

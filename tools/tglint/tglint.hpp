@@ -12,8 +12,6 @@
  *   tick-float      floating-point arithmetic feeding a Tick value
  *   raw-new         raw new / delete outside allocator shims
  *   file-doc        missing leading "@file" documentation header
- *   deprecated-api  raw writes to ClusterSpec::topology fields outside
- *                   src/api (use the named builders / chainers)
  *
  * Any finding can be suppressed with a justification comment on the same
  * line or the line immediately above:
@@ -51,10 +49,6 @@ struct Options
 
     /** Paths exempt from the raw-new rule (allocator shims). */
     std::string allocatorExemptSubstring = "/alloc";
-
-    /** Paths exempt from the deprecated-api rule (the builder layer
-     *  itself legitimately writes the raw topology fields). */
-    std::string deprecatedExemptSubstring = "src/api";
 };
 
 /** All rule slugs tglint knows, in reporting order. */
