@@ -18,8 +18,10 @@
  *    the capture, which keeps ladder-queue bucket moves cheap.
  *
  * `tg::Event` is the `void()` instantiation used by the EventQueue.
- * The simulator is single-threaded by contract (one System, one event
- * loop), so the pool free list is deliberately unsynchronized.
+ * The pool free list and its counters are thread_local: each shard of a
+ * future parallel engine (ROADMAP item 1) gets its own pool, so the
+ * fast path stays unsynchronized without ever becoming a cross-shard
+ * race.
  */
 
 #ifndef TELEGRAPHOS_SIM_EVENT_HPP
@@ -96,10 +98,12 @@ class ClosurePool
         Block *next;
     };
 
-    static inline Block *_free = nullptr;
-    static inline std::uint64_t _fresh = 0;
-    static inline std::uint64_t _reused = 0;
-    static inline std::uint64_t _oversize = 0;
+    // thread_local: one pool per shard, so the unsynchronized fast path
+    // can never race across shards of a parallel engine.
+    static inline thread_local Block *_free = nullptr;
+    static inline thread_local std::uint64_t _fresh = 0;
+    static inline thread_local std::uint64_t _reused = 0;
+    static inline thread_local std::uint64_t _oversize = 0;
 };
 
 } // namespace detail

@@ -8,7 +8,8 @@
 namespace tg::audit {
 
 namespace {
-bool g_enabled = true;
+// Flipped only by tests and single-threaded setup, never mid-run.
+bool g_enabled = true; // tglint: shard(shared-guarded)
 } // namespace
 
 bool

@@ -25,11 +25,13 @@ vreport(const char *tag, const char *fmt, va_list ap)
 std::set<std::string> &
 traceSet()
 {
-    static std::set<std::string> s;
+    // Trace selection is written only during single-threaded setup
+    // (CLI parsing), then read-only while the engine runs.
+    static std::set<std::string> s; // tglint: shard(shared-guarded)
     return s;
 }
 
-bool traceAll = false;
+bool traceAll = false; // tglint: shard(shared-guarded) setup-time only
 
 } // namespace
 

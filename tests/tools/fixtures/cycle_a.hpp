@@ -1,0 +1,19 @@
+/**
+ * @file
+ * tglint fixture (pair with cycle_b.hpp): two headers including each
+ * other form the include cycle the include-cycle rule must report.
+ */
+
+#ifndef TGLINT_FIXTURE_CYCLE_A_HPP
+#define TGLINT_FIXTURE_CYCLE_A_HPP
+
+#include "cycle_b.hpp" // include-cycle (reported on the cycle's lead file)
+
+namespace tg::net {
+struct A
+{
+    int b = 0;
+};
+} // namespace tg::net
+
+#endif // TGLINT_FIXTURE_CYCLE_A_HPP

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * tglint fixture (pair with cycle_a.hpp): the back edge of the include
+ * cycle.
+ */
+
+#ifndef TGLINT_FIXTURE_CYCLE_B_HPP
+#define TGLINT_FIXTURE_CYCLE_B_HPP
+
+#include "cycle_a.hpp"
+
+namespace tg::net {
+struct B
+{
+    int a = 0;
+};
+} // namespace tg::net
+
+#endif // TGLINT_FIXTURE_CYCLE_B_HPP

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * tglint lexer fixture: C++14 digit separators.  Separated integer
+ * literals are single Number tokens — integral Tick arithmetic with
+ * them must NOT fire tick-float, and the separator must not swallow an
+ * adjacent character literal.
+ */
+
+#include <cstdint>
+
+using Tick = std::uint64_t;
+
+namespace tg::sim {
+
+constexpr Tick kTicksPerUs = 1'000;
+constexpr Tick kTicksPerSec = 1'000'000'000;
+constexpr std::uint32_t kAddrMask = 0xff'ff'00'00;
+constexpr unsigned kPage = 0x1'000;
+
+inline Tick
+toTicks(Tick us)
+{
+    return us * kTicksPerUs; // integral scaling: clean
+}
+
+inline char
+sepThenCharLiteral()
+{
+    const int n = 1'000;
+    const char c = 'x'; // must remain a separate char literal
+    return n > 0 ? c : ' ';
+}
+
+} // namespace tg::sim

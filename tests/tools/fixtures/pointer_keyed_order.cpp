@@ -1,0 +1,43 @@
+/**
+ * @file
+ * tglint fixture: containers ordered by pointer values.  The pointer-
+ * keyed map and set and the comparator-less pointer sort fire; keying
+ * by a stable id, sorting through an explicit comparator, and the
+ * allow() escape hatch pass.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace tg::net {
+
+struct Port
+{
+    std::uint32_t id = 0;
+};
+
+std::size_t
+routeAll()
+{
+    std::map<Port *, int> credits; // pointer-keyed-order
+    std::set<const Port *> blocked; // pointer-keyed-order
+
+    std::map<std::uint32_t, Port *> byId; // stable key: clean
+
+    std::vector<Port *> ports;
+    std::sort(ports.begin(), ports.end()); // pointer-keyed-order
+    std::sort(ports.begin(), ports.end(),
+              [](const Port *a, const Port *b) {
+                  return a->id < b->id; // explicit stable order: clean
+              });
+
+    // tglint: allow(pointer-keyed-order)  fixture exercises allow() form
+    std::map<Port *, int> triaged;
+
+    return credits.size() + blocked.size() + byId.size() + triaged.size();
+}
+
+} // namespace tg::net

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * tglint lexer fixture: raw string literals.  Every banned token below
+ * lives INSIDE a raw literal — plain, prefixed, custom-delimited and
+ * multi-line — so the file must lint clean.  A lexer that mishandles
+ * raw strings leaks `rand()` / `new` / unordered iteration into the
+ * token stream and fires spurious findings.
+ */
+
+namespace tg::net {
+
+const char *kPlain = R"(std::rand() time(nullptr) new int[4])";
+const char *kPrefixed = u8R"(srand(42) delete p)";
+const char *kWide = LR"(std::chrono::system_clock::now())";
+const char *kDelimited = R"xy(quote " paren ) std::getenv("HOME"))xy";
+const char *kMultiLine = R"(line one
+for (auto &kv : table) std::rand();
+line three)";
+
+// Adjacency matters: a lone R identifier before a plain string is NOT a
+// raw literal; the string body is still dropped like any literal.
+inline int
+R(const char *)
+{
+    return 0;
+}
+const int kNotRaw = R("plain string, not raw");
+
+} // namespace tg::net

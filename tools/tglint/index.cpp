@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Pass 1 implementation: tokenizing, the scope scanner, include
+ * extraction and include-target resolution.
+ */
+
+#include "index.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "tglint.hpp"
+
+namespace tglint {
+
+namespace {
+
+/** Statement keywords that rule out a variable declaration. */
+const std::set<std::string> kNonDeclKeywords = {
+    "using",  "typedef", "template", "friend",   "extern",
+    "static_assert",     "operator", "namespace", "class",
+    "struct", "union",   "enum",     "return",    "goto",
+    "throw",  "if",      "while",    "for",       "switch",
+    "case",   "break",   "continue", "default",   "asm",
+};
+
+bool
+isKeywordIn(const std::vector<Token> &t, std::size_t b, std::size_t e,
+            const char *kw)
+{
+    for (std::size_t i = b; i < e; ++i)
+        if (t[i].kind == TokKind::Ident && t[i].is(kw))
+            return true;
+    return false;
+}
+
+/**
+ * Try to read one variable declaration out of the statement tokens
+ * [b, e).  @p e points one past the last statement token (the ';' or
+ * '{' terminator is NOT included).  Returns true and fills @p out on a
+ * plausible declaration.
+ */
+bool
+readVarDecl(const std::vector<Token> &t, std::size_t b, std::size_t e,
+            VarDecl::Scope scope, VarDecl &out)
+{
+    if (b >= e)
+        return false;
+    for (std::size_t i = b; i < e; ++i) {
+        if (t[i].kind != TokKind::Ident)
+            continue;
+        if (kNonDeclKeywords.count(t[i].text))
+            return false;
+    }
+
+    // Candidate name: the first identifier directly followed by '='
+    // (initialized variable) or '[' (array), else a trailing identifier
+    // right before the terminator ("int counter;").  Function
+    // declarations end in ')' and never match.
+    std::size_t name = e;
+    for (std::size_t i = b; i < e && name == e; ++i) {
+        if (t[i].kind != TokKind::Ident || i + 1 >= e)
+            continue;
+        if (t[i + 1].is("=") || t[i + 1].is("["))
+            name = i;
+    }
+    if (name == e && t[e - 1].kind == TokKind::Ident)
+        name = e - 1;
+    if (name == e || name == b)
+        return false; // no name, or no type tokens before the name
+
+    out.name = t[name].text;
+    out.line = t[name].line;
+    out.scope = scope;
+    out.isConst = isKeywordIn(t, b, e, "const") ||
+                  isKeywordIn(t, b, e, "constexpr");
+    out.isThreadLocal = isKeywordIn(t, b, e, "thread_local");
+    return true;
+}
+
+/** Scope kinds tracked by the brace scanner. */
+enum class ScopeKind
+{
+    Namespace, ///< namespace / extern "C" body
+    Class,     ///< class / struct / union / enum body
+    Function,  ///< function / lambda / control-flow block
+    Init,      ///< brace initializer (transparent, no declarations)
+};
+
+/**
+ * Walk the token stream, tracking namespace / class / function scopes,
+ * and record every mutable variable declared at namespace scope, as a
+ * function-local static, or as a static data member.
+ */
+void
+scanScopes(const std::vector<Token> &t, FileRecord &fr)
+{
+    std::vector<ScopeKind> scopes;
+    auto cur = [&] {
+        return scopes.empty() ? ScopeKind::Namespace : scopes.back();
+    };
+
+    const std::size_t n = t.size();
+    std::size_t stmt = 0; // first token of the current statement
+    int parens = 0;       // '(' depth inside the current statement
+
+    auto recordStatement = [&](std::size_t b, std::size_t e) {
+        VarDecl d;
+        switch (cur()) {
+        case ScopeKind::Namespace:
+            if (readVarDecl(t, b, e, VarDecl::Scope::Namespace, d))
+                fr.vars.push_back(d);
+            break;
+        case ScopeKind::Function:
+            if (isKeywordIn(t, b, e, "static") &&
+                readVarDecl(t, b, e, VarDecl::Scope::StaticLocal, d))
+                fr.vars.push_back(d);
+            break;
+        case ScopeKind::Class:
+            if (isKeywordIn(t, b, e, "static") &&
+                readVarDecl(t, b, e, VarDecl::Scope::StaticMember, d))
+                fr.vars.push_back(d);
+            break;
+        case ScopeKind::Init:
+            break;
+        }
+    };
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const Token &tok = t[i];
+
+        // Preprocessor directive: '#' opening a line swallows the rest
+        // of that (possibly backslash-continued) logical line.
+        if (tok.is("#") && (i == 0 || t[i - 1].line != tok.line)) {
+            int dirLine = tok.line;
+            std::size_t j = i + 1;
+            while (j < n) {
+                if (t[j].line == dirLine) {
+                    ++j;
+                } else if (t[j - 1].is("\\")) {
+                    dirLine = t[j].line;
+                    ++j;
+                } else {
+                    break;
+                }
+            }
+            i = j - 1;
+            stmt = j;
+            continue;
+        }
+
+        if (tok.is("(")) {
+            ++parens;
+            continue;
+        }
+        if (tok.is(")")) {
+            if (parens > 0)
+                --parens;
+            continue;
+        }
+        if (parens > 0)
+            continue; // parameter lists, for(;;), call arguments
+
+        if (tok.is("{")) {
+            ScopeKind kind = ScopeKind::Function;
+            const bool classish =
+                isKeywordIn(t, stmt, i, "class") ||
+                isKeywordIn(t, stmt, i, "struct") ||
+                isKeywordIn(t, stmt, i, "union") ||
+                isKeywordIn(t, stmt, i, "enum");
+            bool hasParen = false;
+            for (std::size_t j = stmt; j < i && !hasParen; ++j)
+                hasParen = t[j].is("(");
+
+            if (isKeywordIn(t, stmt, i, "namespace") ||
+                isKeywordIn(t, stmt, i, "extern")) {
+                kind = ScopeKind::Namespace;
+                for (std::size_t j = stmt; j < i; ++j)
+                    if (t[j].kind == TokKind::Ident &&
+                        !t[j].is("namespace") && !t[j].is("inline") &&
+                        !t[j].is("extern"))
+                        fr.namespaces.push_back(t[j].text);
+            } else if (classish && !hasParen) {
+                kind = ScopeKind::Class;
+            } else if (!hasParen && i > stmt &&
+                       (t[i - 1].kind == TokKind::Ident ||
+                        t[i - 1].is("=")) &&
+                       !isKeywordIn(t, stmt, i, "do") &&
+                       !isKeywordIn(t, stmt, i, "else") &&
+                       !isKeywordIn(t, stmt, i, "try")) {
+                // Brace initializer: "bool x{...}" / "Foo a[] = {...}".
+                // Record the declaration now; the braces are opaque.
+                kind = ScopeKind::Init;
+                recordStatement(stmt, i);
+            } else if (i == stmt &&
+                       (i > 0 && (t[i - 1].is("{") || t[i - 1].is(",")))) {
+                kind = ScopeKind::Init; // nested element of an init list
+            }
+            scopes.push_back(kind);
+            stmt = i + 1;
+            continue;
+        }
+
+        if (tok.is("}")) {
+            if (!scopes.empty())
+                scopes.pop_back();
+            stmt = i + 1;
+            parens = 0;
+            continue;
+        }
+
+        if (tok.is(";")) {
+            recordStatement(stmt, i);
+            stmt = i + 1;
+            continue;
+        }
+    }
+}
+
+/** Pull quoted #include targets out of the raw source text. */
+std::vector<IncludeEdge>
+extractIncludes(const std::string &source)
+{
+    std::vector<IncludeEdge> out;
+    int line = 1;
+    std::size_t pos = 0;
+    while (pos < source.size()) {
+        std::size_t eol = source.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = source.size();
+        std::size_t p = pos;
+        while (p < eol && std::isspace((unsigned char)source[p]))
+            ++p;
+        if (p < eol && source[p] == '#') {
+            ++p;
+            while (p < eol && std::isspace((unsigned char)source[p]))
+                ++p;
+            if (source.compare(p, 7, "include") == 0) {
+                p += 7;
+                while (p < eol && std::isspace((unsigned char)source[p]))
+                    ++p;
+                if (p < eol && source[p] == '"') {
+                    const std::size_t close = source.find('"', p + 1);
+                    if (close != std::string::npos && close < eol)
+                        out.push_back(IncludeEdge{
+                            source.substr(p + 1, close - p - 1), line});
+                }
+            }
+        }
+        pos = eol + 1;
+        ++line;
+    }
+    return out;
+}
+
+/** Forward slashes, no leading "./", lexically resolved "..". */
+std::string
+normalizePath(const std::string &path)
+{
+    std::vector<std::string> parts;
+    std::string piece;
+    for (std::size_t i = 0; i <= path.size(); ++i) {
+        const char c = i < path.size() ? path[i] : '/';
+        if (c == '/' || c == '\\') {
+            if (piece == "..") {
+                if (!parts.empty() && parts.back() != "..")
+                    parts.pop_back();
+                else
+                    parts.push_back(piece);
+            } else if (!piece.empty() && piece != ".") {
+                parts.push_back(piece);
+            }
+            piece.clear();
+        } else {
+            piece += c;
+        }
+    }
+    std::string out;
+    for (const std::string &p : parts) {
+        if (!out.empty())
+            out += '/';
+        out += p;
+    }
+    if (!path.empty() && (path[0] == '/'))
+        out = "/" + out;
+    return out;
+}
+
+std::string
+dirOf(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of("/\\");
+    return slash == std::string::npos ? std::string() :
+                                        path.substr(0, slash);
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+} // namespace
+
+void
+ProjectIndex::addSource(const std::string &path, const std::string &source)
+{
+    FileRecord fr;
+    fr.path = path;
+    fr.lex = tokenize(source);
+    fr.includes = extractIncludes(source);
+    scanScopes(fr.lex.tokens, fr);
+    _files.push_back(std::move(fr));
+}
+
+bool
+ProjectIndex::addPath(const std::string &path, const Options &opts)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> files;
+
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+        for (auto it = fs::recursive_directory_iterator(path, ec);
+             !ec && it != fs::recursive_directory_iterator(); ++it) {
+            if (!it->is_regular_file())
+                continue;
+            const std::string ext = it->path().extension().string();
+            if (ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc")
+                files.push_back(it->path().string());
+        }
+    } else {
+        files.push_back(path);
+    }
+    std::sort(files.begin(), files.end());
+
+    bool ok = true;
+    for (const std::string &f : files) {
+        bool skipped = false;
+        for (const std::string &s : opts.skipSubstrings)
+            if (!s.empty() && f.find(s) != std::string::npos)
+                skipped = true;
+        if (skipped)
+            continue;
+        std::ifstream in(f, std::ios::binary);
+        if (!in) {
+            ok = false;
+            continue;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        addSource(f, ss.str());
+    }
+    return ok;
+}
+
+void
+ProjectIndex::finalize()
+{
+    std::sort(_files.begin(), _files.end(),
+              [](const FileRecord &a, const FileRecord &b) {
+                  return a.path < b.path;
+              });
+}
+
+std::size_t
+ProjectIndex::resolve(std::size_t from, const std::string &target) const
+{
+    const std::string norm = normalizePath(target);
+
+    // Sibling of the including file first (tools/tglint style includes).
+    const std::string dir = dirOf(_files[from].path);
+    const std::string sibling =
+        normalizePath(dir.empty() ? norm : dir + "/" + norm);
+    for (std::size_t i = 0; i < _files.size(); ++i)
+        if (normalizePath(_files[i].path) == sibling)
+            return i;
+
+    // Unique path-suffix match across the whole index ("sim/log.hpp"
+    // written relative to src/).  Ties go to the candidate sharing the
+    // longest path prefix with the including file.
+    std::size_t best = _files.size();
+    std::size_t bestShared = 0;
+    std::size_t matches = 0;
+    const std::string fromNorm = normalizePath(_files[from].path);
+    for (std::size_t i = 0; i < _files.size(); ++i) {
+        const std::string p = normalizePath(_files[i].path);
+        if (p != norm && !endsWith(p, "/" + norm))
+            continue;
+        ++matches;
+        std::size_t shared = 0;
+        while (shared < p.size() && shared < fromNorm.size() &&
+               p[shared] == fromNorm[shared])
+            ++shared;
+        if (best == _files.size() || shared > bestShared) {
+            best = i;
+            bestShared = shared;
+        }
+    }
+    return matches > 0 ? best : _files.size();
+}
+
+} // namespace tglint

@@ -6,27 +6,38 @@
 #include "lexer.hpp"
 
 #include <cctype>
+#include <cstring>
 
 namespace tglint {
 
 namespace {
+
+/** Locate "tglint: <verb>(" in @p comment; npos or the '(' position. */
+std::size_t
+findDirective(const std::string &comment, const char *verb)
+{
+    const std::string key = "tglint:";
+    std::size_t at = comment.find(key);
+    if (at == std::string::npos)
+        return std::string::npos;
+    at += key.size();
+    while (at < comment.size() && std::isspace((unsigned char)comment[at]))
+        ++at;
+    const std::size_t vlen = std::strlen(verb);
+    if (comment.compare(at, vlen, verb) != 0)
+        return std::string::npos;
+    at = comment.find('(', at);
+    return at;
+}
 
 /** Extract "tglint: allow(a, b)" rule slugs from one comment's text. */
 std::set<std::string>
 parseAllows(const std::string &comment)
 {
     std::set<std::string> rules;
-    const std::string key = "tglint:";
-    std::size_t at = comment.find(key);
-    if (at == std::string::npos)
-        return rules;
-    at += key.size();
-    while (at < comment.size() && std::isspace((unsigned char)comment[at]))
-        ++at;
-    if (comment.compare(at, 5, "allow") != 0)
-        return rules;
-    at = comment.find('(', at);
-    const std::size_t end = comment.find(')', at);
+    const std::size_t at = findDirective(comment, "allow");
+    const std::size_t end =
+        at == std::string::npos ? std::string::npos : comment.find(')', at);
     if (at == std::string::npos || end == std::string::npos)
         return rules;
     std::string slug;
@@ -41,6 +52,32 @@ parseAllows(const std::string &comment)
         }
     }
     return rules;
+}
+
+/** Extract "tglint: shard(kind)"; empty string when absent/invalid. */
+std::string
+parseShard(const std::string &comment)
+{
+    const std::size_t at = findDirective(comment, "shard");
+    const std::size_t end =
+        at == std::string::npos ? std::string::npos : comment.find(')', at);
+    if (at == std::string::npos || end == std::string::npos)
+        return "";
+    std::string kind;
+    for (std::size_t i = at + 1; i < end; ++i)
+        if (!std::isspace((unsigned char)comment[i]))
+            kind += comment[i];
+    if (kind != "local" && kind != "shared-guarded")
+        return "";
+    return kind;
+}
+
+/** Encoding prefixes that may precede a raw string's R. */
+bool
+isRawPrefix(const std::string &ident)
+{
+    return ident == "R" || ident == "u8R" || ident == "uR" ||
+           ident == "UR" || ident == "LR";
 }
 
 } // namespace
@@ -69,7 +106,8 @@ tokenize(const std::string &source)
     const std::size_t n = source.size();
     std::size_t i = 0;
     int line = 1;
-    bool sawToken = false; // any token emitted yet (for hasFileDoc)
+    bool sawToken = false;        // any token emitted yet (for hasFileDoc)
+    std::size_t prevIdentEnd = 0; // one past the last identifier lexed
 
     auto tokenOnLine = [&](int l) {
         return !r.tokens.empty() && r.tokens.back().line == l;
@@ -78,12 +116,18 @@ tokenize(const std::string &source)
     auto recordAllows = [&](const std::string &text, int startLine,
                             bool pureCommentLine) {
         const std::set<std::string> rules = parseAllows(text);
-        if (rules.empty())
-            return;
-        r.allows[startLine].insert(rules.begin(), rules.end());
-        // A comment alone on its line shields the next line instead.
-        if (pureCommentLine)
-            r.allows[startLine + 1].insert(rules.begin(), rules.end());
+        if (!rules.empty()) {
+            r.allows[startLine].insert(rules.begin(), rules.end());
+            // A comment alone on its line shields the next line instead.
+            if (pureCommentLine)
+                r.allows[startLine + 1].insert(rules.begin(), rules.end());
+        }
+        const std::string shard = parseShard(text);
+        if (!shard.empty()) {
+            r.shards[startLine] = shard;
+            if (pureCommentLine)
+                r.shards[startLine + 1] = shard;
+        }
     };
 
     while (i < n) {
@@ -129,25 +173,41 @@ tokenize(const std::string &source)
 
         // ---- string / char literals -----------------------------------
         if (c == '"' || c == '\'') {
-            // Raw string literal: R"delim( ... )delim"
-            const bool raw = c == '"' && !r.tokens.empty() &&
-                             r.tokens.back().kind == TokKind::Ident &&
-                             r.tokens.back().is("R");
+            // Raw string literal: [u8|u|U|L]R"delim( ... )delim".  The
+            // prefix must touch the quote (prevIdentEnd check), and the
+            // delimiter is at most 16 characters with no quote, space,
+            // backslash or ')' — otherwise this is an ordinary string.
+            bool raw = c == '"' && !r.tokens.empty() &&
+                       r.tokens.back().kind == TokKind::Ident &&
+                       isRawPrefix(r.tokens.back().text) && prevIdentEnd == i;
+            std::size_t rawOpen = 0; // position of '(' when raw
             if (raw) {
-                r.tokens.pop_back(); // the R prefix belongs to the literal
                 std::size_t j = i + 1;
-                std::string delim;
-                while (j < n && source[j] != '(')
-                    delim += source[j++];
+                while (j < n && source[j] != '(' && j - i <= 17) {
+                    const char d = source[j];
+                    if (d == '"' || d == ')' || d == '\\' ||
+                        std::isspace((unsigned char)d))
+                        break;
+                    ++j;
+                }
+                if (j < n && source[j] == '(')
+                    rawOpen = j;
+                else
+                    raw = false; // malformed: fall back to plain string
+            }
+            if (raw) {
+                r.tokens.pop_back(); // the prefix belongs to the literal
+                const std::string delim =
+                    source.substr(i + 1, rawOpen - i - 1);
                 const std::string close = ")" + delim + "\"";
-                std::size_t end = source.find(close, j);
+                std::size_t end = source.find(close, rawOpen);
                 if (end == std::string::npos)
                     end = n;
+                r.tokens.push_back(Token{TokKind::Literal, "", line});
+                sawToken = true;
                 for (std::size_t k = i; k < end && k < n; ++k)
                     if (source[k] == '\n')
                         ++line;
-                r.tokens.push_back(Token{TokKind::Literal, "", line});
-                sawToken = true;
                 i = end == n ? n : end + close.size();
                 continue;
             }
@@ -174,6 +234,12 @@ tokenize(const std::string &source)
             std::string text;
             while (j < n) {
                 const char d = source[j];
+                // A digit separator only continues the number when a
+                // digit/letter follows; a bare quote after a number
+                // starts a character literal instead.
+                if (d == '\'' &&
+                    !(j + 1 < n && std::isalnum((unsigned char)source[j + 1])))
+                    break;
                 if (std::isalnum((unsigned char)d) || d == '.' || d == '\'') {
                     text += d;
                     ++j;
@@ -205,6 +271,7 @@ tokenize(const std::string &source)
             r.tokens.push_back(
                 Token{TokKind::Ident, source.substr(i, j - i), line});
             sawToken = true;
+            prevIdentEnd = j;
             i = j;
             continue;
         }

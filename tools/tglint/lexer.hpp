@@ -4,8 +4,16 @@
  *
  * Produces identifier / number / punctuation / literal tokens with line
  * numbers, strips comments and string contents (so commented-out code
- * never fires a rule), and harvests "tglint: allow(rule, ...)"
- * suppression comments keyed by the line they shield.
+ * never fires a rule), and harvests two kinds of structured comments
+ * keyed by the line they shield:
+ *
+ *   tglint: allow(rule, ...)          per-line rule suppression
+ *   tglint: shard(local|shared-guarded)  mutable-state triage annotation
+ *
+ * Raw string literals — including the u8R / uR / UR / LR prefixed
+ * forms — collapse to one content-free Literal token attributed to the
+ * line the literal starts on; digit separators (0x1'000) stay inside a
+ * single Number token.
  */
 
 #ifndef TELEGRAPHOS_TOOLS_TGLINT_LEXER_HPP
@@ -44,6 +52,14 @@ struct LexResult
 
     /** line -> set of rule slugs suppressed on that line ("*" = all). */
     std::map<int, std::set<std::string>> allows;
+
+    /**
+     * line -> shard-safety triage annotation covering that line:
+     * "local" (state is per-shard by design) or "shared-guarded"
+     * (deliberately shared; mutation confined to single-threaded phases
+     * or an explicit guard documented at the site).
+     */
+    std::map<int, std::string> shards;
 
     /** True when the file opens with a doc comment containing "@file". */
     bool hasFileDoc = false;

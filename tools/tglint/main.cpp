@@ -3,30 +3,72 @@
  * tglint command-line driver.
  *
  * Usage:
- *   tglint [--json] [--disable <rule>]... [--list-rules] <path>...
+ *   tglint [--json] [--sarif=<path>] [--baseline=<file>]
+ *          [--disable <rule>]... [--list-rules] <path>...
  *
  * Paths may be files or directories (recursed for *.cpp / *.hpp / *.h).
- * Exit status: 0 clean, 1 findings reported, 2 usage or I/O error.
+ * The CLI (not the library) applies the project scan policy: the rule
+ * fixture corpus under tests/tools/fixtures is skipped entirely, and
+ * file-doc is relaxed for files under tests/.
+ *
+ * Exit status: 0 clean (all findings baselined), 1 new findings,
+ * 2 usage or I/O error.
  */
 
-#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "index.hpp"
 #include "tglint.hpp"
+
+namespace {
+
+/** Parse "--flag=value"; returns true and sets @p value on match. */
+bool
+flagValue(const std::string &arg, const char *flag, std::string &value)
+{
+    const std::string prefix = std::string(flag) + "=";
+    if (arg.compare(0, prefix.size(), prefix) != 0)
+        return false;
+    value = arg.substr(prefix.size());
+    return true;
+}
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: tglint [--json] [--sarif=<path>] [--baseline=<file>]\n"
+          "              [--disable <rule>]... [--list-rules] <path>...\n";
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     bool json = false;
+    std::string sarifPath;
+    std::string baselinePath;
     tglint::Options opts;
+    // Project scan policy: fixture corpora violate rules on purpose and
+    // are skipped; tests keep every determinism rule but not file-doc.
+    opts.skipSubstrings.push_back("tests/tools/fixtures");
+    opts.relaxedPathSubstrings.push_back("tests/");
+    opts.relaxedRules.push_back("file-doc");
+
     std::vector<std::string> paths;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        std::string value;
         if (arg == "--json") {
             json = true;
+        } else if (flagValue(arg, "--sarif", value)) {
+            sarifPath = value;
+        } else if (flagValue(arg, "--baseline", value)) {
+            baselinePath = value;
         } else if (arg == "--list-rules") {
             for (const std::string &r : tglint::allRules())
                 std::cout << r << "\n";
@@ -38,8 +80,7 @@ main(int argc, char **argv)
             }
             opts.disabledRules.push_back(argv[++i]);
         } else if (arg == "--help" || arg == "-h") {
-            std::cout << "usage: tglint [--json] [--disable <rule>]... "
-                         "[--list-rules] <path>...\n";
+            usage(std::cout);
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "tglint: unknown option '" << arg << "'\n";
@@ -49,24 +90,49 @@ main(int argc, char **argv)
         }
     }
     if (paths.empty()) {
-        std::cerr << "usage: tglint [--json] [--disable <rule>]... "
-                     "[--list-rules] <path>...\n";
+        usage(std::cerr);
         return 2;
     }
 
-    std::vector<tglint::Finding> findings;
+    tglint::Baseline baseline;
+    if (!baselinePath.empty()) {
+        std::string err;
+        if (!tglint::loadBaseline(baselinePath, baseline, err)) {
+            std::cerr << "tglint: " << err << "\n";
+            return 2;
+        }
+    }
+
+    tglint::ProjectIndex index;
     bool ok = true;
     for (const std::string &p : paths)
-        ok = tglint::lintPath(p, opts, findings) && ok;
+        ok = index.addPath(p, opts) && ok;
+    index.finalize();
+
+    std::vector<tglint::Finding> findings;
+    std::vector<tglint::ShardAnnotation> annotations;
+    tglint::runRules(index, opts, findings, &annotations);
+
+    tglint::Report report = tglint::applyBaseline(findings, baseline);
+    report.shardAnnotations = annotations;
+
+    if (!sarifPath.empty()) {
+        std::ofstream sarif(sarifPath, std::ios::binary);
+        if (!sarif) {
+            std::cerr << "tglint: cannot write '" << sarifPath << "'\n";
+            return 2;
+        }
+        tglint::printSarif(report, sarif);
+    }
 
     if (json)
-        tglint::printJson(findings, std::cout);
+        tglint::printJson(report, std::cout);
     else
-        tglint::printHuman(findings, std::cout);
+        tglint::printHuman(report, std::cout);
 
     if (!ok) {
         std::cerr << "tglint: some paths could not be read\n";
         return 2;
     }
-    return findings.empty() ? 0 : 1;
+    return report.fresh.empty() ? 0 : 1;
 }

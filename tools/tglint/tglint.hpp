@@ -1,22 +1,46 @@
 /**
  * @file
- * tglint: the Telegraphos determinism & invariant linter.
+ * tglint: the Telegraphos determinism & shard-safety analyzer.
  *
- * A standalone token-level static-analysis tool (no libclang) that walks
- * C++ sources and rejects the hazard classes that silently break the
- * simulator's bit-for-bit determinism contract (DESIGN.md section 7):
+ * A standalone two-pass static-analysis tool (no libclang) for the
+ * hazard classes that silently break the simulator's bit-for-bit
+ * determinism contract and — ahead of the sharded PDES engine — its
+ * cross-shard safety (DESIGN.md section 7).  Pass 1 builds a
+ * project-wide index over every source handed to it (token streams,
+ * declared scopes, mutable globals, include edges); pass 2 runs the
+ * rule families against the index:
  *
- *   banned-api      std::rand / time() / wall-clock chrono / getenv etc.
- *   unordered-iter  iteration over std::unordered_{map,set} in the
- *                   order-sensitive namespaces (net, hib, coherence, sim)
- *   tick-float      floating-point arithmetic feeding a Tick value
- *   raw-new         raw new / delete outside allocator shims
- *   file-doc        missing leading "@file" documentation header
+ *   banned-api           std::rand / time() / wall-clock chrono / getenv
+ *   unordered-iter       iteration over std::unordered_* in the
+ *                        order-sensitive namespaces (net, hib,
+ *                        coherence, sim)
+ *   tick-float           floating-point arithmetic feeding a Tick
+ *   raw-new              raw new / delete outside allocator shims
+ *   file-doc             missing leading "@file" documentation header
+ *   hot-path-std-function  std::function on scheduling hot paths
+ *   global-mutable-state   non-const namespace-scope / static-local /
+ *                        static-member state in the shard namespaces
+ *                        (sim, net, hib, node, coherence) — a
+ *                        cross-shard race once the engine is sharded
+ *   pointer-keyed-order  ordered containers keyed by pointers, or
+ *                        sorting pointer vectors by address — iteration
+ *                        order then depends on allocation addresses
+ *   include-cycle        cyclic quoted-include edges
  *
- * Any finding can be suppressed with a justification comment on the same
- * line or the line immediately above:
+ * Any finding can be suppressed with a justification comment on the
+ * same line or the line immediately above:
  *
  *     // tglint: allow(tick-float)  rounding contract documented here
+ *
+ * global-mutable-state additionally understands a triage annotation
+ * that the analyzer records and reports (JSON "shardAnnotations"):
+ *
+ *     // tglint: shard(local)           per-shard / thread_local by design
+ *     // tglint: shard(shared-guarded)  shared; mutation single-threaded
+ *
+ * A committed baseline (tools/tglint/baseline.json) ratchets findings:
+ * pre-existing triaged entries pass, new findings fail.  --sarif emits
+ * a SARIF 2.1.0 report for CI annotation.
  */
 
 #ifndef TELEGRAPHOS_TOOLS_TGLINT_HPP
@@ -29,6 +53,8 @@
 
 namespace tglint {
 
+class ProjectIndex;
+
 /** One lint violation. */
 struct Finding
 {
@@ -36,6 +62,15 @@ struct Finding
     int line = 0;        ///< 1-based line number
     std::string rule;    ///< rule slug ("banned-api", ...)
     std::string message; ///< human-readable explanation
+};
+
+/** One recorded "tglint: shard(...)" triage annotation. */
+struct ShardAnnotation
+{
+    std::string file;   ///< path as given to the scanner
+    int line = 0;       ///< 1-based line of the annotated declaration
+    std::string symbol; ///< the annotated variable
+    std::string kind;   ///< "local" or "shared-guarded"
 };
 
 /** Scanner configuration. */
@@ -49,14 +84,73 @@ struct Options
 
     /** Paths exempt from the raw-new rule (allocator shims). */
     std::string allocatorExemptSubstring = "/alloc";
+
+    /** Files skipped entirely (rule-fixture corpora violate rules on
+     *  purpose).  Substring match; empty by default for library users —
+     *  the CLI adds "tests/tools/fixtures". */
+    std::vector<std::string> skipSubstrings;
+
+    /** Paths linted with a relaxed rule set: any rule in relaxedRules
+     *  is off for files whose path contains one of these substrings. */
+    std::vector<std::string> relaxedPathSubstrings;
+
+    /** Rules disabled on the relaxed paths (CLI default: file-doc off
+     *  under tests/). */
+    std::vector<std::string> relaxedRules;
+};
+
+/** One triaged baseline entry: up to @p count findings of @p rule in
+ *  @p file are pre-existing and pass the ratchet. */
+struct BaselineEntry
+{
+    std::string file; ///< repo-relative path (suffix-matched)
+    std::string rule; ///< rule slug
+    int count = 0;    ///< triaged finding count
+};
+
+/** A parsed baseline file. */
+struct Baseline
+{
+    std::vector<BaselineEntry> entries;
+};
+
+/** The analyzer's result after baseline application. */
+struct Report
+{
+    std::vector<Finding> fresh;       ///< NEW findings (fail the build)
+    std::vector<Finding> baselined;   ///< matched a baseline entry
+    std::vector<BaselineEntry> stale; ///< baseline capacity never used
+    std::vector<ShardAnnotation> shardAnnotations; ///< triage registry
 };
 
 /** All rule slugs tglint knows, in reporting order. */
 const std::vector<std::string> &allRules();
 
+/** One-line description of @p rule (empty for unknown slugs). */
+std::string ruleDescription(const std::string &rule);
+
+// ---------------------------------------------------------------------
+// Pass 2: rule families over a finished index
+// ---------------------------------------------------------------------
+
+/**
+ * Run every rule family against @p index.  Findings are appended to
+ * @p out sorted by (file, line, rule); shard annotations that
+ * suppressed a global-mutable-state finding are appended to
+ * @p annotations when non-null.
+ */
+void runRules(const ProjectIndex &index, const Options &opts,
+              std::vector<Finding> &out,
+              std::vector<ShardAnnotation> *annotations = nullptr);
+
+// ---------------------------------------------------------------------
+// Single-file convenience API (unit tests, editor integration)
+// ---------------------------------------------------------------------
+
 /**
  * Lint one in-memory source.  @p path is used for reporting and for the
- * path-scoped exemptions; findings are appended to @p out.
+ * path-scoped exemptions; findings are appended to @p out.  Cross-file
+ * rules (include-cycle) see only this file.
  */
 void lintSource(const std::string &path, const std::string &source,
                 const Options &opts, std::vector<Finding> &out);
@@ -68,11 +162,47 @@ void lintSource(const std::string &path, const std::string &source,
 bool lintPath(const std::string &path, const Options &opts,
               std::vector<Finding> &out);
 
+// ---------------------------------------------------------------------
+// Baseline ratchet
+// ---------------------------------------------------------------------
+
+/**
+ * Parse a baseline JSON document ({"schema":"tglint-baseline-v1",
+ * "entries":[{"file":...,"rule":...,"count":N},...]}).
+ * @return false and sets @p err on parse failure.
+ */
+bool loadBaseline(const std::string &path, Baseline &out, std::string &err);
+
+/**
+ * Split @p findings into fresh vs baselined.  A finding matches a
+ * baseline entry when the rules are equal and the entry's file equals
+ * the finding's path or is a path suffix of it ("src/sim/log.cpp"
+ * matches "/repo/src/sim/log.cpp"); each entry absorbs at most
+ * `count` findings.  Entries with unused capacity are reported stale.
+ */
+Report applyBaseline(const std::vector<Finding> &findings,
+                     const Baseline &baseline);
+
+// ---------------------------------------------------------------------
+// Output
+// ---------------------------------------------------------------------
+
 /** Render findings as human-readable "file:line: [rule] message" lines. */
 void printHuman(const std::vector<Finding> &findings, std::ostream &os);
 
 /** Render findings as a JSON document {"count":N,"findings":[...]}. */
 void printJson(const std::vector<Finding> &findings, std::ostream &os);
+
+/** Render a full report (fresh + baselined + stale + annotations). */
+void printHuman(const Report &report, std::ostream &os);
+
+/** JSON document with counts, fresh findings, stale entries and the
+ *  shard-annotation registry. */
+void printJson(const Report &report, std::ostream &os);
+
+/** SARIF 2.1.0 document; baselined findings carry baselineState
+ *  "unchanged", fresh ones "new". */
+void printSarif(const Report &report, std::ostream &os);
 
 } // namespace tglint
 
