@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Sharded packet-level fabric simulation (see fabric_sim.hpp).
+ *
+ * Event structure: each node runs an intra-LP injection chain on its
+ * switch's LP; a packet hop across a trunk is one ShardedEngine::send
+ * (the only inter-LP edge, which is what the lookahead bounds); local
+ * delivery at the destination switch happens inline in the arrival
+ * handler.  Egress contention is modelled without extra events: each
+ * output port keeps a busy-horizon tick, a packet departs at
+ * max(arrival + switchLatency, horizon) + serTicks, and the packet is
+ * dropped when the horizon is more than switchQueuePackets
+ * serializations ahead (the shared-buffer share overflowed).
+ */
+
+#include "net/fabric_sim.hpp"
+
+#include <cmath>
+
+#include "sim/log.hpp"
+
+namespace tg::net {
+
+namespace {
+
+/** Serialization ticks of one packet on a ribbon-cable link. */
+Tick
+serializationTicks(const Config &cfg, const FabricWorkload &wl)
+{
+    const double bytes = double(wl.payloadBytes + cfg.packetHeaderBytes);
+    // tglint: allow(tick-float) fixed per-run conversion, not tick math
+    const Tick t = Tick(std::ceil(bytes / cfg.linkBytesPerTick));
+    return t == 0 ? 1 : t;
+}
+
+/** Conservative lookahead: minimum latency of any trunk hop. */
+Tick
+trunkLookahead(const Config &cfg, const FabricWorkload &wl)
+{
+    return serializationTicks(cfg, wl) + cfg.switchLatency + cfg.linkDelay;
+}
+
+/** Per-node deterministic stream: pure function of (seed, node). */
+std::uint64_t
+nodeSeed(std::uint64_t seed, std::size_t node)
+{
+    return seed ^ (0x9E3779B97F4A7C15ULL * (node + 1));
+}
+
+// Per-LP trace-record tags (mixed before each record's fields).
+constexpr std::uint64_t kTagInject = 0xA1;
+constexpr std::uint64_t kTagDeliver = 0xA2;
+constexpr std::uint64_t kTagDrop = 0xA3;
+
+} // namespace
+
+FabricSim::FabricSim(const TopologySpec &spec, const Config &cfg,
+                     const FabricWorkload &wl, std::uint32_t threads)
+    : _spec(spec), _cfg(cfg), _wl(wl),
+      _serTicks(serializationTicks(cfg, wl)),
+      _engine(ShardPlan::contiguous(spec.numSwitches(), cfg.shards),
+              ShardedEngine::Options{trunkLookahead(cfg, wl), threads})
+{
+    if (auto ok = _spec.validate(); !ok)
+        fatal("FabricSim: invalid topology: %s", ok.error().message.c_str());
+    if (_wl.injectGap == 0)
+        fatal("FabricSim: injectGap must be >= 1");
+    if (_spec.nodes < 2)
+        fatal("FabricSim: need at least 2 nodes");
+
+    const std::size_t nsw = _spec.numSwitches();
+    _portNeighbor.resize(nsw);
+    _portBusy.resize(nsw);
+    for (std::size_t sw = 0; sw < nsw; ++sw) {
+        _portNeighbor[sw].assign(_spec.portsOf(sw), -1);
+        _portBusy[sw].assign(_spec.portsOf(sw), 0);
+    }
+    for (const TopologyModel::Trunk &tr : _spec.model().trunks(_spec)) {
+        _portNeighbor[tr.swA][tr.portA] = std::int32_t(tr.swB);
+        _portNeighbor[tr.swB][tr.portB] = std::int32_t(tr.swA);
+    }
+
+    _nodeRng.reserve(_spec.nodes);
+    for (std::size_t n = 0; n < _spec.nodes; ++n)
+        _nodeRng.emplace_back(nodeSeed(_cfg.seed, n));
+    _nodeSent.assign(_spec.nodes, 0);
+}
+
+NodeId
+FabricSim::pickDst(NodeId node)
+{
+    const std::size_t n = _spec.nodes;
+    switch (_wl.kind) {
+    case FabricWorkload::Kind::Transpose: {
+        const std::size_t d = (node + n / 2) % n;
+        return NodeId(d == node ? (node + 1) % n : d);
+    }
+    case FabricWorkload::Kind::Hotspot:
+        if (_wl.hotNode != node && _nodeRng[node].chance(_wl.hotFraction))
+            return NodeId(_wl.hotNode);
+        [[fallthrough]];
+    case FabricWorkload::Kind::Uniform:
+    default: {
+        std::size_t d = std::size_t(_nodeRng[node].below(n - 1));
+        if (d >= node)
+            ++d;
+        return NodeId(d);
+    }
+    }
+}
+
+Tick
+FabricSim::nextGap(NodeId node)
+{
+    return 1 + Tick(_nodeRng[node].below(2 * _wl.injectGap));
+}
+
+void
+FabricSim::arrive(std::size_t sw, Packet p, Tick t)
+{
+    if (_spec.switchOf(p.dst) == sw) {
+        audit::TraceHash &h = _engine.lpTrace(LpId(sw));
+        h.mix(kTagDeliver);
+        h.mix(std::uint64_t(p.src) << 32 | p.dst);
+        h.mix(p.id);
+        h.mix(t);
+        // Raw field increment: conservation holds only across the whole
+        // fabric (this LP never injected the packet), so the audited
+        // transition helpers apply to the merged ledger, not per-LP ones.
+        ++_engine.lpLedger(LpId(sw)).delivered;
+        return;
+    }
+
+    const std::size_t port = _spec.model().routePort(_spec, sw, p.src, p.dst);
+    TG_AUDIT(port < _portNeighbor[sw].size() &&
+                 _portNeighbor[sw][port] >= 0,
+             "fabric route leads to a non-trunk port: sw=%zu port=%zu",
+             sw, port);
+    const std::size_t nsw = std::size_t(_portNeighbor[sw][port]);
+
+    const Tick ready = t + _cfg.switchLatency;
+    Tick &busy = _portBusy[sw][port];
+    if (busy > ready + _serTicks * _cfg.switchQueuePackets) {
+        audit::TraceHash &h = _engine.lpTrace(LpId(sw));
+        h.mix(kTagDrop);
+        h.mix(std::uint64_t(p.src) << 32 | p.dst);
+        h.mix(p.id);
+        ++_engine.lpLedger(LpId(sw)).dropped;
+        return;
+    }
+    const Tick depart = (busy > ready ? busy : ready) + _serTicks;
+    busy = depart;
+    const Tick at = depart + _cfg.linkDelay;
+    _engine.send(LpId(sw), LpId(nsw), at,
+                 Event([this, nsw, p, at] { arrive(nsw, p, at); }));
+}
+
+void
+FabricSim::injectNext(NodeId node, Tick t)
+{
+    const std::size_t sw = _spec.switchOf(node);
+    Packet p{node, pickDst(node), _nodeSent[node]++};
+
+    audit::TraceHash &h = _engine.lpTrace(LpId(sw));
+    h.mix(kTagInject);
+    h.mix(std::uint64_t(p.src) << 32 | p.dst);
+    h.mix(p.id);
+    h.mix(t);
+    ++_engine.lpLedger(LpId(sw)).injected;
+
+    if (_nodeSent[node] < _wl.packetsPerNode) {
+        const Tick nt = t + nextGap(node);
+        _engine.schedule(LpId(sw), nt,
+                         Event([this, node, nt] { injectNext(node, nt); }));
+    }
+    arrive(sw, p, t);
+}
+
+std::uint64_t
+FabricSim::run()
+{
+    if (_wl.packetsPerNode > 0) {
+        for (std::size_t n = 0; n < _spec.nodes; ++n) {
+            const NodeId node = NodeId(n);
+            const Tick t0 = nextGap(node);
+            _engine.schedule(LpId(_spec.switchOf(n)), t0,
+                             Event([this, node, t0] { injectNext(node, t0); }));
+        }
+    }
+    return _engine.run();
+}
+
+} // namespace tg::net

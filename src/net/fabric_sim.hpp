@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Packet-level fabric simulation on the sharded PDES engine.
+ *
+ * FabricSim drives a TopologyModel fabric (torus2d / torus3d / fat-tree /
+ * ring / ...) at packet granularity on tg::ShardedEngine: one logical
+ * process per switch (the switch plus its attached nodes), trunk cables
+ * as the inter-LP channels, and the fixed trunk-hop latency
+ * (serialization + switch cut-through + wire delay) as the conservative
+ * lookahead.  This is the scale path of ROADMAP item 1: the full Cluster
+ * model (coherence directory, coroutine CPUs) stays sequential, while
+ * the fabric experiments that need thousands of nodes run sharded.
+ *
+ * Determinism: every stochastic decision draws from a per-node Rng that
+ * is a pure function of (Config::seed, node); per-LP trace hashes mix
+ * packet injection / drop / delivery records and merge canonically, so
+ * the run digest is byte-identical at any shard or thread count
+ * (DESIGN.md section 13).
+ */
+
+#ifndef TELEGRAPHOS_NET_FABRIC_SIM_HPP
+#define TELEGRAPHOS_NET_FABRIC_SIM_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/config.hpp"
+#include "sim/random.hpp"
+#include "sim/sharded_engine.hpp"
+
+namespace tg::net {
+
+/** Synthetic traffic pattern for a sharded fabric run. */
+struct FabricWorkload
+{
+    enum class Kind
+    {
+        Uniform,   ///< independent uniform-random destinations
+        Hotspot,   ///< uniform with a hot-node bias (congestion study)
+        Transpose, ///< fixed permutation dst = (src + N/2) mod N
+    };
+
+    Kind kind = Kind::Uniform;
+    /** Packets each node injects over the run. */
+    std::uint32_t packetsPerNode = 64;
+    /** Mean inter-injection gap per node, in ticks (>= 1). */
+    Tick injectGap = 1000;
+    /** Hotspot: fraction of traffic aimed at hotNode. */
+    double hotFraction = 0.25;
+    /** Hotspot: the congested destination. */
+    std::uint16_t hotNode = 0;
+    /** Packet payload size in bytes (plus Config::packetHeaderBytes). */
+    std::uint32_t payloadBytes = 24;
+};
+
+/**
+ * One sharded packet-level fabric run.
+ *
+ * Usage: construct (validates the spec), run() once, then read the
+ * merged results.  Shard count comes from Config::shards; worker
+ * threads default to min(shards, hardware).
+ */
+class FabricSim
+{
+  public:
+    /**
+     * @param threads worker threads (0 = min(shards, hardware)).  The
+     * results are invariant under this knob by construction; the shard
+     * determinism suite asserts it.
+     */
+    FabricSim(const TopologySpec &spec, const Config &cfg,
+              const FabricWorkload &wl, std::uint32_t threads = 0);
+
+    /** Drive the workload to quiescence.  @return events executed. */
+    std::uint64_t run();
+
+    // ------------------------------------------------------------------
+    // Merged, shard-count-invariant results (valid after run())
+    // ------------------------------------------------------------------
+
+    /** Canonical per-LP trace-hash merge (DESIGN.md section 13.3). */
+    std::uint64_t traceHash() const { return _engine.mergedTraceHash(); }
+
+    std::uint64_t injected() const { return _engine.mergedLedger().injected; }
+    std::uint64_t delivered() const { return _engine.mergedLedger().delivered; }
+    std::uint64_t dropped() const { return _engine.mergedLedger().dropped; }
+
+    /** True when every injected packet was delivered or dropped. */
+    bool auditQuiescent() const
+    {
+        return _engine.mergedLedger().quiescent();
+    }
+
+    std::uint64_t eventsExecuted() const { return _engine.executed(); }
+    std::uint64_t epochs() const { return _engine.epochs(); }
+    std::uint32_t shards() const { return _engine.shards(); }
+    std::uint32_t threadsUsed() const { return _engine.threadsUsed(); }
+    Tick lookaheadTicks() const { return _engine.epochTicks(); }
+
+    /** Parallel-makespan seconds (see ShardedEngine::criticalPathSeconds). */
+    double criticalPathSeconds() const
+    {
+        return _engine.criticalPathSeconds();
+    }
+
+    /** Total busy seconds summed over all shard slices. */
+    double busySeconds() const { return _engine.busySeconds(); }
+
+  private:
+    /** In-flight packet (fits the tg::Fn inline buffer with room over). */
+    struct Packet
+    {
+        NodeId src;
+        NodeId dst;
+        std::uint32_t id; ///< per-source injection index
+    };
+
+    NodeId pickDst(NodeId node);
+    Tick nextGap(NodeId node);
+    void injectNext(NodeId node, Tick t);
+    void arrive(std::size_t sw, Packet p, Tick t);
+
+    TopologySpec _spec;
+    Config _cfg;
+    FabricWorkload _wl;
+    Tick _serTicks;
+
+    ShardedEngine _engine;
+
+    std::vector<std::vector<std::int32_t>> _portNeighbor; ///< per switch/port, -1 = node port
+    std::vector<std::vector<Tick>> _portBusy; ///< per switch/port egress horizon
+    std::vector<Rng> _nodeRng;
+    std::vector<std::uint32_t> _nodeSent;
+};
+
+} // namespace tg::net
+
+#endif // TELEGRAPHOS_NET_FABRIC_SIM_HPP

@@ -265,6 +265,12 @@ struct Config
     /** Seed for all stochastic workload decisions. */
     std::uint64_t seed = 1;
 
+    /** Shards for the parallel fabric engine (net::FabricSim; DESIGN.md
+     *  section 13).  Results are shard-count invariant by contract; >1
+     *  only changes how the simulation is executed.  The full Cluster
+     *  model runs sequentially regardless. */
+    std::uint32_t shards = 1;
+
     /** Record packet-lifecycle spans in the System's Tracer (DESIGN.md
      *  section 8).  Off by default: the disabled tracer adds a single
      *  predicted branch and no allocation to the packet fast path. */

@@ -3,11 +3,12 @@
  * Minimal deterministic glob matching for component-name patterns.
  *
  * Fault specifications target links by name (e.g. "*.trunk3to4"); the
- * only metacharacter is '*' (any run of characters, including empty).
- * The matcher is iterative with single-star backtracking — linear in
- * practice, no recursion, no allocation — and the validity check
- * rejects patterns that cannot name a component (whitespace, control
- * characters, unsupported metacharacters, redundant "**").
+ * metacharacters are '*' (any run of characters, including empty) and
+ * '?' (exactly one character).  The matcher is iterative with
+ * single-star backtracking — linear in practice, no recursion, no
+ * allocation — and the validity check rejects patterns that cannot name
+ * a component (whitespace, control characters, unsupported
+ * metacharacters, redundant "**").
  */
 
 #ifndef TELEGRAPHOS_SIM_GLOB_HPP
@@ -17,7 +18,8 @@
 
 namespace tg {
 
-/** True when @p name matches @p pattern ('*' = any substring). */
+/** True when @p name matches @p pattern ('*' = any substring,
+ *  '?' = exactly one character). */
 inline bool
 globMatch(const std::string &pattern, const std::string &name)
 {
@@ -25,13 +27,16 @@ globMatch(const std::string &pattern, const std::string &name)
     std::size_t star = std::string::npos; // position of last '*' seen
     std::size_t mark = 0;                 // name position that star ate to
     while (n < name.size()) {
-        if (p < pattern.size() &&
-            (pattern[p] == name[n])) {
-            ++p;
-            ++n;
-        } else if (p < pattern.size() && pattern[p] == '*') {
+        // The wildcard test must come first: a '*' in the pattern is a
+        // metacharacter even when the name holds a literal '*' at the
+        // same position ("a*c" has to match "a*bc").
+        if (p < pattern.size() && pattern[p] == '*') {
             star = p++;
             mark = n;
+        } else if (p < pattern.size() &&
+                   (pattern[p] == '?' || pattern[p] == name[n])) {
+            ++p;
+            ++n;
         } else if (star != std::string::npos) {
             p = star + 1;
             n = ++mark;
@@ -39,6 +44,8 @@ globMatch(const std::string &pattern, const std::string &name)
             return false;
         }
     }
+    // Only trailing '*'s may remain: they match the empty tail.  A
+    // trailing '?' still demands a character the name no longer has.
     while (p < pattern.size() && pattern[p] == '*')
         ++p;
     return p == pattern.size();
@@ -46,8 +53,10 @@ globMatch(const std::string &pattern, const std::string &name)
 
 /**
  * True when @p pattern is a well-formed component-name glob: non-empty,
- * printable non-space characters only, '*' the sole metacharacter
- * (no '?' / '[' / ']'), and no redundant "**" runs.
+ * printable non-space characters only, '*' and '?' the only
+ * metacharacters (no '[' / ']'), and no redundant "**" runs
+ * (globMatch handles them — as "*" — but in a component-name pattern
+ * they are always a typo).
  */
 inline bool
 globValid(const std::string &pattern)
@@ -58,7 +67,7 @@ globValid(const std::string &pattern)
     for (char c : pattern) {
         if (c == '*' && prev == '*')
             return false; // "**" is always a typo for "*"
-        if (c == '?' || c == '[' || c == ']')
+        if (c == '[' || c == ']')
             return false; // unsupported metacharacters
         if (c <= ' ' || c > '~')
             return false; // whitespace / control / non-ASCII

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Barrier-epoch PDES engine implementation (DESIGN.md section 13).
+ *
+ * Epoch protocol (three barrier-separated phases):
+ *
+ *   A. execute — every worker runs its shards' queues through the
+ *      epoch window [base, base+L); inter-LP sends append to the
+ *      sender shard's staging row (single writer, no reader).
+ *   B. drain   — every worker gathers the staged messages destined to
+ *      its shards from all rows, sorts them into canonical
+ *      (dstLp, srcLp, srcIdx) order and schedules them, which assigns
+ *      destination-queue sequence numbers deterministically.
+ *   C. settle  — workers clear their own rows (all readers finished at
+ *      the phase-B barrier); worker 0 additionally decides the next
+ *      epoch base (skipping empty epochs on the fixed grid), checks
+ *      termination and accumulates the makespan statistics.
+ *
+ * Every phase transition is a full barrier, so each piece of state has
+ * exactly one writer per phase and cross-phase visibility is given by
+ * the barrier's happens-before — the hot path takes no locks.
+ */
+
+#include "sim/sharded_engine.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <chrono>
+#include <thread>
+
+namespace tg {
+
+namespace {
+
+/** Engine + shard the current worker thread is executing (lookahead
+ *  and ownership audits); null/npos outside run(). */
+thread_local const ShardedEngine *tlsEngine = nullptr;
+thread_local std::uint32_t tlsShard = ~std::uint32_t(0);
+
+/** Wall-clock nanoseconds for the engine's self-measurement.  This is
+ *  the simulator measuring itself (like the benches do); the value
+ *  never feeds simulated state, so determinism is unaffected. */
+std::uint64_t
+wallNs()
+{
+    // tglint: allow(banned-api)
+    return std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() // tglint: allow(banned-api)
+                                 .time_since_epoch())
+                             .count());
+}
+
+} // namespace
+
+ShardPlan
+ShardPlan::contiguous(std::size_t nLps, std::uint32_t nShards)
+{
+    ShardPlan p;
+    if (nLps == 0) {
+        p.shards = 1;
+        return p;
+    }
+    if (nShards == 0)
+        nShards = 1;
+    p.shards = std::uint32_t(std::min<std::size_t>(nShards, nLps));
+    p.lpShard.resize(nLps);
+    for (std::size_t lp = 0; lp < nLps; ++lp)
+        p.lpShard[lp] = std::uint32_t(lp * p.shards / nLps);
+    return p;
+}
+
+/** Barrier pimpl: a std::barrier when parallel, a no-op when the run
+ *  is single-threaded (shards multiplexed on the calling thread). */
+struct ShardedEngine::Barrier
+{
+    explicit Barrier(std::uint32_t n) : count(n), bar(n) {}
+
+    void
+    arrive()
+    {
+        if (count > 1)
+            bar.arrive_and_wait();
+    }
+
+    std::uint32_t count;
+    std::barrier<> bar;
+};
+
+ShardedEngine::ShardedEngine(ShardPlan plan, Options opt)
+    : _plan(std::move(plan)), _epochTicks(opt.epochTicks)
+{
+    if (_plan.shards == 0 || _epochTicks == 0)
+        panic("ShardedEngine: shards and epochTicks must be >= 1");
+    for (std::uint32_t s : _plan.lpShard) {
+        if (s >= _plan.shards)
+            panic("ShardedEngine: lpShard entry %u out of range (%u shards)",
+                  unsigned(s), unsigned(_plan.shards));
+    }
+
+    std::uint32_t hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    _threads = opt.threads == 0 ? std::min(_plan.shards, hw)
+                                : std::min(opt.threads, _plan.shards);
+
+    _queues.reserve(_plan.shards);
+    for (std::uint32_t s = 0; s < _plan.shards; ++s)
+        _queues.push_back(std::make_unique<EventQueue>());
+    _staging.resize(_plan.shards);
+    _drainBuf.resize(_plan.shards);
+    _sliceNs.assign(_plan.shards, 0);
+    _lpTrace.resize(_plan.lps());
+    _lpLedger.resize(_plan.lps());
+    _lpSendIdx.assign(_plan.lps(), 0);
+}
+
+ShardedEngine::~ShardedEngine() = default;
+
+void
+ShardedEngine::schedule(LpId lp, Tick when, Event cb)
+{
+    TG_AUDIT(lp < _plan.lps(), "schedule: LP %u out of range", unsigned(lp));
+    const std::uint32_t shard = _plan.lpShard[lp];
+    TG_AUDIT(tlsEngine != this || tlsShard == shard,
+             "schedule: LP %u (shard %u) scheduled from shard %u; "
+             "inter-LP events must use send()",
+             unsigned(lp), unsigned(shard), unsigned(tlsShard));
+    _queues[shard]->scheduleAbs(when, std::move(cb));
+}
+
+void
+ShardedEngine::send(LpId src, LpId dst, Tick when, Event cb)
+{
+    TG_AUDIT(src < _plan.lps() && dst < _plan.lps(),
+             "send: LP out of range (%u -> %u)", unsigned(src),
+             unsigned(dst));
+    TG_AUDIT(tlsEngine == this && tlsShard == _plan.lpShard[src],
+             "send: source LP %u not executing on the calling shard",
+             unsigned(src));
+    TG_AUDIT(when >= _epochEnd,
+             "send: lookahead violated: when=%llu < epoch end %llu "
+             "(inter-LP latency below epochTicks=%llu)",
+             (unsigned long long)when, (unsigned long long)_epochEnd,
+             (unsigned long long)_epochTicks);
+    _staging[tlsShard].push_back(
+        CrossMsg{dst, src, _lpSendIdx[src]++, when, std::move(cb)});
+}
+
+void
+ShardedEngine::executePhase(std::uint32_t worker)
+{
+    for (std::uint32_t s = worker; s < _plan.shards; s += _threads) {
+        tlsShard = s;
+        const std::uint64_t t0 = wallNs();
+        _queues[s]->runUntil(_epochEnd - 1);
+        _sliceNs[s] = wallNs() - t0;
+    }
+    tlsShard = ~std::uint32_t(0);
+}
+
+void
+ShardedEngine::drainPhase(std::uint32_t worker)
+{
+    for (std::uint32_t s = worker; s < _plan.shards; s += _threads) {
+        const std::uint64_t t0 = wallNs();
+        std::vector<CrossMsg> &buf = _drainBuf[s];
+        buf.clear();
+        for (std::vector<CrossMsg> &row : _staging) {
+            for (CrossMsg &m : row) {
+                if (_plan.lpShard[m.dst] == s)
+                    buf.push_back(std::move(m));
+            }
+        }
+        std::sort(buf.begin(), buf.end(),
+                  [](const CrossMsg &a, const CrossMsg &b) {
+                      if (a.dst != b.dst)
+                          return a.dst < b.dst;
+                      if (a.src != b.src)
+                          return a.src < b.src;
+                      return a.srcIdx < b.srcIdx;
+                  });
+        for (CrossMsg &m : buf)
+            _queues[s]->scheduleAbs(m.when, std::move(m.cb));
+        buf.clear();
+        _sliceNs[s] += wallNs() - t0;
+    }
+}
+
+void
+ShardedEngine::coordinate()
+{
+    std::uint64_t worst = 0;
+    for (std::uint32_t s = 0; s < _plan.shards; ++s) {
+        worst = std::max(worst, _sliceNs[s]);
+        _busyNs += _sliceNs[s];
+        _sliceNs[s] = 0;
+    }
+    _criticalNs += worst;
+    ++_epochs;
+
+    Tick next = kMaxTick;
+    for (const auto &q : _queues)
+        next = std::min(next, q->nextPending());
+    if (next == kMaxTick || next > _maxTick) {
+        _done = true;
+        return;
+    }
+    // All surviving events satisfy when >= _epochEnd (executed past or
+    // lookahead-staged), so the grid-aligned jump never goes backwards.
+    _base = next - next % _epochTicks;
+    _epochEnd = _base + _epochTicks;
+}
+
+void
+ShardedEngine::arriveBarrier()
+{
+    _barrier->arrive();
+}
+
+void
+ShardedEngine::runWorker(std::uint32_t worker)
+{
+    tlsEngine = this;
+    for (;;) {
+        executePhase(worker);
+        arriveBarrier(); // A -> B: staging rows complete
+        drainPhase(worker);
+        arriveBarrier(); // B -> C: every row fully read
+        for (std::uint32_t s = worker; s < _plan.shards; s += _threads)
+            _staging[s].clear();
+        if (worker == 0)
+            coordinate();
+        arriveBarrier(); // C -> A: next epoch (or done) published
+        if (_done)
+            break;
+    }
+    tlsEngine = nullptr;
+}
+
+std::uint64_t
+ShardedEngine::run(Tick maxTick)
+{
+    if (_ran)
+        return 0;
+    _ran = true;
+    _maxTick = maxTick;
+
+    Tick first = kMaxTick;
+    for (const auto &q : _queues)
+        first = std::min(first, q->nextPending());
+    if (first == kMaxTick || first > maxTick)
+        return 0;
+    _base = first - first % _epochTicks;
+    _epochEnd = _base + _epochTicks;
+
+    _barrier = std::make_unique<Barrier>(_threads);
+    if (_threads == 1) {
+        runWorker(0);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(_threads - 1);
+        for (std::uint32_t w = 1; w < _threads; ++w)
+            pool.emplace_back([this, w] { runWorker(w); });
+        runWorker(0);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    _executed = 0;
+    for (const auto &q : _queues)
+        _executed += q->executed();
+    return _executed;
+}
+
+std::uint64_t
+ShardedEngine::mergedTraceLength() const
+{
+    std::uint64_t n = 0;
+    for (const audit::TraceHash &h : _lpTrace)
+        n += h.mixed();
+    return n;
+}
+
+audit::PacketLedger
+ShardedEngine::mergedLedger() const
+{
+    audit::PacketLedger sum;
+    for (const audit::PacketLedger &l : _lpLedger) {
+        sum.injected += l.injected;
+        sum.delivered += l.delivered;
+        sum.dropped += l.dropped;
+    }
+    return sum;
+}
+
+} // namespace tg

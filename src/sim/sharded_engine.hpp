@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Conservative parallel discrete-event engine (PDES): per-shard event
+ * queues on worker threads, synchronized with a barrier-epoch scheme
+ * (DESIGN.md section 13).
+ *
+ * The simulated machine is partitioned into *logical processes* (LPs) —
+ * for the fabric simulation one LP is one switch plus its attached
+ * nodes — and LPs are mapped onto *shards*, each of which owns a
+ * sequential tg::EventQueue and runs on a worker thread.  Time advances
+ * in fixed epochs of `epochTicks` = the engine's *lookahead*: the
+ * guaranteed minimum latency of any inter-LP channel (for Telegraphos
+ * fabrics, the fixed trunk-hop latency).  Within an epoch every shard
+ * executes independently; events an LP sends to another LP land in
+ * per-shard staging rows and are drained at the epoch barrier in
+ * canonical (dstLp, srcLp, send-index) order.
+ *
+ * Determinism contract (thread-count AND shard-count invariant):
+ *
+ *  - every inter-LP message travels through the staging path, even when
+ *    source and destination LPs share a shard, so an LP's observable
+ *    event stream never depends on the partition;
+ *  - staged messages are assigned destination-queue sequence numbers in
+ *    canonical (dstLp, srcLp, srcIdx) order at the barrier — the
+ *    deterministic cross-shard seq-assignment rule;
+ *  - each LP owns a TraceHash fed only from its own handlers; the
+ *    run-level digest is the canonical merge (audit::mergeTraceHashes)
+ *    in LP-index order, so it is byte-identical at 1, 2, 4 or 8 shards
+ *    and at any worker-thread count.
+ *
+ * Worker threads only touch state they own in the current phase
+ * (queues and staging rows of their shards, per-LP hashes/ledgers of
+ * LPs they host); phase transitions are full barriers, so the engine
+ * contains no locks on the event hot path.
+ */
+
+#ifndef TELEGRAPHOS_SIM_SHARDED_ENGINE_HPP
+#define TELEGRAPHOS_SIM_SHARDED_ENGINE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/event.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/invariant.hpp"
+#include "sim/types.hpp"
+
+namespace tg {
+
+/** Index of a logical process (partition atom) in a sharded run. */
+using LpId = std::uint32_t;
+
+/**
+ * Mapping of LPs onto shards.
+ *
+ * The canonical partitioner is contiguous(): balanced blocks of
+ * consecutive LP indices, so "merge per-shard results in shard order"
+ * and "merge per-LP results in LP order" agree.  Custom maps are
+ * accepted as long as every entry is < shards.
+ */
+struct ShardPlan
+{
+    /** Number of shards (>= 1). */
+    std::uint32_t shards = 1;
+    /** Owning shard of each LP. */
+    std::vector<std::uint32_t> lpShard;
+
+    std::size_t lps() const { return lpShard.size(); }
+
+    /**
+     * Balanced contiguous partition: @p nLps consecutive LP indices in
+     * @p nShards blocks whose sizes differ by at most one.  @p nShards
+     * is clamped to [1, nLps].
+     */
+    static ShardPlan contiguous(std::size_t nLps, std::uint32_t nShards);
+};
+
+/**
+ * The barrier-epoch PDES engine.
+ *
+ * Usage: construct with a plan and the lookahead, pre-schedule initial
+ * intra-LP events with schedule(), then run().  During execution an LP
+ * handler may schedule() further events for its own LP and send()
+ * events to any other LP at `when >=` the current epoch end (the
+ * lookahead guarantee; audited).  run() may be called once.
+ */
+class ShardedEngine
+{
+  public:
+    struct Options
+    {
+        /** Epoch length = conservative lookahead (min inter-LP latency,
+         *  in ticks; > 0). */
+        Tick epochTicks = 1;
+        /** Worker threads; 0 = min(shards, hardware concurrency). */
+        std::uint32_t threads = 0;
+    };
+
+    ShardedEngine(ShardPlan plan, Options opt);
+    ~ShardedEngine();
+    ShardedEngine(const ShardedEngine &) = delete;
+    ShardedEngine &operator=(const ShardedEngine &) = delete;
+
+    std::uint32_t shards() const { return _plan.shards; }
+    std::size_t lps() const { return _plan.lps(); }
+    std::uint32_t threadsUsed() const { return _threads; }
+    Tick epochTicks() const { return _epochTicks; }
+
+    /**
+     * Schedule @p cb at absolute tick @p when on @p lp's shard queue.
+     * Intra-LP only: callable during setup or from a handler of the
+     * same LP (audited); inter-LP communication must use send().
+     */
+    void schedule(LpId lp, Tick when, Event cb);
+
+    /**
+     * Send an event from @p src to @p dst (different LP, possibly the
+     * same shard): staged in the sender's shard row and delivered into
+     * @p dst's queue at the next epoch barrier in canonical order.
+     * @p when must respect the lookahead (>= current epoch end;
+     * audited) — inter-LP channels are what the epoch length models.
+     */
+    void send(LpId src, LpId dst, Tick when, Event cb);
+
+    /** Per-LP trace-hash accumulator (touch only from @p lp's handlers). */
+    audit::TraceHash &lpTrace(LpId lp) { return _lpTrace[lp]; }
+
+    /** Per-LP boundary counters (touch only from @p lp's handlers).
+     *  Conservation holds only fabric-wide — a destination LP delivers
+     *  packets it never injected — so increment the raw fields here and
+     *  leave the audited invariant to mergedLedger(). */
+    audit::PacketLedger &lpLedger(LpId lp) { return _lpLedger[lp]; }
+
+    /** Simulated time of @p lp's shard (its queue clock). */
+    Tick shardNow(LpId lp) const
+    {
+        return _queues[_plan.lpShard[lp]]->now();
+    }
+
+    /**
+     * Run epochs until every queue and staging row drains, or until the
+     * earliest pending event lies beyond @p maxTick.  @return events
+     * executed.  Single-shot: a second call is a no-op.
+     */
+    std::uint64_t run(Tick maxTick = kMaxTick);
+
+    // ------------------------------------------------------------------
+    // Merged, shard-count-invariant results (valid after run())
+    // ------------------------------------------------------------------
+
+    /** Canonical LP-order merge of the per-LP trace hashes. */
+    std::uint64_t mergedTraceHash() const
+    {
+        return audit::mergeTraceHashes(_lpTrace.data(), _lpTrace.size());
+    }
+
+    /** Total words folded into per-LP hashes. */
+    std::uint64_t mergedTraceLength() const;
+
+    /** Sum of the per-LP conservation ledgers. */
+    audit::PacketLedger mergedLedger() const;
+
+    /** Events executed across all shards. */
+    std::uint64_t executed() const { return _executed; }
+
+    /** Epoch barriers crossed. */
+    std::uint64_t epochs() const { return _epochs; }
+
+    // ------------------------------------------------------------------
+    // Self-measurement (wall clock; never feeds simulated state)
+    // ------------------------------------------------------------------
+
+    /**
+     * Parallel-makespan seconds: sum over epochs of the slowest shard's
+     * execute+drain slice.  This is the run time a fully parallel
+     * execution converges to; at one shard it equals busySeconds().
+     * Aggregate events/s = executed() / criticalPathSeconds() is the
+     * scaling metric bench_sim_throughput gates (DESIGN.md section 13.4
+     * explains why the metric is makespan-based, not wall-based).
+     */
+    double criticalPathSeconds() const
+    {
+        return double(_criticalNs) * 1e-9;
+    }
+
+    /** Total busy seconds summed over every shard slice. */
+    double busySeconds() const { return double(_busyNs) * 1e-9; }
+
+  private:
+    /** One staged inter-LP event. */
+    struct CrossMsg
+    {
+        LpId dst;
+        LpId src;
+        std::uint64_t srcIdx; ///< per-source-LP send counter (FIFO key)
+        Tick when;
+        Event cb;
+    };
+
+    void runWorker(std::uint32_t worker);
+    void executePhase(std::uint32_t worker);
+    void drainPhase(std::uint32_t worker);
+    void coordinate();
+    void arriveBarrier();
+
+    ShardPlan _plan;
+    Tick _epochTicks;
+    std::uint32_t _threads;
+
+    std::vector<std::unique_ptr<EventQueue>> _queues; ///< one per shard
+    std::vector<std::vector<CrossMsg>> _staging; ///< one row per shard
+    std::vector<std::vector<CrossMsg>> _drainBuf; ///< one per shard
+    std::vector<audit::TraceHash> _lpTrace;
+    std::vector<audit::PacketLedger> _lpLedger;
+    std::vector<std::uint64_t> _lpSendIdx;
+    std::vector<std::uint64_t> _sliceNs; ///< per-shard, current epoch
+
+    // Epoch state: written by the coordinator between barriers, read by
+    // every worker in the following phase (the barrier orders both).
+    Tick _base = 0;
+    Tick _epochEnd = 0;
+    Tick _maxTick = kMaxTick;
+    bool _done = false;
+    bool _ran = false;
+
+    std::uint64_t _executed = 0;
+    std::uint64_t _epochs = 0;
+    std::uint64_t _criticalNs = 0;
+    std::uint64_t _busyNs = 0;
+
+    struct Barrier; ///< pimpl so <barrier> stays out of the header
+    std::unique_ptr<Barrier> _barrier;
+};
+
+} // namespace tg
+
+#endif // TELEGRAPHOS_SIM_SHARDED_ENGINE_HPP

@@ -48,7 +48,13 @@ Sampler::quantile(double q) const
         std::sort(_samples.begin(), _samples.end());
         _sorted = true;
     }
-    q = std::clamp(q, 0.0, 1.0);
+    // Clamp out-of-range (and NaN) q explicitly: std::clamp(NaN) and the
+    // index arithmetic below are both unsafe outside [0, 1].  The
+    // negated comparison routes NaN to the low extreme.
+    if (!(q > 0.0) || _samples.size() == 1)
+        return _samples.front();
+    if (q >= 1.0)
+        return _samples.back();
     double pos = q * static_cast<double>(_samples.size() - 1);
     std::size_t lo = static_cast<std::size_t>(pos);
     double frac = pos - static_cast<double>(lo);

@@ -44,7 +44,7 @@ FaultSpec::validate() const
                   (unsigned long long)w.from, (unsigned long long)w.until);
         if (!w.target.empty() && !globValid(w.target))
             fatal("fault.downWindows: malformed target pattern '%s' "
-                  "('*' globs over printable names; no '**', '?', '[')",
+                  "('*'/'?' glob over printable names; no '**', '[')",
                   w.target.c_str());
     }
     if (windowPackets == 0)
@@ -76,6 +76,8 @@ Config::validate() const
         fatal("tlbEntries must be >= 1");
     if (hibContexts == 0)
         fatal("hibContexts must be >= 1");
+    if (shards == 0)
+        fatal("shards must be >= 1");
     fault.validate();
 }
 

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Table-driven tests of tg::globMatch / tg::globValid.
+ *
+ * FaultSpec down-window targeting resolves trunk channels by glob
+ * ("*.trunk3to4"), so the matcher's edge cases decide which links a
+ * fault run downs.  The table pins the full contract: literal matches,
+ * '*' runs (including against names that contain literal '*'),
+ * '?' single-character matches (including against end-of-string),
+ * empty pattern vs empty name, trailing '*' and consecutive "**".
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/glob.hpp"
+
+namespace tg {
+namespace {
+
+struct MatchCase
+{
+    const char *pattern;
+    const char *name;
+    bool expect;
+};
+
+TEST(Glob, MatchTable)
+{
+    const MatchCase cases[] = {
+        // Literals.
+        {"abc", "abc", true},
+        {"abc", "abd", false},
+        {"abc", "ab", false},
+        {"abc", "abcd", false},
+
+        // Empty pattern vs empty/non-empty name.
+        {"", "", true},
+        {"", "x", false},
+        {"x", "", false},
+
+        // Single '*' runs.
+        {"*", "", true},
+        {"*", "anything", true},
+        {"a*", "a", true},
+        {"a*", "abc", true},
+        {"*c", "abc", true},
+        {"*c", "c", true},
+        {"a*c", "ac", true},
+        {"a*c", "abc", true},
+        {"a*c", "axxxc", true},
+        {"a*c", "axxxd", false},
+        {"*.trunk3to4", "n0.sw1.trunk3to4", true},
+        {"*.trunk3to4", "n0.sw1.trunk3to40", false},
+
+        // Multiple stars with backtracking.
+        {"*a*b*", "xaxbx", true},
+        {"*a*b*", "xbxax", false},
+        {"*ab*ab*", "abab", true},
+        {"*ab*ab*", "abxab", true},
+        {"*ab*ab*", "abba", false},
+
+        // Trailing '*' matches the empty tail.
+        {"abc*", "abc", true},
+        {"abc*", "abcd", true},
+        {"abc**", "abc", true},
+
+        // Consecutive "**" collapses to "*" in the matcher.
+        {"**", "", true},
+        {"**", "abc", true},
+        {"a**c", "abc", true},
+        {"a**c", "ac", true},
+        {"a**c", "ab", false},
+
+        // A '*' in the *name* is a literal character; the pattern '*'
+        // must still act as a wildcard over it (regression: the literal
+        // branch used to win and eat the metacharacter).
+        {"a*c", "a*bc", true},
+        {"*", "*", true},
+        {"a*b", "a*b", true},
+        {"a?c", "a*c", true},
+
+        // '?' matches exactly one character...
+        {"?", "a", true},
+        {"?", "*", true},
+        {"a?c", "abc", true},
+        {"a?c", "ac", false},
+        {"a?c", "abbc", false},
+        {"??", "ab", true},
+        {"??", "a", false},
+        {"sw?.trunk?to?", "sw4.trunk1to2", true},
+
+        // ...including never matching end-of-string.
+        {"?", "", false},
+        {"a?", "a", false},
+        {"*?", "", false},
+        {"*?", "a", true},
+        {"*?", "abc", true},
+        {"?*", "", false},
+        {"?*", "a", true},
+    };
+
+    for (const MatchCase &c : cases) {
+        EXPECT_EQ(globMatch(c.pattern, c.name), c.expect)
+            << "pattern='" << c.pattern << "' name='" << c.name << "'";
+    }
+}
+
+struct ValidCase
+{
+    const char *pattern;
+    bool expect;
+};
+
+TEST(Glob, ValidityTable)
+{
+    const ValidCase cases[] = {
+        {"abc", true},
+        {"*.trunk3to4", true},
+        {"a*b*c", true},
+        {"sw?.trunk?to?", true}, // '?' is a supported metacharacter
+        {"?", true},
+        {"", false},        // empty pattern can't name a component
+        {"**", false},      // always a typo for "*"
+        {"a**b", false},    //   (even mid-pattern)
+        {"a[0]", false},    // character classes unsupported
+        {"a]b", false},
+        {"a b", false},     // whitespace never appears in names
+        {"a\tb", false},
+        {"\x7f", false},    // control / non-ASCII
+    };
+
+    for (const ValidCase &c : cases) {
+        EXPECT_EQ(globValid(c.pattern), c.expect)
+            << "pattern='" << c.pattern << "'";
+    }
+}
+
+} // namespace
+} // namespace tg

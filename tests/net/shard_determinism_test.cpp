@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Shard-count / thread-count invariance of the sharded fabric simulation.
+ *
+ * The contract (DESIGN.md section 13): a same-seed FabricSim run must
+ * produce byte-identical merged trace hashes, identical delivered /
+ * dropped counts and an audit-quiescent ledger at 1, 2, 4 and 8 shards,
+ * on every fabric and workload, at any worker-thread count.  Suite
+ * names carry "Shard" so the tsan CI preset (filter
+ * Event|Ladder|TraceHash|Shard) runs the threaded legs under
+ * ThreadSanitizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "net/fabric_sim.hpp"
+
+namespace tg::net {
+namespace {
+
+struct FabricCase
+{
+    const char *name;
+    TopologySpec spec;
+};
+
+std::vector<FabricCase>
+fabrics()
+{
+    TopologySpec torus2d;
+    torus2d.kind = TopologyKind::Torus2D;
+    torus2d.torusX = 4;
+    torus2d.torusY = 4;
+    torus2d.nodesPerSwitch = 2;
+    torus2d.nodes = 4 * 4 * 2;
+
+    TopologySpec torus3d;
+    torus3d.kind = TopologyKind::Torus3D;
+    torus3d.torusX = 2;
+    torus3d.torusY = 2;
+    torus3d.torusZ = 2;
+    torus3d.nodesPerSwitch = 2;
+    torus3d.nodes = 2 * 2 * 2 * 2;
+
+    TopologySpec fattree;
+    fattree.kind = TopologyKind::FatTree;
+    fattree.nodesPerSwitch = 4;
+    fattree.spines = 4;
+    fattree.nodes = 32;
+
+    return {{"torus2d", torus2d}, {"torus3d", torus3d},
+            {"fattree", fattree}};
+}
+
+FabricWorkload
+uniformLoad()
+{
+    FabricWorkload wl;
+    wl.kind = FabricWorkload::Kind::Uniform;
+    wl.packetsPerNode = 40;
+    wl.injectGap = 500;
+    return wl;
+}
+
+FabricWorkload
+hotspotLoad()
+{
+    FabricWorkload wl;
+    wl.kind = FabricWorkload::Kind::Hotspot;
+    wl.packetsPerNode = 40;
+    wl.injectGap = 300; // push the hot switch toward its drop threshold
+    wl.hotFraction = 0.6;
+    wl.hotNode = 3;
+    return wl;
+}
+
+struct RunDigest
+{
+    std::uint64_t hash = 0;
+    std::uint64_t injected = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    bool quiescent = false;
+
+    bool
+    operator==(const RunDigest &o) const
+    {
+        return hash == o.hash && injected == o.injected &&
+               delivered == o.delivered && dropped == o.dropped &&
+               quiescent == o.quiescent;
+    }
+};
+
+RunDigest
+runOnce(const TopologySpec &spec, const FabricWorkload &wl,
+        std::uint32_t shards, std::uint64_t seed, std::uint32_t threads = 0)
+{
+    Config cfg;
+    cfg.seed = seed;
+    cfg.shards = shards;
+    FabricSim sim(spec, cfg, wl, threads);
+    EXPECT_GT(sim.run(), 0u);
+    RunDigest d;
+    d.hash = sim.traceHash();
+    d.injected = sim.injected();
+    d.delivered = sim.delivered();
+    d.dropped = sim.dropped();
+    d.quiescent = sim.auditQuiescent();
+    return d;
+}
+
+TEST(ShardDeterminism, HashAndLedgerInvariantAcrossShardCounts)
+{
+    // 3 fabrics x 2 workloads x shards {1,2,4,8}: every digest must
+    // equal the sequential (1-shard) reference.
+    for (const FabricCase &f : fabrics()) {
+        int wi = 0;
+        for (const FabricWorkload &wl : {uniformLoad(), hotspotLoad()}) {
+            SCOPED_TRACE(std::string(f.name) + " workload#" +
+                         std::to_string(wi++));
+            const RunDigest ref = runOnce(f.spec, wl, 1, 42);
+            EXPECT_GT(ref.injected, 0u);
+            EXPECT_EQ(ref.injected, ref.delivered + ref.dropped);
+            EXPECT_TRUE(ref.quiescent);
+            for (std::uint32_t shards : {2u, 4u, 8u}) {
+                SCOPED_TRACE("shards=" + std::to_string(shards));
+                const RunDigest d = runOnce(f.spec, wl, shards, 42);
+                EXPECT_EQ(d, ref);
+            }
+        }
+    }
+}
+
+TEST(ShardDeterminism, HashInvariantAcrossThreadCounts)
+{
+    // Same shard plan, different worker-thread counts: the partition is
+    // semantic, the threads are not.  (Runs the real multi-threaded
+    // barrier path even on a single-core host — and under TSan in CI.)
+    const FabricCase f = fabrics()[0];
+    const FabricWorkload wl = uniformLoad();
+    const RunDigest ref = runOnce(f.spec, wl, 4, 7, /*threads=*/1);
+    for (std::uint32_t threads : {2u, 4u}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        EXPECT_EQ(runOnce(f.spec, wl, 4, 7, threads), ref);
+    }
+}
+
+TEST(ShardDeterminism, SeedsProduceDistinctTraces)
+{
+    // Sanity check on the digest itself: different seeds must diverge
+    // (a constant hash would trivially pass the invariance suite).
+    const FabricCase f = fabrics()[0];
+    const FabricWorkload wl = uniformLoad();
+    const RunDigest a = runOnce(f.spec, wl, 4, 1);
+    const RunDigest b = runOnce(f.spec, wl, 4, 2);
+    EXPECT_NE(a.hash, b.hash);
+}
+
+TEST(ShardDeterminism, TransposePermutationDeliversEverything)
+{
+    // Deterministic permutation traffic: no randomness in destinations,
+    // so delivered counts are exact unless the drop model kicks in; at
+    // this gentle injection rate nothing may drop.
+    TopologySpec spec = fabrics()[0].spec;
+    FabricWorkload wl;
+    wl.kind = FabricWorkload::Kind::Transpose;
+    wl.packetsPerNode = 30;
+    // DOR concentrates the permutation onto shared trunks (~1143-tick
+    // serializations); keep offered load well under capacity so the
+    // zero-drop assertion is structural, not lucky.
+    wl.injectGap = 12'000;
+    const RunDigest ref = runOnce(spec, wl, 1, 11);
+    EXPECT_EQ(ref.dropped, 0u);
+    EXPECT_EQ(ref.delivered, ref.injected);
+    for (std::uint32_t shards : {2u, 4u, 8u}) {
+        SCOPED_TRACE("shards=" + std::to_string(shards));
+        EXPECT_EQ(runOnce(spec, wl, shards, 11), ref);
+    }
+}
+
+TEST(ShardDeterminism, HotspotOverloadDropsDeterministically)
+{
+    // Saturate the hot node's switch so the egress-backlog drop model
+    // engages, then require the drop count itself to be shard-count
+    // invariant (drops happen mid-fabric, at staged-message boundaries).
+    TopologySpec spec = fabrics()[0].spec;
+    FabricWorkload wl = hotspotLoad();
+    wl.injectGap = 40;
+    wl.hotFraction = 0.9;
+    wl.packetsPerNode = 80;
+    const RunDigest ref = runOnce(spec, wl, 1, 5);
+    EXPECT_GT(ref.dropped, 0u);
+    EXPECT_TRUE(ref.quiescent);
+    for (std::uint32_t shards : {2u, 4u, 8u}) {
+        SCOPED_TRACE("shards=" + std::to_string(shards));
+        EXPECT_EQ(runOnce(spec, wl, shards, 5), ref);
+    }
+}
+
+} // namespace
+} // namespace tg::net

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "sim/stats.hpp"
@@ -105,6 +106,32 @@ TEST(Sampler, EmptyIsSafe)
     EXPECT_DOUBLE_EQ(s.mean(), 0.0);
     EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
     EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Sampler, QuantileClampsOutOfRangeQ)
+{
+    // Regression: q outside [0,1] fed the interpolation index arithmetic
+    // directly; it must clamp to the extremes instead.
+    Sampler s;
+    for (double v : {10.0, 20.0, 30.0})
+        s.sample(v);
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 30.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.5), 30.0);
+    EXPECT_DOUBLE_EQ(s.quantile(42.0), 30.0);
+    EXPECT_DOUBLE_EQ(s.quantile(-0.5), 10.0);
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_DOUBLE_EQ(s.quantile(nan), 10.0);
+}
+
+TEST(Sampler, QuantileSingleSample)
+{
+    // Regression: n == 1 is its own case — every quantile is the sample,
+    // with no interpolation index arithmetic involved.
+    Sampler s;
+    s.sample(7.5);
+    for (double q : {0.0, 0.25, 0.5, 0.99, 1.0, 1.5, -1.0})
+        EXPECT_DOUBLE_EQ(s.quantile(q), 7.5) << "q=" << q;
 }
 
 TEST(Histogram, BucketsAndOverflow)

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/compare_bench.py on fixture JSON.
+
+Run directly or via ctest (compare_bench_unit).  Exercises both input
+schemas and the missing-bench / missing-metric hard-fail paths added
+after a bench that stopped emitting a gated counter slipped through CI.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SCRIPT = os.path.join(REPO, "tools", "compare_bench.py")
+
+
+def gb_doc(benches):
+    """google-benchmark document: {name: {counter: value}}."""
+    return {
+        "benchmarks": [
+            dict({"name": name, "run_type": "iteration"}, **counters)
+            for name, counters in benches.items()
+        ]
+    }
+
+
+def tg_doc(bench, metrics):
+    """tg-bench-v1 document: [(name, value, unit), ...]."""
+    return {
+        "schema": "tg-bench-v1",
+        "bench": bench,
+        "metrics": [
+            {"name": n, "value": v, "unit": u} for n, v, u in metrics
+        ],
+    }
+
+
+def run_compare(tmpdir, baseline, candidate, *extra):
+    bpath = os.path.join(tmpdir, "baseline.json")
+    cpath = os.path.join(tmpdir, "candidate.json")
+    with open(bpath, "w", encoding="utf-8") as fh:
+        json.dump(baseline, fh)
+    with open(cpath, "w", encoding="utf-8") as fh:
+        json.dump(candidate, fh)
+    proc = subprocess.run(
+        [sys.executable, SCRIPT, bpath, cpath, *extra],
+        capture_output=True,
+        text=True,
+    )
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+FAILURES = []
+
+
+def check(name, cond, detail=""):
+    status = "ok" if cond else "FAIL"
+    print(f"{status:4} {name}" + (f"  [{detail}]" if detail and not cond else ""))
+    if not cond:
+        FAILURES.append(name)
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        base = gb_doc(
+            {
+                "BM_A": {"items_per_second": 1000.0},
+                "BM_B": {"events_per_s": 500.0},
+            }
+        )
+
+        # Identical candidate passes.
+        rc, out = run_compare(tmp, base, base)
+        check("identical run passes", rc == 0, out)
+
+        # A >threshold drop on a gated counter fails.
+        worse = gb_doc(
+            {
+                "BM_A": {"items_per_second": 100.0},
+                "BM_B": {"events_per_s": 500.0},
+            }
+        )
+        rc, out = run_compare(tmp, base, worse)
+        check("regression fails", rc == 1 and "regressed" in out, out)
+
+        # A whole bench missing from the candidate must fail, not warn.
+        dropped_bench = gb_doc({"BM_A": {"items_per_second": 1000.0}})
+        rc, out = run_compare(tmp, base, dropped_bench)
+        check(
+            "missing bench fails",
+            rc == 1 and "BM_B" in out and "missing" in out,
+            out,
+        )
+
+        # A bench that stops emitting one gated counter must also fail.
+        base_two = gb_doc(
+            {"BM_A": {"items_per_second": 1000.0, "events_per_s": 800.0}}
+        )
+        dropped_metric = gb_doc({"BM_A": {"items_per_second": 1000.0}})
+        rc, out = run_compare(tmp, base_two, dropped_metric)
+        check(
+            "missing metric fails",
+            rc == 1 and "events_per_s" in out and "missing" in out,
+            out,
+        )
+
+        # New benches in the candidate never fail.
+        grown = gb_doc(
+            {
+                "BM_A": {"items_per_second": 1000.0},
+                "BM_B": {"events_per_s": 500.0},
+                "BM_NEW": {"events_per_s": 1.0},
+            }
+        )
+        rc, out = run_compare(tmp, base, grown)
+        check("new benches pass", rc == 0, out)
+
+        # tg-bench-v1: rates gate on drops, latencies gate on increases.
+        tbase = tg_doc("n1", [("goodput", 100.0, "MB/s"), ("p99", 10.0, "us")])
+        rc, out = run_compare(tmp, tbase, tbase)
+        check("tg schema identical passes", rc == 0, out)
+
+        tlat = tg_doc("n1", [("goodput", 100.0, "MB/s"), ("p99", 20.0, "us")])
+        rc, out = run_compare(tmp, tbase, tlat)
+        check("tg latency increase fails", rc == 1, out)
+
+        tmiss = tg_doc("n1", [("goodput", 100.0, "MB/s")])
+        rc, out = run_compare(tmp, tbase, tmiss)
+        check("tg missing metric fails", rc == 1 and "p99" in out, out)
+
+        # Empty intersection without missing entries is an input error.
+        rc, out = run_compare(tmp, gb_doc({}), gb_doc({}))
+        check("no comparable metrics errors", rc == 2, out)
+
+        # Threshold flag is honored (40% drop passes at --threshold=0.5).
+        half = gb_doc(
+            {
+                "BM_A": {"items_per_second": 600.0},
+                "BM_B": {"events_per_s": 500.0},
+            }
+        )
+        rc, out = run_compare(tmp, base, half, "--threshold=0.5")
+        check("threshold flag honored", rc == 0, out)
+
+    if FAILURES:
+        print(f"\n{len(FAILURES)} check(s) failed: {', '.join(FAILURES)}")
+        return 1
+    print("\nall compare_bench checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

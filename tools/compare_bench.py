@@ -19,8 +19,11 @@ Two input schemas are auto-detected per file:
                      are informational only.
 
 Exits non-zero when any gated metric regressed by more than the
-threshold (default 25%).  Improvements and new benchmarks never fail;
-re-baseline by committing a fresh JSON (see DESIGN.md section 9).
+threshold (default 25%), or when a bench / metric present in the
+baseline is missing from the candidate — a bench that stops emitting a
+gated counter must fail the gate, not slip through it.  Improvements
+and new benchmarks never fail; re-baseline by committing a fresh JSON
+(see DESIGN.md section 9).
 
 The gate is deliberately loose: CI machines are noisy, and the job's
 purpose is catching order-of-magnitude scheduler regressions, not 5%
@@ -94,16 +97,19 @@ def main():
     cand = load_metrics(args.candidate)
 
     failures = []
+    missing = []
     compared = 0
     for name, base_metrics in sorted(base.items()):
         cand_metrics = cand.get(name)
         if cand_metrics is None:
-            print(f"WARN  {name}: missing from candidate run (skipped)")
+            missing.append(name)
+            print(f"FAIL  {name}: missing from candidate run")
             continue
         for metric, (base_value, direction) in sorted(base_metrics.items()):
             entry = cand_metrics.get(metric)
             if entry is None:
-                print(f"WARN  {name}/{metric}: missing from candidate")
+                missing.append(f"{name}/{metric}")
+                print(f"FAIL  {name}/{metric}: missing from candidate")
                 continue
             cand_value, _ = entry
             compared += 1
@@ -122,15 +128,22 @@ def main():
             else:
                 print(f"OK    {line}")
 
-    if compared == 0:
+    if compared == 0 and not missing:
         print("ERROR no comparable rate metrics found", file=sys.stderr)
         return 2
+    if missing:
+        print(
+            f"\n{len(missing)} baseline bench(es)/metric(s) missing from "
+            f"the candidate run: {', '.join(missing)}",
+            file=sys.stderr,
+        )
     if failures:
         print(
             f"\n{len(failures)} benchmark(s) regressed more than "
             f"{args.threshold:.0%} vs {args.baseline}",
             file=sys.stderr,
         )
+    if failures or missing:
         return 1
     print(f"\nall {compared} gated metrics within {args.threshold:.0%} of baseline")
     return 0
