@@ -13,11 +13,16 @@
 
 #include <cstddef>
 
+#include <memory>
+#include <vector>
+
 #include "api/cluster.hpp"
 #include "api/context.hpp"
 #include "api/segment.hpp"
 #include "net/fabric_sim.hpp"
+#include "net/network.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/system.hpp"
 
 namespace {
 
@@ -225,6 +230,123 @@ BM_AtomicRoundTrips(benchmark::State &state)
         double(simulated) * 1e-6, benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_AtomicRoundTrips);
+
+// ---------------------------------------------------------------------
+// Packet-path microbenchmarks
+//
+// Drive uniform traffic through the *real* network datapath — HIB-style
+// endpoint FIFOs, Channel serialization, Switch cut-through, BoundedQueue
+// credit flow — with no coroutines or coherence on top, so the gated
+// events_per_s isolates the per-packet cost of the queue/link/switch
+// machinery itself (the subject of the arena / SoA / credit-batching
+// work).  Closed-loop injection: every node tops its egress FIFO up as
+// soon as credits free, so the fabric runs saturated.
+// ---------------------------------------------------------------------
+
+/** Minimal network endpoint: bounded egress/ingress FIFOs and a sink
+ *  that pops arrivals immediately. */
+class PathEndpoint final : public net::NodeEndpoint
+{
+  public:
+    PathEndpoint(System &sys, std::size_t cap)
+        : _eg(sys.arena(), cap), _ig(sys.arena(), cap)
+    {
+    }
+
+    net::BoundedQueue &egress() override { return _eg; }
+    net::BoundedQueue &ingress() override { return _ig; }
+
+  private:
+    net::BoundedQueue _eg;
+    net::BoundedQueue _ig;
+};
+
+void
+runPacketPath(benchmark::State &state, const ClusterSpec &base,
+              int packets_per_node)
+{
+    ClusterSpec spec = base;
+    spec.seed(7)
+        // Scale-study link speed (see the sharded-fabric tier below).
+        .tune([](Config &c) { c.linkBytesPerTick = 1.0; });
+
+    const std::size_t nodes = spec.topology().nodes;
+    const std::uint64_t expect =
+        std::uint64_t(nodes) * std::uint64_t(packets_per_node);
+
+    std::uint64_t events = 0;
+    std::uint64_t delivered = 0;
+    Tick simulated = 0;
+    for (auto _ : state) {
+        System sys(spec.config);
+        net::Network fabric(sys, "net", spec.topology());
+
+        std::vector<std::unique_ptr<PathEndpoint>> eps;
+        std::vector<int> left(nodes, packets_per_node);
+        std::uint64_t got = 0;
+        eps.reserve(nodes);
+        for (std::size_t i = 0; i < nodes; ++i) {
+            eps.push_back(std::make_unique<PathEndpoint>(
+                sys, spec.config.hibFifoPackets));
+            fabric.attach(NodeId(i), *eps[i]);
+        }
+        for (std::size_t i = 0; i < nodes; ++i) {
+            PathEndpoint &ep = *eps[i];
+            net::BoundedQueue &eg = ep.egress();
+            net::BoundedQueue &ig = ep.ingress();
+            ig.onData([&ig, &got] {
+                while (!ig.empty()) {
+                    (void)ig.pop();
+                    ++got;
+                }
+            });
+            auto inject = [&eg, &left, i, nodes] {
+                while (left[i] > 0 && !eg.full()) {
+                    const int k = left[i]--;
+                    net::Packet p;
+                    p.type = net::PacketType::WriteReq;
+                    p.src = NodeId(i);
+                    // Uniform spread over the other nodes.
+                    p.dst = NodeId((i + 1 + std::size_t(k) % (nodes - 1)) %
+                                   nodes);
+                    p.seq = std::uint64_t(k);
+                    p.payloadBytes = 24;
+                    eg.push(std::move(p));
+                }
+            };
+            eg.onSpace(inject);
+            sys.events().schedule(0, inject);
+        }
+
+        sys.events().run(2'000'000'000'000ULL);
+        events += sys.events().executed();
+        simulated += sys.now();
+        delivered += got;
+        if (got != expect)
+            state.SkipWithError("packet-path traffic did not drain");
+    }
+    state.SetItemsProcessed(std::int64_t(delivered));
+    state.counters["events_per_s"] = benchmark::Counter(
+        double(events), benchmark::Counter::kIsRate);
+    state.counters["packets_per_s"] = benchmark::Counter(
+        double(delivered), benchmark::Counter::kIsRate);
+    state.counters["sim_ns_per_wall_us"] = benchmark::Counter(
+        double(simulated) * 1e-6, benchmark::Counter::kIsRate);
+}
+
+void
+BM_PacketPathTorus2D(benchmark::State &state)
+{
+    runPacketPath(state, ClusterSpec::torus(8, 8, 4), 50); // 256 nodes
+}
+BENCHMARK(BM_PacketPathTorus2D);
+
+void
+BM_PacketPathFatTree(benchmark::State &state)
+{
+    runPacketPath(state, ClusterSpec::fatTree(256, 4, 8), 50); // 64 leaves
+}
+BENCHMARK(BM_PacketPathFatTree);
 
 // ---------------------------------------------------------------------
 // Sharded PDES fabric scaling (DESIGN.md section 13.4)

@@ -155,6 +155,13 @@ ClusterSpec::trace(bool on)
 }
 
 ClusterSpec &
+ClusterSpec::traceSample(std::uint32_t shift)
+{
+    config.traceSampleShift = shift;
+    return *this;
+}
+
+ClusterSpec &
 ClusterSpec::seed(std::uint64_t s)
 {
     config.seed = s;

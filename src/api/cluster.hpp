@@ -126,6 +126,10 @@ struct ClusterSpec
     /** Record packet-lifecycle spans (latency breakdowns, p50/p99). */
     ClusterSpec &trace(bool on = true);
 
+    /** Trace only 1 in 2^shift operations (deterministic id-hash subset;
+     *  0 restores full tracing).  See Config::traceSampleShift. */
+    ClusterSpec &traceSample(std::uint32_t shift);
+
     /** Seed for all stochastic decisions (determinism contract). */
     ClusterSpec &seed(std::uint64_t s);
 
@@ -336,6 +340,35 @@ class Cluster : public coherence::Fabric
 
     /** Segment containing home page @p home_page (nullptr if none). */
     Segment *segmentOfHome(PAddr home_page);
+
+    // ------------------------------------------------------------------
+    // Checkpoint / restore (DESIGN.md section 14.5)
+    // ------------------------------------------------------------------
+
+    /**
+     * Serialize the cluster's semantic state into a self-contained text
+     * blob (schema tg-ckpt-v1): simulation clock + event sequence, trace
+     * hash, RNG stream, packet ledger, per-node memory / cache / TLB /
+     * page-table / HIB-counter state and the page directory.
+     *
+     * Only legal at quiescence (no pending events, packet ledger
+     * conserved) with the fault layer disengaged — in-flight hardware
+     * state is deliberately never serialized.  Cumulative statistics not
+     * listed above (link/bus counters, sampler contents) restart from
+     * zero after a restore; the determinism contract does not depend on
+     * them.
+     */
+    std::string checkpoint();
+
+    /**
+     * Restore a checkpoint() blob.  Must be called on a freshly built
+     * cluster *after* replaying the identical setup sequence (same spec,
+     * same allocShared/allocPrivate/segment-replication calls, no spawns
+     * or runs yet).  After restore, continuing the workload produces
+     * bit-identical trace hashes to a run that never checkpointed.
+     * fatal()s on schema/shape mismatches.
+     */
+    void restore(const std::string &blob);
 
   private:
     friend class Segment;

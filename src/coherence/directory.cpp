@@ -117,6 +117,42 @@ Directory::byAddr(PAddr addr)
     return byFrame(pageOf(addr));
 }
 
+std::vector<const PageEntry *>
+Directory::entries() const
+{
+    std::vector<const PageEntry *> out;
+    out.reserve(_byHome.size());
+    for (const auto &[home, e] : _byHome)
+        out.push_back(e.get());
+    return out;
+}
+
+PageEntry &
+Directory::restoreEntry(PAddr home_frame, NodeId owner, ProtocolKind kind,
+                        Protocol *protocol,
+                        const std::map<NodeId, PAddr> &copies,
+                        const std::vector<NodeId> &ring)
+{
+    PageEntry *e = byHome(home_frame);
+    if (!e) {
+        e = &create(home_frame, owner, kind, protocol);
+    } else if (e->kind != kind) {
+        panic("%s: checkpoint entry %llx has protocol %s, replayed setup "
+              "built %s",
+              _name.c_str(), (unsigned long long)home_frame,
+              protocolKindName(kind), protocolKindName(e->kind));
+    }
+    // Drop the stale frame index before overwriting the copy set.
+    for (const auto &[node, frame] : e->copies)
+        _byFrame.erase(frame);
+    e->owner = owner;
+    e->copies = copies;
+    e->ring = ring;
+    for (const auto &[node, frame] : e->copies)
+        _byFrame[frame] = e;
+    return *e;
+}
+
 void
 Directory::observe(std::function<void(const ApplyEvent &)> cb)
 {

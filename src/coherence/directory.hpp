@@ -111,6 +111,22 @@ class Directory : public SimObject
     /** Entry containing global address @p addr through any copy. */
     PageEntry *byAddr(PAddr addr);
 
+    /** All entries in ascending home order (checkpointing, DESIGN.md
+     *  section 14.5). */
+    std::vector<const PageEntry *> entries() const;
+
+    /**
+     * Checkpoint restore: force the entry for @p home_frame to the
+     * captured owner/copies/ring, creating it with @p kind and
+     * @p protocol when the setup replay did not (runtime-created pages,
+     * e.g. replicatePageLive on a fresh home).  The frame index is
+     * rebuilt so byFrame/byAddr lookups stay consistent.
+     */
+    PageEntry &restoreEntry(PAddr home_frame, NodeId owner,
+                            ProtocolKind kind, Protocol *protocol,
+                            const std::map<NodeId, PAddr> &copies,
+                            const std::vector<NodeId> &ring);
+
     /** Register a write-observation hook (appended; all fire). */
     void observe(std::function<void(const ApplyEvent &)> cb);
 

@@ -74,8 +74,8 @@ using node::offsetOf;
 Hib::Hib(System &sys, const std::string &name, NodeId node,
          node::MainMemory &storage, node::TurboChannel &tc)
     : SimObject(sys, name), _node(node), _storage(storage), _tc(tc),
-      _egress(sys.config().hibFifoPackets),
-      _ingress(sys.config().hibFifoPackets),
+      _egress(sys.arena(), sys.config().hibFifoPackets),
+      _ingress(sys.arena(), sys.config().hibFifoPackets),
       _atomicUnit(sys, name + ".atomic", storage),
       _multicast(sys, name + ".mcast"),
       _pageCounters(sys, name + ".pagectr"),
@@ -125,8 +125,9 @@ Hib::inject(Packet &&pkt, bool track)
         pkt.traceId = _sys.tracer().beginOp(opKindOf(pkt.type));
     _sys.tracer().record(pkt.traceId, trace::Span::HibLaunch, now(),
                          _traceComp);
-    Trace::log(now(), "hib", "%s inject %s", _name.c_str(),
-               pkt.toString().c_str());
+    if (Trace::anyEnabled())
+        Trace::log(now(), "hib", "%s inject %s", _name.c_str(),
+                   pkt.toString().c_str());
     // The backlog models the HIB's internal queueing: writes are latched
     // at TurboChannel speed and drain into the network at link speed
     // ("short batches of write operations may take advantage of
@@ -477,8 +478,9 @@ Hib::pumpIngress()
         mixPacket(system().events().trace(), pkt);
         _sys.tracer().record(pkt.traceId, trace::Span::HibHandle, now(),
                              _traceComp);
-        Trace::log(now(), "hib", "%s handle %s", _name.c_str(),
-                   pkt.toString().c_str());
+        if (Trace::anyEnabled())
+            Trace::log(now(), "hib", "%s handle %s", _name.c_str(),
+                       pkt.toString().c_str());
         handlePacket(std::move(pkt), [this] {
             _ingressBusy = false;
             pumpIngress();

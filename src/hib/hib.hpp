@@ -178,6 +178,28 @@ class Hib : public SimObject, public net::NodeEndpoint
     std::uint64_t packetsHandled() const { return _handled; }
 
     // ------------------------------------------------------------------
+    // Checkpointing (DESIGN.md section 14.5)
+    // ------------------------------------------------------------------
+
+    /** Upcoming ticket / sequence values without consuming them. */
+    std::uint64_t peekTicket() const { return _nextTicket; }
+    std::uint64_t peekSeq() const { return _nextSeq; }
+
+    /** Restore ticket/seq/handled counters captured at quiescence (no
+     *  pending replies or copies may exist). */
+    void
+    restoreCounters(std::uint64_t next_ticket, std::uint64_t next_seq,
+                    std::uint64_t handled)
+    {
+        TG_AUDIT(_pendingReplies.empty() && _copyDone.empty(),
+                 "%s: counter restore with pending operations",
+                 _name.c_str());
+        _nextTicket = next_ticket;
+        _nextSeq = next_seq;
+        _handled = handled;
+    }
+
+    // ------------------------------------------------------------------
     // Failure path (link-level reliability gave up on a packet)
     // ------------------------------------------------------------------
 

@@ -14,6 +14,8 @@
 
 #include <cstdint>
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "sim/sim_object.hpp"
 
@@ -53,6 +55,26 @@ class PageCounters : public SimObject
 
     std::uint64_t accesses() const { return _accesses; }
     std::uint64_t alarms() const { return _alarms; }
+
+    /** All programmed counters in ascending page order (checkpointing,
+     *  DESIGN.md section 14.5). */
+    std::vector<std::pair<PAddr, Counters>>
+    dump() const
+    {
+        return {_pages.begin(), _pages.end()};
+    }
+
+    /** Restore a captured counter table and the access/alarm stats. */
+    void
+    restore(const std::vector<std::pair<PAddr, Counters>> &pages,
+            std::uint64_t accesses, std::uint64_t alarms)
+    {
+        _pages.clear();
+        for (const auto &[frame, c] : pages)
+            _pages[frame] = c;
+        _accesses = accesses;
+        _alarms = alarms;
+    }
 
   private:
     std::map<PAddr, Counters> _pages;

@@ -33,7 +33,11 @@ Channel::Channel(System &sys, const std::string &name,
         reg.add(_name + ".wire_failures", &_wireFailures);
     }
 
+    _arena = &_lanes.front().up->arena();
     for (auto &lane : _lanes) {
+        TG_AUDIT(&lane.up->arena() == _arena &&
+                     &lane.down->arena() == _arena,
+                 "%s: lanes span different packet arenas", _name.c_str());
         lane.up->onData([this] { pump(); });
         lane.down->onSpace([this] { pump(); });
     }
@@ -74,44 +78,104 @@ Channel::pump()
     // reservable downstream slot.  Lanes are independently buffered, so a
     // blocked VC never stalls the other — the property the dateline
     // deadlock-avoidance scheme needs.
-    Lane *lane = nullptr;
+    std::size_t li = _lanes.size();
     for (std::size_t i = 0; i < _lanes.size(); ++i) {
-        Lane &cand = _lanes[(_rr + i) % _lanes.size()];
+        const std::size_t c = (_rr + i) % _lanes.size();
+        Lane &cand = _lanes[c];
         if (!cand.up->empty() && cand.down->reserve()) {
-            lane = &cand;
-            _rr = (_rr + i + 1) % _lanes.size();
+            li = c;
+            _rr = (c + 1) % _lanes.size();
             break;
         }
     }
-    if (!lane)
+    if (li == _lanes.size())
         return;
 
-    Packet pkt = lane->up->pop();
-    const std::uint32_t bytes = pkt.wireBytes(config().packetHeaderBytes);
-    const Tick ser = serTicks(bytes);
-
+    // Claim the wire before popping: the pop fires the upstream onSpace
+    // listeners, which can re-enter pump() and must find the server busy
+    // (a double-send here would overwrite _wireFreeAt and break the
+    // monotonicity of the pending-arrival ring).
     _busy = true;
+
+    // Zero-copy transfer: the packet stays in the arena; only its handle
+    // moves into the pending-arrival ring.
+    const PacketHandle h = _lanes[li].up->popHandle();
+    const std::uint32_t bytes =
+        config().packetHeaderBytes + _arena->payloadBytes(h);
+    const Tick ser = serTicks(bytes);
     ++_packets;
     _bytes += bytes;
     _busyTicks += ser;
 
-    _sys.tracer().record(pkt.traceId, trace::Span::LinkTx, now(),
+    _sys.tracer().record(_arena->traceId(h), trace::Span::LinkTx, now(),
                          _traceComp, ser);
-    Trace::log(now(), "net", "%s xmit %s (%u B, ser %llu)", _name.c_str(),
-               pkt.toString().c_str(), bytes, (unsigned long long)ser);
+    if (Trace::anyEnabled())
+        Trace::log(now(), "net", "%s xmit %s (%u B, ser %llu)",
+                   _name.c_str(), _arena->syncBody(h)->toString().c_str(),
+                   bytes, (unsigned long long)ser);
 
     // The wire frees after serialization; the packet lands after
-    // serialization + propagation delay.
-    schedule(ser, [this] {
+    // serialization + propagation delay.  Both are processed by the one
+    // armed batch event (onBatchTick) instead of per-packet closures.
+    _wireFreeAt = now() + ser;
+    _pending.push_back(PendingArrival{now() + ser + _delay, li, h});
+    armAt(_wireFreeAt);
+}
+
+void
+Channel::armAt(Tick t)
+{
+    // Already armed at or before t: that firing will re-arm as needed.
+    if (_armedFor <= t)
+        return;
+    TG_AUDIT(t >= now(), "%s: batch event armed in the past (t=%llu)",
+             _name.c_str(), (unsigned long long)t);
+    _armedFor = t;
+    schedule(t - now(), [this] { onBatchTick(); });
+}
+
+void
+Channel::rearm()
+{
+    Tick next = _wireFreeAt;
+    if (_pendingHead < _pending.size() && _pending[_pendingHead].at < next)
+        next = _pending[_pendingHead].at;
+    if (next != kMaxTick)
+        armAt(next);
+}
+
+void
+Channel::onBatchTick()
+{
+    const Tick t = now();
+    if (t != _armedFor)
+        return; // superseded by an earlier re-arm
+    _armedFor = kMaxTick;
+
+    if (_wireFreeAt == t) {
+        _wireFreeAt = kMaxTick;
         _busy = false;
+    }
+
+    // Deliver (and thereby return credits for) every arrival due now —
+    // the per-(link, tick) coalescing — before starting the next
+    // transmission, so the pump decides against settled queue state.
+    while (_pendingHead < _pending.size() &&
+           _pending[_pendingHead].at == t) {
+        const PendingArrival a = _pending[_pendingHead];
+        ++_pendingHead;
+        _sys.tracer().record(_arena->traceId(a.h), trace::Span::LinkRx, t,
+                             _traceComp);
+        _lanes[a.lane].down->pushReservedHandle(a.h);
+    }
+    if (_pendingHead == _pending.size()) {
+        _pending.clear();
+        _pendingHead = 0;
+    }
+
+    if (!_busy)
         pump();
-    });
-    schedule(ser + _delay,
-             [this, down = lane->down, pkt = std::move(pkt)]() mutable {
-                 _sys.tracer().record(pkt.traceId, trace::Span::LinkRx,
-                                      now(), _traceComp);
-                 down->pushReserved(std::move(pkt));
-             });
+    rearm();
 }
 
 // ---------------------------------------------------------------------
@@ -227,10 +291,11 @@ Channel::pumpReliable()
 
     _sys.tracer().record(wire.traceId, trace::Span::LinkTx, now(),
                          _traceComp, ser);
-    Trace::log(now(), "net", "%s xmit %s lseq=%llu try=%u%s (%u B)",
-               _name.c_str(), wire.toString().c_str(),
-               (unsigned long long)wire.lseq, e.tries, drop ? " DROP" : "",
-               bytes);
+    if (Trace::anyEnabled())
+        Trace::log(now(), "net", "%s xmit %s lseq=%llu try=%u%s (%u B)",
+                   _name.c_str(), wire.toString().c_str(),
+                   (unsigned long long)wire.lseq, e.tries,
+                   drop ? " DROP" : "", bytes);
 
     schedule(ser, [this] {
         _busy = false;

@@ -37,6 +37,18 @@
  *
  * With the default (inert) FaultSpec the original zero-overhead fast path
  * is used and timing is bit-identical to the calibrated model.
+ *
+ * Fast-path event batching (DESIGN.md section 14.2): instead of
+ * scheduling one wire-free closure and one delivery closure per packet
+ * (the delivery capturing a full Packet copy, spilling to the closure
+ * pool), the channel keeps a monotone ring of pending arrivals holding
+ * arena handles and arms at most one [this]-capturing event at the
+ * earliest pending tick.  When it fires, *every* credit return and
+ * arrival due at that tick is processed in one event — per-(link, tick)
+ * coalescing — and the event re-arms for the next pending tick.  The
+ * reliability path (engaged only when the fault model is active) keeps
+ * the per-packet event structure: drops, duplications and NACK rewinds
+ * make its arrival set non-monotone.
  */
 
 #ifndef TELEGRAPHOS_NET_LINK_HPP
@@ -152,8 +164,26 @@ class Channel : public SimObject
         Tick nackMuteUntil = 0;      ///< ignore NACKs until a resend RTT
     };
 
+    /** One not-yet-delivered fast-path transmission. */
+    struct PendingArrival
+    {
+        Tick at;          ///< arrival tick (monotone in push order)
+        std::size_t lane; ///< lane index
+        PacketHandle h;   ///< in-flight packet
+    };
+
     void pump();
     void pumpReliable();
+
+    /** The single armed fast-path event: processes every wire-free and
+     *  arrival due now, pumps, and re-arms at the next pending tick. */
+    void onBatchTick();
+
+    /** Arm (or keep) the batch event at the earliest pending tick. */
+    void rearm();
+
+    /** Ensure the batch event fires no later than @p t. */
+    void armAt(Tick t);
 
     /** Arrival processing at the downstream end of lane @p li. */
     void deliver(std::size_t li, Packet &&wire, bool dup_follows);
@@ -178,10 +208,20 @@ class Channel : public SimObject
     Tick serTicks(std::uint32_t wire_bytes) const;
 
     std::vector<Lane> _lanes;
+    PacketArena *_arena = nullptr; ///< the lanes' queues' arena
     std::size_t _rr = 0; ///< round-robin arbitration pointer
     double _bw;
     Tick _delay;
     bool _busy = false;
+
+    // Fast-path batching state: pending arrivals (ring with head index,
+    // compacted when drained — zero allocation once warm), the tick the
+    // wire frees, and the tick the single batch event is armed for
+    // (kMaxTick = not armed).
+    std::vector<PendingArrival> _pending;
+    std::size_t _pendingHead = 0;
+    Tick _wireFreeAt = kMaxTick;
+    Tick _armedFor = kMaxTick;
     std::uint64_t _packets = 0;
     std::uint64_t _bytes = 0;
     Tick _busyTicks = 0;

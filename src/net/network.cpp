@@ -83,7 +83,7 @@ Network::Network(System &sys, const std::string &name,
     if (model.usesDateline()) {
         for (std::size_t s = 0; s < nsw; ++s) {
             _switches[s]->setVcMap(
-                [this, s](const Packet &, std::size_t in_port,
+                [this, s](const PacketHot &, std::size_t in_port,
                           std::size_t out_port,
                           std::uint8_t in_vc) -> std::uint8_t {
                     return _spec.model().vcFor(_spec, s, in_port, out_port,
@@ -97,7 +97,7 @@ Network::Network(System &sys, const std::string &name,
     // per-flow uplink hashing).
     if (model.srcDependentRouting()) {
         for (std::size_t s = 0; s < nsw; ++s) {
-            _switches[s]->setRouteFn([this, s](const Packet &pkt) {
+            _switches[s]->setRouteFn([this, s](const PacketHot &pkt) {
                 const TopologyModel &m = _spec.model();
                 if (_rerouter)
                     return m.routePortAvoiding(_spec, s, pkt.src, pkt.dst,

@@ -8,14 +8,20 @@
  * starts when the downstream buffer is guaranteed to have room, exactly
  * like the credit-based flow control of the real Telegraphos links
  * (paper references [16, 17]).
+ *
+ * Storage is a fixed-capacity ring of PacketArena handles (capacity is
+ * known at construction, so the ring never reallocates): the datapath
+ * moves 32-bit handles between queues via the *Handle methods, while
+ * endpoints keep the value-based push/pop API, which materializes
+ * packets into / out of the arena at the boundary.  DESIGN.md section 14.
  */
 
 #ifndef TELEGRAPHOS_NET_QUEUE_HPP
 #define TELEGRAPHOS_NET_QUEUE_HPP
 
-#include <deque>
 #include <vector>
 
+#include "net/arena.hpp"
 #include "net/packet.hpp"
 #include "sim/event.hpp"
 #include "sim/invariant.hpp"
@@ -35,18 +41,30 @@ class BoundedQueue
   public:
     using Listener = Fn<void()>;
 
-    explicit BoundedQueue(std::size_t capacity) : _capacity(capacity)
+    BoundedQueue(PacketArena &arena, std::size_t capacity)
+        : _arena(arena), _ring(capacity, kNoPacket), _capacity(capacity)
     {
         if (capacity == 0)
             panic("BoundedQueue capacity must be > 0");
     }
 
+    ~BoundedQueue()
+    {
+        // Recycle anything still queued so arena accounting stays exact
+        // when a simulation is torn down mid-flight.
+        while (_count > 0)
+            (void)_arena.release(takeHandle());
+    }
+
+    /** The arena this queue's handles live in. */
+    PacketArena &arena() { return _arena; }
+
     std::size_t capacity() const { return _capacity; }
-    std::size_t size() const { return _q.size(); }
-    bool empty() const { return _q.empty(); }
+    std::size_t size() const { return _count; }
+    bool empty() const { return _count == 0; }
 
     /** True if a new reservation would be refused. */
-    bool full() const { return _q.size() + _reserved >= _capacity; }
+    bool full() const { return _count + _reserved >= _capacity; }
 
     /** Try to claim a slot ahead of a future pushReserved(). */
     bool
@@ -55,9 +73,9 @@ class BoundedQueue
         if (full())
             return false;
         ++_reserved;
-        TG_AUDIT(_q.size() + _reserved <= _capacity,
+        TG_AUDIT(_count + _reserved <= _capacity,
                  "credit overcommit: %zu queued + %zu reserved > %zu slots",
-                 _q.size(), _reserved, _capacity);
+                 _count, _reserved, _capacity);
         return true;
     }
 
@@ -71,18 +89,60 @@ class BoundedQueue
         notify(_onSpace);
     }
 
-    /** Fill a previously reserved slot. */
+    // ------------------------------------------------------------------
+    // Handle API: the zero-copy datapath (links, switches)
+    // ------------------------------------------------------------------
+
+    /** Fill a previously reserved slot with an in-flight handle. */
     void
-    pushReserved(Packet &&p)
+    pushReservedHandle(PacketHandle h)
     {
         if (_reserved == 0)
             panic("pushReserved with no reservation");
         --_reserved;
-        _q.push_back(std::move(p));
-        TG_AUDIT(_q.size() + _reserved <= _capacity,
-                 "credit overcommit: %zu queued + %zu reserved > %zu slots",
-                 _q.size(), _reserved, _capacity);
+        putHandle(h);
         notify(_onData);
+    }
+
+    /** Enqueue a handle without prior reservation (panics when full). */
+    void
+    pushHandle(PacketHandle h)
+    {
+        if (full())
+            panic("push into full queue");
+        putHandle(h);
+        notify(_onData);
+    }
+
+    /** Head handle (queue must be non-empty). */
+    PacketHandle
+    frontHandle() const
+    {
+        if (_count == 0)
+            panic("front of empty queue");
+        return _ring[_head];
+    }
+
+    /** Dequeue the head handle; wakes space listeners. */
+    PacketHandle
+    popHandle()
+    {
+        if (_count == 0)
+            panic("pop of empty queue");
+        const PacketHandle h = takeHandle();
+        notify(_onSpace);
+        return h;
+    }
+
+    // ------------------------------------------------------------------
+    // Value API: the endpoint boundary (HIB, protocols, tests)
+    // ------------------------------------------------------------------
+
+    /** Fill a previously reserved slot. */
+    void
+    pushReserved(Packet &&p)
+    {
+        pushReservedHandle(_arena.acquire(std::move(p)));
     }
 
     /** Push without prior reservation (panics when full). */
@@ -91,30 +151,26 @@ class BoundedQueue
     {
         if (full())
             panic("push into full queue");
-        _q.push_back(std::move(p));
-        TG_AUDIT(_q.size() + _reserved <= _capacity,
-                 "credit overcommit: %zu queued + %zu reserved > %zu slots",
-                 _q.size(), _reserved, _capacity);
+        putHandle(_arena.acquire(std::move(p)));
         notify(_onData);
     }
 
-    /** Front packet (queue must be non-empty). */
+    /** Front packet with hot fields synced (queue must be non-empty). */
     const Packet &
     front() const
     {
-        if (_q.empty())
+        if (_count == 0)
             panic("front of empty queue");
-        return _q.front();
+        return *_arena.syncBody(_ring[_head]);
     }
 
     /** Remove and return the front packet; wakes space listeners. */
     Packet
     pop()
     {
-        if (_q.empty())
+        if (_count == 0)
             panic("pop of empty queue");
-        Packet p = std::move(_q.front());
-        _q.pop_front();
+        Packet p = _arena.release(takeHandle());
         notify(_onSpace);
         return p;
     }
@@ -133,9 +189,37 @@ class BoundedQueue
             l();
     }
 
+    void
+    putHandle(PacketHandle h)
+    {
+        std::size_t tail = _head + _count;
+        if (tail >= _capacity)
+            tail -= _capacity;
+        _ring[tail] = h;
+        ++_count;
+        TG_AUDIT(_count + _reserved <= _capacity,
+                 "credit overcommit: %zu queued + %zu reserved > %zu slots",
+                 _count, _reserved, _capacity);
+    }
+
+    PacketHandle
+    takeHandle()
+    {
+        const PacketHandle h = _ring[_head];
+        _ring[_head] = kNoPacket;
+        ++_head;
+        if (_head == _capacity)
+            _head = 0;
+        --_count;
+        return h;
+    }
+
+    PacketArena &_arena;
+    std::vector<PacketHandle> _ring; // fixed at construction, never grows
     std::size_t _capacity;
+    std::size_t _head = 0;
+    std::size_t _count = 0;
     std::size_t _reserved = 0;
-    std::deque<Packet> _q;
     std::vector<Listener> _onData;
     std::vector<Listener> _onSpace;
 };

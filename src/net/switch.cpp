@@ -10,7 +10,7 @@ namespace tg::net {
 Switch::Switch(System &sys, const std::string &name, std::size_t ports,
                std::size_t vcs)
     : SimObject(sys, name), _ports(ports), _vcs(vcs),
-      _busy(ports * vcs, false)
+      _arena(&sys.arena()), _busy(ports * vcs, false)
 {
     if (vcs == 0)
         fatal("%s: need at least one VC", name.c_str());
@@ -19,8 +19,8 @@ Switch::Switch(System &sys, const std::string &name, std::size_t ports,
     _out.reserve(ports * vcs);
     for (std::size_t p = 0; p < ports; ++p) {
         for (std::size_t v = 0; v < vcs; ++v) {
-            _in.push_back(std::make_unique<BoundedQueue>(cap));
-            _out.push_back(std::make_unique<BoundedQueue>(cap));
+            _in.push_back(std::make_unique<BoundedQueue>(*_arena, cap));
+            _out.push_back(std::make_unique<BoundedQueue>(*_arena, cap));
             _in.back()->onData([this, p, v] { pump(p, v); });
             // An input may be stalled on a full output; wake everything
             // when any output drains (inputs re-check their own head).
@@ -74,13 +74,16 @@ Switch::pump(std::size_t port, std::size_t vc)
     if (_busy[idx(port, vc)] || in.empty())
         return;
 
-    const Packet &head = in.front();
-    const std::size_t out = _routeFn ? _routeFn(head) : route(head.dst);
+    // Arbitration reads only the arena's SoA hot fields; the cold packet
+    // body is never touched on the switch path (DESIGN.md section 14).
+    const PacketHandle head = in.frontHandle();
+    const std::size_t out = _routeFn ? _routeFn(_arena->hot(head))
+                                     : route(_arena->dst(head));
     if (out >= _ports)
         panic("%s: route produced port %zu of %zu", _name.c_str(), out,
               _ports);
     const std::uint8_t out_vc =
-        _vcMap ? _vcMap(head, port, out, std::uint8_t(vc))
+        _vcMap ? _vcMap(_arena->hot(head), port, out, std::uint8_t(vc))
                : std::uint8_t(vc);
     if (out_vc >= _vcs)
         panic("%s: VC map produced vc %u of %zu", _name.c_str(),
@@ -92,16 +95,17 @@ Switch::pump(std::size_t port, std::size_t vc)
 
     _busy[idx(port, vc)] = true;
     schedule(config().switchLatency, [this, port, vc, out, out_vc] {
-        Packet pkt = _in[idx(port, vc)]->pop();
-        pkt.vc = out_vc;
-        ++pkt.hopsDone;
-        Trace::log(now(), "net", "%s fwd p%zu.%zu->p%zu.%u %s",
-                   _name.c_str(), port, vc, out, unsigned(out_vc),
-                   pkt.toString().c_str());
+        const PacketHandle h = _in[idx(port, vc)]->popHandle();
+        _arena->setVc(h, out_vc);
+        const std::uint8_t hops = _arena->bumpHops(h);
+        if (Trace::anyEnabled())
+            Trace::log(now(), "net", "%s fwd p%zu.%zu->p%zu.%u %s",
+                       _name.c_str(), port, vc, out, unsigned(out_vc),
+                       _arena->syncBody(h)->toString().c_str());
         ++_forwarded;
-        _sys.tracer().record(pkt.traceId, trace::Span::SwitchFwd, now(),
-                             _traceComp, pkt.hopsDone);
-        _out[idx(out, out_vc)]->pushReserved(std::move(pkt));
+        _sys.tracer().record(_arena->traceId(h), trace::Span::SwitchFwd,
+                             now(), _traceComp, hops);
+        _out[idx(out, out_vc)]->pushReservedHandle(h);
         _busy[idx(port, vc)] = false;
         pump(port, vc);
     });

@@ -39,19 +39,21 @@ class Switch : public SimObject
   public:
     /**
      * Choose the outgoing VC for a packet:
-     * (packet, in_port, out_port, in_vc) -> out_vc.  The input port lets
-     * dimension-ordered schemes distinguish a dimension turn (restart on
-     * VC0) from continued travel.  Defaults to keeping the incoming VC.
+     * (hot view, in_port, out_port, in_vc) -> out_vc.  The input port
+     * lets dimension-ordered schemes distinguish a dimension turn
+     * (restart on VC0) from continued travel.  Defaults to keeping the
+     * incoming VC.  The hooks take the arena's SoA hot view — the switch
+     * never touches the cold packet body (DESIGN.md section 14).
      */
-    using VcMap = Fn<std::uint8_t(const Packet &, std::size_t, std::size_t,
-                                  std::uint8_t)>;
+    using VcMap = Fn<std::uint8_t(const PacketHot &, std::size_t,
+                                  std::size_t, std::uint8_t)>;
 
     /**
-     * Per-packet output-port selection: packet -> out_port.  Installed
+     * Per-packet output-port selection: hot view -> out_port.  Installed
      * instead of the static route table when routing depends on more
      * than the destination (fat-tree per-flow uplink hashing).
      */
-    using RouteFn = Fn<std::size_t(const Packet &)>;
+    using RouteFn = Fn<std::size_t(const PacketHot &)>;
 
     /**
      * @param sys    owning system
@@ -116,6 +118,7 @@ class Switch : public SimObject
 
     std::size_t _ports;
     std::size_t _vcs;
+    PacketArena *_arena = nullptr; ///< the system's packet arena
     std::vector<std::unique_ptr<BoundedQueue>> _in;
     std::vector<std::unique_ptr<BoundedQueue>> _out;
     std::vector<bool> _busy;

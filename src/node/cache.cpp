@@ -63,4 +63,17 @@ Cache::invalidateAll()
     std::fill(_tags.begin(), _tags.end(), 0);
 }
 
+void
+Cache::restoreState(const std::vector<PAddr> &tags, std::uint64_t hits,
+                    std::uint64_t misses)
+{
+    if (tags.size() != _tags.size())
+        panic("%s: checkpoint tag array has %zu lines, cache has %zu "
+              "(different configuration?)",
+              _name.c_str(), tags.size(), _tags.size());
+    _tags = tags;
+    _hits = hits;
+    _misses = misses;
+}
+
 } // namespace tg::node

@@ -36,6 +36,23 @@ Cpu::start()
         scheduleNext();
 }
 
+void
+Cpu::restoreScheduler(std::size_t finished_threads, std::uint64_t ops_issued,
+                      std::uint64_t switches)
+{
+    if (!_threads.empty())
+        panic("%s: restoreScheduler after threads were added",
+              _name.c_str());
+    for (std::size_t i = 0; i < finished_threads; ++i) {
+        Thread t;
+        t.info.started = true;
+        t.info.finished = true;
+        _threads.push_back(std::move(t));
+    }
+    _opsIssued = ops_issued;
+    _switches = switches;
+}
+
 bool
 Cpu::allDone() const
 {

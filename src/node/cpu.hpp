@@ -128,6 +128,16 @@ class Cpu : public SimObject
     std::uint64_t opsIssued() const { return _opsIssued; }
     std::uint64_t contextSwitches() const { return _switches; }
 
+    /**
+     * Checkpoint restore (DESIGN.md section 14.5): pad the thread table
+     * with @p finished_threads already-finished placeholder slots so
+     * post-restore spawns get the same thread ids as in the original
+     * run (the round-robin walk and the PID switch hook are keyed by
+     * tid), and restore the issue/switch counters.
+     */
+    void restoreScheduler(std::size_t finished_threads,
+                          std::uint64_t ops_issued, std::uint64_t switches);
+
   private:
     struct Thread
     {

@@ -5,6 +5,8 @@
 
 #include "node/main_memory.hpp"
 
+#include <algorithm>
+
 namespace tg::node {
 
 MainMemory::MainMemory(System &sys, const std::string &name)
@@ -58,6 +60,26 @@ std::size_t
 MainMemory::touchedBytes() const
 {
     return _chunks.size() * kChunkWords * 8;
+}
+
+std::vector<std::pair<PAddr, Word>>
+MainMemory::dumpWords() const
+{
+    std::vector<PAddr> keys;
+    keys.reserve(_chunks.size());
+    for (const auto &[key, chunk] : _chunks)
+        keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+
+    std::vector<std::pair<PAddr, Word>> out;
+    for (PAddr key : keys) {
+        const auto &chunk = _chunks.at(key);
+        for (std::size_t i = 0; i < chunk.size(); ++i) {
+            if (chunk[i] != 0)
+                out.emplace_back(key * kChunkWords * 8 + i * 8, chunk[i]);
+        }
+    }
+    return out;
 }
 
 } // namespace tg::node

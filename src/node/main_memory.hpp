@@ -38,6 +38,11 @@ class MainMemory : public SimObject
     /** Bytes of storage actually touched (for stats). */
     std::size_t touchedBytes() const;
 
+    /** All non-zero words as (offset, value) pairs in ascending offset
+     *  order (checkpointing, DESIGN.md section 14.5).  Zero words are
+     *  omitted: a fresh store reads them back as zero anyway. */
+    std::vector<std::pair<PAddr, Word>> dumpWords() const;
+
   private:
     static constexpr std::size_t kChunkWords = 1024; // 8 KB chunks
 

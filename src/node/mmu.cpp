@@ -6,6 +6,8 @@
 
 #include "node/mmu.hpp"
 
+#include <algorithm>
+
 namespace tg::node {
 
 void
@@ -41,6 +43,23 @@ AddressSpace::find(VAddr va)
 {
     auto it = _pages.find(vpnOf(va));
     return it == _pages.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<VAddr, Pte>>
+AddressSpace::dumpPages() const
+{
+    std::vector<std::pair<VAddr, Pte>> out(_pages.begin(), _pages.end());
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    return out;
+}
+
+void
+AddressSpace::restorePages(const std::vector<std::pair<VAddr, Pte>> &pages)
+{
+    _pages.clear();
+    for (const auto &[vpn, pte] : pages)
+        _pages[vpn] = pte;
 }
 
 Mmu::Mmu(System &sys, const std::string &name) : SimObject(sys, name) {}
@@ -137,6 +156,27 @@ void
 Mmu::flushAll()
 {
     _tlb.clear();
+}
+
+std::vector<Mmu::TlbSnapshot>
+Mmu::dumpTlb() const
+{
+    std::vector<TlbSnapshot> out;
+    out.reserve(_tlb.size());
+    for (const auto &e : _tlb)
+        out.push_back(TlbSnapshot{e.asid, e.vpn, e.pte});
+    return out;
+}
+
+void
+Mmu::restoreTlb(const std::vector<TlbSnapshot> &entries, std::uint64_t hits,
+                std::uint64_t misses)
+{
+    _tlb.clear();
+    for (const auto &e : entries)
+        _tlb.push_back(TlbEntry{e.asid, e.vpn, e.pte});
+    _hits = hits;
+    _misses = misses;
 }
 
 } // namespace tg::node

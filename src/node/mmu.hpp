@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <deque>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "node/address.hpp"
 #include "sim/sim_object.hpp"
@@ -74,6 +76,13 @@ class AddressSpace
     /** Mutable PTE access for OS updates (nullptr if unmapped). */
     Pte *find(VAddr va);
 
+    /** All mappings as (vpn, pte) pairs in ascending-vpn order
+     *  (checkpointing, DESIGN.md section 14.5). */
+    std::vector<std::pair<VAddr, Pte>> dumpPages() const;
+
+    /** Replace the page table with a captured dump (vpn-keyed). */
+    void restorePages(const std::vector<std::pair<VAddr, Pte>> &pages);
+
   private:
     std::uint32_t _asid;
     std::uint32_t _pageBytes;
@@ -122,6 +131,22 @@ class Mmu : public SimObject
 
     std::uint64_t hits() const { return _hits; }
     std::uint64_t misses() const { return _misses; }
+
+    /** One TLB slot as captured by a checkpoint (DESIGN.md 14.5). */
+    struct TlbSnapshot
+    {
+        std::uint32_t asid;
+        VAddr vpn;
+        Pte pte;
+    };
+
+    /** TLB contents oldest-first (the FIFO replacement order). */
+    std::vector<TlbSnapshot> dumpTlb() const;
+
+    /** Restore captured TLB contents (entries arrive oldest-first) and
+     *  hit/miss counters. */
+    void restoreTlb(const std::vector<TlbSnapshot> &entries,
+                    std::uint64_t hits, std::uint64_t misses);
 
   private:
     struct TlbEntry

@@ -48,6 +48,30 @@ class Workstation : public SimObject
     /** Allocate @p pages frames of Telegraphos shared memory. */
     PAddr allocShmFrames(std::size_t pages);
 
+    // ------------------------------------------------------------------
+    // Checkpointing (DESIGN.md section 14.5)
+    // ------------------------------------------------------------------
+
+    std::uint32_t nextAsid() const { return _nextAsid; }
+    PAddr mainNext() const { return _mainNext; }
+    PAddr shmNext() const { return _shmNext; }
+
+    /** All address spaces created so far (creation = asid order). */
+    const std::vector<std::unique_ptr<AddressSpace>> &spaces() const
+    {
+        return _spaces;
+    }
+
+    /** Restore the allocation cursors captured by a checkpoint. */
+    void
+    restoreAllocators(std::uint32_t next_asid, PAddr main_next,
+                      PAddr shm_next)
+    {
+        _nextAsid = next_asid;
+        _mainNext = main_next;
+        _shmNext = shm_next;
+    }
+
   private:
     NodeId _id;
     std::unique_ptr<MainMemory> _mem;

@@ -99,6 +99,22 @@ class EventQueue
     audit::TraceHash &trace() { return _trace; }
     const audit::TraceHash &trace() const { return _trace; }
 
+    /**
+     * Restore the clock after a checkpoint (DESIGN.md section 14.5).
+     * Only legal while the queue is empty: a quiescent checkpoint never
+     * has pending events, so the clock, the tie-break sequence counter
+     * and the executed count are the queue's entire surviving state.
+     */
+    void
+    restoreClock(Tick now, std::uint64_t seq, std::uint64_t executed)
+    {
+        TG_AUDIT(empty(), "restoreClock with %zu pending events",
+                 pending());
+        _now = _base = now;
+        _seq = seq;
+        _executed = executed;
+    }
+
   private:
     static constexpr std::size_t kWheelMask = kWheelTicks - 1;
     static constexpr std::size_t kBitmapWords = kWheelTicks / 64;

@@ -94,6 +94,16 @@ class TraceHash
         _mixed = 0;
     }
 
+    /** Restore a previously observed accumulator state (checkpoint
+     *  restore, DESIGN.md section 14.5): subsequent mixes continue the
+     *  original stream bit-for-bit. */
+    void
+    restore(std::uint64_t h, std::uint64_t mixed)
+    {
+        _h = h;
+        _mixed = mixed;
+    }
+
   private:
     std::uint64_t _h = kOffset;
     std::uint64_t _mixed = 0;

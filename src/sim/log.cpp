@@ -73,6 +73,8 @@ inform(const char *fmt, ...)
     va_end(ap);
 }
 
+bool Trace::_any = false; // tglint: shard(shared-guarded)
+
 void
 Trace::enable(const std::string &component)
 {
@@ -80,6 +82,7 @@ Trace::enable(const std::string &component)
         traceAll = true;
     else
         traceSet().insert(component);
+    _any = true;
 }
 
 void
@@ -87,6 +90,7 @@ Trace::disableAll()
 {
     traceAll = false;
     traceSet().clear();
+    _any = false;
 }
 
 bool

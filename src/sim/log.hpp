@@ -50,9 +50,20 @@ class Trace
     /** True if @p component tracing is on. */
     static bool enabled(const std::string &component);
 
+    /**
+     * True if *any* component tracing is on.  A single global load, so
+     * hot paths can gate the (allocating) argument evaluation of a
+     * Trace::log call without a per-call set lookup.
+     */
+    static bool anyEnabled() { return _any; }
+
     /** Emit one trace line if @p component is enabled. */
     static void log(Tick now, const std::string &component, const char *fmt, ...)
         __attribute__((format(printf, 3, 4)));
+
+  private:
+    // Written only during single-threaded setup (enable/disableAll).
+    static bool _any; // tglint: shard(shared-guarded)
 };
 
 } // namespace tg

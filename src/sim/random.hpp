@@ -10,6 +10,7 @@
 #ifndef TELEGRAPHOS_SIM_RANDOM_HPP
 #define TELEGRAPHOS_SIM_RANDOM_HPP
 
+#include <array>
 #include <cstdint>
 
 namespace tg {
@@ -48,6 +49,22 @@ class Rng
 
     /** Fork an independent child stream (deterministic function of state). */
     Rng fork();
+
+    /** Raw generator state (checkpointing, DESIGN.md section 14.5). */
+    std::array<std::uint64_t, 4>
+    state() const
+    {
+        return {_s[0], _s[1], _s[2], _s[3]};
+    }
+
+    /** Restore a previously captured state; the stream continues
+     *  bit-for-bit from where state() observed it. */
+    void
+    setState(const std::array<std::uint64_t, 4> &s)
+    {
+        for (int i = 0; i < 4; ++i)
+            _s[i] = s[static_cast<std::size_t>(i)];
+    }
 
   private:
     std::uint64_t _s[4];

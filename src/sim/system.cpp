@@ -5,6 +5,7 @@
 
 #include "sim/system.hpp"
 
+#include "net/arena.hpp"
 #include "sim/glob.hpp"
 #include "sim/log.hpp"
 
@@ -81,10 +82,15 @@ Config::validate() const
     fault.validate();
 }
 
-System::System(const Config &cfg) : _config(cfg), _rng(cfg.seed)
+System::System(const Config &cfg)
+    : _config(cfg), _rng(cfg.seed),
+      _arena(std::make_unique<net::PacketArena>())
 {
     _config.validate();
     _tracer.setEnabled(cfg.tracePackets);
+    _tracer.setSampleShift(cfg.traceSampleShift);
 }
+
+System::~System() = default;
 
 } // namespace tg

@@ -18,6 +18,10 @@
 #include "sim/trace.hpp"
 #include "sim/types.hpp"
 
+namespace tg::net {
+class PacketArena;
+}
+
 namespace tg {
 
 /**
@@ -30,6 +34,7 @@ class System
 {
   public:
     explicit System(const Config &cfg);
+    ~System();
 
     EventQueue &events() { return _events; }
     const Config &config() const { return _config; }
@@ -44,6 +49,12 @@ class System
     trace::Tracer &tracer() { return _tracer; }
     const trace::Tracer &tracer() const { return _tracer; }
 
+    /** Pooled in-flight packet storage shared by the whole datapath
+     *  (DESIGN.md section 14).  One arena per simulation universe so
+     *  handles stay valid across every queue/link/switch boundary. */
+    net::PacketArena &arena() { return *_arena; }
+    const net::PacketArena &arena() const { return *_arena; }
+
     Tick now() const { return _events.now(); }
 
   private:
@@ -53,6 +64,7 @@ class System
     StatRegistry _stats;
     audit::PacketLedger _ledger;
     trace::Tracer _tracer;
+    std::unique_ptr<net::PacketArena> _arena;
 };
 
 } // namespace tg

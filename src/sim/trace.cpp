@@ -1,6 +1,7 @@
 /**
  * @file
- * Packet-lifecycle tracer: breakdown derivation and JSON exports.
+ * Packet-lifecycle tracer: streaming aggregation, bounded retention,
+ * breakdown derivation and JSON exports.
  */
 
 #include "sim/trace.hpp"
@@ -34,6 +35,19 @@ jsonEscape(const std::string &s)
         out.push_back(c);
     }
     return out;
+}
+
+/** Index of the log2 bucket holding @p v (bucket b covers [2^b, 2^{b+1})
+ *  with 0 in bucket 0). */
+std::size_t
+log2Bucket(Tick v)
+{
+    std::size_t b = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++b;
+    }
+    return b;
 }
 
 } // namespace
@@ -158,63 +172,129 @@ Tracer::beginOp(OpKind kind)
 {
     if (!_enabled)
         return 0;
-    std::uint64_t id = _nextId++;
-    _opKind[id] = kind;
+    // The id is consumed whether or not the op is sampled: numbering is
+    // a function of the workload alone, never of the sampling shift.
+    // Unsampled ops still get their (real) id back — callers tag packets
+    // with it so downstream layers know the op already began — but no
+    // open-op state is kept and record() drops their events.
+    const std::uint64_t id = _nextId++;
+    if (!sampled(id, _sampleShift))
+        return id;
+    if (_open.size() >= _openCap) {
+        // Deterministic eviction: the oldest (smallest-id) open op is
+        // force-retired into the aggregates.
+        auto oldest = _open.begin();
+        retire(oldest->first, oldest->second);
+        _open.erase(oldest);
+        ++_evictedOps;
+    }
+    _open.emplace(id, OpState{kind, 0, 0, 0, 0});
     return id;
 }
 
 OpKind
 Tracer::kindOf(std::uint64_t id) const
 {
-    auto it = _opKind.find(id);
-    return it == _opKind.end() ? OpKind::Other : it->second;
+    auto it = _open.find(id);
+    return it == _open.end() ? OpKind::Other : it->second.kind;
+}
+
+void
+Tracer::recordImpl(std::uint64_t id, Span sp, Tick t, std::uint16_t comp,
+                   std::uint64_t aux)
+{
+    ++_recorded;
+
+    // Bounded raw window: drop the oldest half in one move when full.
+    // Aggregation below streams regardless, so the breakdown still
+    // covers the whole run.
+    if (_events.size() >= _eventCap) {
+        const std::size_t half = _eventCap / 2 + 1;
+        _events.erase(_events.begin(),
+                      _events.begin() +
+                          static_cast<std::ptrdiff_t>(half));
+        _droppedWindow += half;
+    }
+    _events.push_back(TraceEvent{id, sp, comp, t, aux});
+
+    auto it = _open.find(id);
+    if (it == _open.end()) {
+        // The op was evicted (or the id never came from beginOp): the
+        // event stays in the raw window but no longer aggregates.
+        ++_lateEvents;
+        return;
+    }
+    OpState &st = it->second;
+    if (st.boundaries == 0) {
+        st.first = st.last = t;
+        st.boundaries = 1;
+    } else {
+        Cell &c = _cells[static_cast<std::size_t>(st.kind)]
+                        [static_cast<std::size_t>(sp)];
+        c.ticks += t - st.last;
+        ++c.count;
+        st.last = t;
+        ++st.boundaries;
+    }
+    if (sp == Span::SwitchFwd)
+        ++st.hops;
+}
+
+void
+Tracer::pushLifetime(KindAgg &agg, Tick lifetime)
+{
+    if (agg.exact.size() < _lifetimeCap)
+        agg.exact.push_back(lifetime);
+    else {
+        ++agg.logBuckets[log2Bucket(lifetime)];
+        ++agg.sketched;
+    }
+}
+
+void
+Tracer::retire(std::uint64_t id, const OpState &st)
+{
+    (void)id;
+    if (st.boundaries < 2)
+        return;
+    KindAgg &agg = _agg[static_cast<std::size_t>(st.kind)];
+    ++agg.ops;
+    agg.hops += st.hops;
+    pushLifetime(agg, st.last - st.first);
 }
 
 Breakdown
 Tracer::breakdown() const
 {
-    // Per-op event indices, in recording (= chronological) order.
-    std::map<std::uint64_t, std::vector<std::size_t>> byOp;
-    for (std::size_t i = 0; i < _events.size(); ++i)
-        byOp[_events[i].id].push_back(i);
-
-    // Per (kind, arriving span): total delta ticks + crossing count.
-    struct Cell
-    {
-        std::uint64_t ticks = 0;
-        std::uint64_t count = 0;
-    };
-    std::map<int, std::map<int, Cell>> cells; // kind -> span -> cell
-    std::map<int, std::uint64_t> opCount;     // kind -> ops
-    std::map<int, std::uint64_t> hopCount;    // kind -> switch traversals
-
-    for (const auto &[id, idxs] : byOp) {
-        if (idxs.size() < 2)
+    // Open ops with >= 2 boundaries count exactly like retired ones;
+    // their span deltas already streamed into the cells at record time.
+    std::uint64_t openOps[kNumKinds] = {};
+    std::uint64_t openHops[kNumKinds] = {};
+    for (const auto &[id, st] : _open) {
+        if (st.boundaries < 2)
             continue;
-        int kind = static_cast<int>(kindOf(id));
-        ++opCount[kind];
-        for (std::size_t i = 1; i < idxs.size(); ++i) {
-            const TraceEvent &prev = _events[idxs[i - 1]];
-            const TraceEvent &cur = _events[idxs[i]];
-            Cell &c = cells[kind][static_cast<int>(cur.span)];
-            c.ticks += cur.tick - prev.tick;
-            ++c.count;
-        }
-        for (std::size_t idx : idxs)
-            if (_events[idx].span == Span::SwitchFwd)
-                ++hopCount[kind];
+        const auto k = static_cast<std::size_t>(st.kind);
+        ++openOps[k];
+        openHops[k] += st.hops;
     }
 
     Breakdown bd;
-    for (const auto &[kind, spans] : cells) {
+    for (std::size_t k = 0; k < kNumKinds; ++k) {
+        const std::uint64_t ops = _agg[k].ops + openOps[k];
+        if (ops == 0)
+            continue;
         OpBreakdown op;
-        op.kind = static_cast<OpKind>(kind);
-        op.ops = opCount[kind];
-        double n = static_cast<double>(op.ops);
-        op.meanHops = static_cast<double>(hopCount[kind]) / n;
-        for (const auto &[span, cell] : spans) {
+        op.kind = static_cast<OpKind>(k);
+        op.ops = ops;
+        double n = static_cast<double>(ops);
+        op.meanHops =
+            static_cast<double>(_agg[k].hops + openHops[k]) / n;
+        for (std::size_t s = 0; s < kNumSpans; ++s) {
+            const Cell &cell = _cells[k][s];
+            if (cell.count == 0)
+                continue;
             BreakdownRow row;
-            row.span = static_cast<Span>(span);
+            row.span = static_cast<Span>(s);
             row.count = cell.count;
             row.meanTicks = static_cast<double>(cell.ticks) / n;
             op.rows.push_back(row);
@@ -230,20 +310,67 @@ Tracer::breakdown() const
 std::vector<Tick>
 Tracer::opLifetimes(OpKind kind) const
 {
-    std::map<std::uint64_t, std::pair<Tick, Tick>> range; // id -> first,last
-    std::map<std::uint64_t, std::size_t> seen;
-    for (const TraceEvent &ev : _events) {
-        auto [it, fresh] = range.try_emplace(ev.id, ev.tick, ev.tick);
-        if (!fresh)
-            it->second.second = ev.tick;
-        ++seen[ev.id];
-    }
-    std::vector<Tick> out;
-    for (const auto &[id, fl] : range)
-        if (seen[id] >= 2 && kindOf(id) == kind)
-            out.push_back(fl.second - fl.first);
+    const auto k = static_cast<std::size_t>(kind);
+    std::vector<Tick> out = _agg[k].exact;
+    for (const auto &[id, st] : _open)
+        if (st.kind == kind && st.boundaries >= 2)
+            out.push_back(st.last - st.first);
     std::sort(out.begin(), out.end());
     return out;
+}
+
+double
+Tracer::lifetimeQuantile(OpKind kind, double q) const
+{
+    const auto k = static_cast<std::size_t>(kind);
+    const std::vector<Tick> exact = opLifetimes(kind);
+    const std::uint64_t sketched = _agg[k].sketched;
+    const std::uint64_t total = exact.size() + sketched;
+    if (total == 0)
+        return 0.0;
+    if (!(q > 0.0))
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+
+    if (sketched == 0) {
+        // Exact mode: linear interpolation between order statistics
+        // (same convention as Sampler::quantile).
+        if (exact.size() == 1 || q == 0.0)
+            return static_cast<double>(exact.front());
+        if (q >= 1.0)
+            return static_cast<double>(exact.back());
+        double pos = q * static_cast<double>(exact.size() - 1);
+        std::size_t lo = static_cast<std::size_t>(pos);
+        double frac = pos - static_cast<double>(lo);
+        if (lo + 1 >= exact.size())
+            return static_cast<double>(exact[lo]);
+        return static_cast<double>(exact[lo]) +
+               frac * static_cast<double>(exact[lo + 1] - exact[lo]);
+    }
+
+    // Spilled mode: merge the exact samples into a copy of the log2
+    // sketch and interpolate inside the bucket holding the target rank.
+    std::array<std::uint64_t, 64> buckets = _agg[k].logBuckets;
+    for (Tick v : exact)
+        ++buckets[log2Bucket(v)];
+    const double rank = q * static_cast<double>(total - 1);
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+        if (buckets[b] == 0)
+            continue;
+        if (static_cast<double>(seen + buckets[b]) > rank) {
+            const double lo = b == 0 ? 0.0
+                                     : static_cast<double>(Tick(1) << b);
+            const double hi = static_cast<double>(Tick(1) << (b + 1));
+            const double within =
+                (rank - static_cast<double>(seen)) /
+                static_cast<double>(buckets[b]);
+            return lo + within * (hi - lo);
+        }
+        seen += buckets[b];
+    }
+    return static_cast<double>(Tick(1) << 63);
 }
 
 void
@@ -293,10 +420,65 @@ Tracer::writeChromeTrace(std::ostream &os) const
 }
 
 void
+Tracer::setRetainedEventCap(std::size_t cap)
+{
+    _eventCap = std::max<std::size_t>(cap, 2);
+    if (_events.size() > _eventCap) {
+        const std::size_t drop = _events.size() - _eventCap;
+        _events.erase(_events.begin(),
+                      _events.begin() + static_cast<std::ptrdiff_t>(drop));
+        _droppedWindow += drop;
+        _events.shrink_to_fit();
+    }
+}
+
+void
+Tracer::setOpenOpCap(std::size_t cap)
+{
+    _openCap = std::max<std::size_t>(cap, 1);
+    while (_open.size() > _openCap) {
+        auto oldest = _open.begin();
+        retire(oldest->first, oldest->second);
+        _open.erase(oldest);
+        ++_evictedOps;
+    }
+}
+
+void
+Tracer::setLifetimeSampleCap(std::size_t cap)
+{
+    _lifetimeCap = std::max<std::size_t>(cap, 1);
+}
+
+std::size_t
+Tracer::approxBytes() const
+{
+    // Red-black tree nodes carry ~3 pointers + color next to the pair.
+    constexpr std::size_t kMapNodeOverhead = 4 * sizeof(void *);
+    std::size_t bytes = _events.capacity() * sizeof(TraceEvent);
+    bytes += _open.size() *
+             (sizeof(std::uint64_t) + sizeof(OpState) + kMapNodeOverhead);
+    for (const KindAgg &agg : _agg) {
+        bytes += agg.exact.capacity() * sizeof(Tick);
+        bytes += sizeof(agg.logBuckets);
+    }
+    for (const std::string &c : _comps)
+        bytes += sizeof(std::string) + c.capacity();
+    return bytes;
+}
+
+void
 Tracer::reset()
 {
     _events.clear();
-    _opKind.clear();
+    _events.shrink_to_fit();
+    _open.clear();
+    for (auto &row : _cells)
+        for (auto &cell : row)
+            cell = Cell{};
+    for (KindAgg &agg : _agg)
+        agg = KindAgg{};
+    _recorded = _droppedWindow = _evictedOps = _lateEvents = 0;
     _nextId = 1;
 }
 

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Cluster checkpoint/restore round-trip tests (DESIGN.md section 14.5).
+ *
+ * The contract under test: checkpoint a quiescent cluster, rebuild a
+ * fresh cluster from the same spec + setup calls, restore, continue the
+ * workload — and the trace hash evolves bit-identically to the run that
+ * never checkpointed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "api/cluster.hpp"
+#include "api/context.hpp"
+#include "api/segment.hpp"
+
+namespace tg {
+namespace {
+
+ClusterSpec
+specUnderTest()
+{
+    return ClusterSpec::star(4)
+        .protocol(coherence::ProtocolKind::OwnerCounter)
+        .trace(true)
+        .seed(1234);
+}
+
+/** Setup replay: everything the restore contract requires to happen
+ *  identically before restore() — allocation and replication. */
+Segment &
+setUp(Cluster &c)
+{
+    Segment &seg = c.allocShared("data", 4096, 0);
+    seg.replicate(1, coherence::ProtocolKind::OwnerCounter);
+    seg.replicate(2, coherence::ProtocolKind::OwnerCounter);
+    return seg;
+}
+
+/** First half of the workload: concurrent writers + an atomic. */
+void
+phase1(Cluster &c, Segment &seg)
+{
+    for (NodeId n = 1; n <= 3; ++n) {
+        c.spawn(n, [&seg, n](Ctx &ctx) -> Task<void> {
+            for (int i = 0; i < 8; ++i)
+                co_await ctx.write(seg.word(std::size_t(n) * 8 + i),
+                                   Word(100 * n + i));
+            co_await ctx.fetchAdd(seg.word(0), 1);
+            co_await ctx.fence();
+        });
+    }
+}
+
+/** Second half: reads of phase-1 data, more writes, another atomic. */
+void
+phase2(Cluster &c, Segment &seg, std::vector<Word> &read_back)
+{
+    c.spawn(2, [&seg, &read_back](Ctx &ctx) -> Task<void> {
+        for (int i = 8; i < 32; ++i)
+            read_back.push_back(co_await ctx.read(seg.word(i)));
+        co_await ctx.fence();
+    });
+    c.spawn(1, [&seg](Ctx &ctx) -> Task<void> {
+        for (int i = 0; i < 8; ++i)
+            co_await ctx.write(seg.word(40 + i), Word(7000 + i));
+        co_await ctx.fetchAdd(seg.word(0), 10);
+        co_await ctx.fence();
+    });
+}
+
+TEST(Checkpoint, RoundTripContinuesBitIdentically)
+{
+    // Reference: run both phases without ever checkpointing.
+    Cluster ref(specUnderTest());
+    Segment &ref_seg = setUp(ref);
+    phase1(ref, ref_seg);
+    ref.run();
+    ASSERT_TRUE(ref.allDone());
+    ASSERT_TRUE(ref.auditQuiescent());
+    std::vector<Word> ref_reads;
+    phase2(ref, ref_seg, ref_reads);
+    ref.run();
+    ASSERT_TRUE(ref.allDone());
+    const std::uint64_t ref_hash = ref.traceHash();
+    const std::uint64_t ref_len = ref.traceLength();
+
+    // Checkpointed: identical phase 1, snapshot at quiescence.
+    std::string blob;
+    {
+        Cluster a(specUnderTest());
+        Segment &seg = setUp(a);
+        phase1(a, seg);
+        a.run();
+        ASSERT_TRUE(a.allDone());
+        blob = a.checkpoint();
+    }
+    ASSERT_FALSE(blob.empty());
+
+    // Restored: fresh cluster, replayed setup, restore, phase 2 only.
+    Cluster b(specUnderTest());
+    Segment &b_seg = setUp(b);
+    b.restore(blob);
+    std::vector<Word> b_reads;
+    phase2(b, b_seg, b_reads);
+    b.run();
+    ASSERT_TRUE(b.allDone());
+    ASSERT_TRUE(b.auditQuiescent());
+
+    EXPECT_EQ(b.traceHash(), ref_hash);
+    EXPECT_EQ(b.traceLength(), ref_len);
+    EXPECT_EQ(b_reads, ref_reads);
+}
+
+TEST(Checkpoint, RestoredClusterCheckpointsIdentically)
+{
+    std::string blob;
+    {
+        Cluster a(specUnderTest());
+        Segment &seg = setUp(a);
+        phase1(a, seg);
+        a.run();
+        ASSERT_TRUE(a.allDone());
+        blob = a.checkpoint();
+    }
+
+    Cluster b(specUnderTest());
+    setUp(b);
+    b.restore(blob);
+    EXPECT_EQ(b.checkpoint(), blob);
+}
+
+TEST(Checkpoint, RestoresClockHashAndLedger)
+{
+    Cluster a(specUnderTest());
+    Segment &seg = setUp(a);
+    phase1(a, seg);
+    a.run();
+    ASSERT_TRUE(a.allDone());
+    const std::string blob = a.checkpoint();
+
+    Cluster b(specUnderTest());
+    setUp(b);
+    ASSERT_EQ(b.now(), 0u);
+    b.restore(blob);
+    EXPECT_EQ(b.now(), a.now());
+    EXPECT_EQ(b.traceHash(), a.traceHash());
+    EXPECT_EQ(b.traceLength(), a.traceLength());
+    EXPECT_TRUE(b.auditQuiescent());
+    // Memory contents carried over: a phase-1 value is readable.
+    EXPECT_EQ(b.node(0).mem().read(
+                  node::offsetOf(seg.homeFrame() + 9 * 8)),
+              a.node(0).mem().read(node::offsetOf(seg.homeFrame() + 9 * 8)));
+}
+
+TEST(Checkpoint, RefusesMalformedBlobAndStartedCluster)
+{
+    Cluster a(specUnderTest());
+    setUp(a);
+    EXPECT_DEATH(a.restore("not-a-checkpoint"), "expected");
+
+    Cluster b(specUnderTest());
+    Segment &seg = setUp(b);
+    phase1(b, seg);
+    b.run();
+    ASSERT_TRUE(b.allDone());
+    const std::string blob = b.checkpoint();
+    EXPECT_DEATH(b.restore(blob), "freshly built");
+}
+
+TEST(Checkpoint, RefusesFaultyConfiguration)
+{
+    FaultSpec f;
+    f.dropRate = 0.01;
+    Cluster c(specUnderTest().faults(f));
+    setUp(c);
+    c.run();
+    EXPECT_DEATH((void)c.checkpoint(), "fault layer");
+}
+
+} // namespace
+} // namespace tg

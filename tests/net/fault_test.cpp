@@ -195,7 +195,7 @@ TEST_F(FaultChannelTest, CrcDetectsCorruptionAndRetransmits)
     FaultSpec f;
     f.bitErrorRate = 0.2;
     System sys(cfg(f));
-    BoundedQueue up(32), down(64);
+    BoundedQueue up(sys.arena(), 32), down(sys.arena(), 64);
     Channel ch(sys, "ch", up, down, 1.0, 10);
 
     for (Word i = 0; i < 20; ++i)
@@ -216,7 +216,7 @@ TEST_F(FaultChannelTest, DropsAreRetransmitted)
     FaultSpec f;
     f.dropRate = 0.25;
     System sys(cfg(f));
-    BoundedQueue up(32), down(64);
+    BoundedQueue up(sys.arena(), 32), down(sys.arena(), 64);
     Channel ch(sys, "ch", up, down, 1.0, 10);
 
     for (Word i = 0; i < 20; ++i)
@@ -235,7 +235,7 @@ TEST_F(FaultChannelTest, DuplicatesAreDiscarded)
     FaultSpec f;
     f.duplicateRate = 1.0; // every transmission delivered twice
     System sys(cfg(f));
-    BoundedQueue up(32), down(64);
+    BoundedQueue up(sys.arena(), 32), down(sys.arena(), 64);
     Channel ch(sys, "ch", up, down, 1.0, 10);
 
     for (Word i = 0; i < 10; ++i)
@@ -254,7 +254,7 @@ TEST_F(FaultChannelTest, LinkDownWindowDelaysDelivery)
     FaultSpec f;
     f.downWindows = {{0, 5000, ""}};
     System sys(cfg(f));
-    BoundedQueue up(8), down(8);
+    BoundedQueue up(sys.arena(), 8), down(sys.arena(), 8);
     Channel ch(sys, "ch", up, down, 1.0, 10);
 
     up.push(mkPkt(7));
@@ -272,7 +272,7 @@ TEST_F(FaultChannelTest, TargetedWindowDownsNamedChannelOutsideFilter)
     f.linkFilter = "somewhere-else"; // random faults confined elsewhere
     f.downLink("ch", 0, 5000);       // ...but this channel is named
     System sys(cfg(f));
-    BoundedQueue up(8), down(8);
+    BoundedQueue up(sys.arena(), 8), down(sys.arena(), 8);
     Channel ch(sys, "ch", up, down, 1.0, 10);
 
     up.push(mkPkt(7));
@@ -290,7 +290,7 @@ TEST_F(FaultChannelTest, DownPastDeadlineFailsOver)
     f.downWindows = {{0, 1'000'000, ""}};
     f.linkDownDeadline = 100;
     System sys(cfg(f));
-    BoundedQueue up(8), down(8);
+    BoundedQueue up(sys.arena(), 8), down(sys.arena(), 8);
     Channel ch(sys, "ch", up, down, 1.0, 10);
 
     std::vector<Packet> failed;
@@ -314,7 +314,7 @@ TEST_F(FaultChannelTest, RetryBudgetExhaustionFailsPacket)
     f.retryTimeout = 100;
     f.maxRetries = 3;
     System sys(cfg(f));
-    BoundedQueue up(8), down(8);
+    BoundedQueue up(sys.arena(), 8), down(sys.arena(), 8);
     Channel ch(sys, "ch", up, down, 1.0, 10);
 
     std::vector<Packet> failed;
@@ -338,7 +338,7 @@ TEST_F(FaultChannelTest, StatsAreDeterministic)
 
     auto runOnce = [&](std::uint64_t seed) {
         System sys(cfg(f, seed));
-        BoundedQueue up(32), down(64);
+        BoundedQueue up(sys.arena(), 32), down(sys.arena(), 64);
         Channel ch(sys, "ch", up, down, 1.0, 10);
         for (Word i = 0; i < 30; ++i)
             up.push(mkPkt(i));

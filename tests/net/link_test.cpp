@@ -15,7 +15,7 @@ namespace {
 class LinkTest : public ::testing::Test
 {
   protected:
-    LinkTest() : sys(Config{}), up(8), down(4) {}
+    LinkTest() : sys(Config{}), up(sys.arena(), 8), down(sys.arena(), 4) {}
 
     Packet
     mkPkt(Word v, std::uint32_t payload = 8)

@@ -23,7 +23,8 @@ namespace {
 class StubEndpoint : public NodeEndpoint
 {
   public:
-    explicit StubEndpoint(std::size_t cap = 64) : _out(cap), _in(cap)
+    explicit StubEndpoint(PacketArena &arena, std::size_t cap = 64)
+        : _out(arena, cap), _in(arena, cap)
     {
         _in.onData([this] {
             while (!_in.empty())
@@ -57,7 +58,7 @@ struct Harness
         : sys(Config{}), net(sys, "net", spec)
     {
         for (std::size_t n = 0; n < spec.nodes; ++n) {
-            eps.push_back(std::make_unique<StubEndpoint>());
+            eps.push_back(std::make_unique<StubEndpoint>(sys.arena()));
             net.attach(NodeId(n), *eps.back());
         }
     }
@@ -205,7 +206,7 @@ TEST(Network, RingWithTinyBuffersDoesNotDeadlock)
 
     std::vector<std::unique_ptr<StubEndpoint>> eps;
     for (std::size_t n = 0; n < spec.nodes; ++n) {
-        eps.push_back(std::make_unique<StubEndpoint>(256));
+        eps.push_back(std::make_unique<StubEndpoint>(sys.arena(), 256));
         net.attach(NodeId(n), *eps.back());
     }
 

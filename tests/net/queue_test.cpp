@@ -1,10 +1,13 @@
 /**
  * @file
- * Unit tests of the bounded queue with reservations (back-pressure core).
+ * Unit tests of the bounded queue with reservations (back-pressure core),
+ * including ring-buffer wraparound edge cases (ArenaQueue suite) for the
+ * fixed-capacity handle ring that replaced the deque backing store.
  */
 
 #include <gtest/gtest.h>
 
+#include "net/arena.hpp"
 #include "net/queue.hpp"
 
 namespace tg::net {
@@ -20,7 +23,8 @@ mkPkt(Word v)
 
 TEST(BoundedQueue, FifoOrder)
 {
-    BoundedQueue q(4);
+    PacketArena arena;
+    BoundedQueue q(arena, 4);
     q.push(mkPkt(1));
     q.push(mkPkt(2));
     q.push(mkPkt(3));
@@ -32,7 +36,8 @@ TEST(BoundedQueue, FifoOrder)
 
 TEST(BoundedQueue, ReservationsCountAgainstCapacity)
 {
-    BoundedQueue q(2);
+    PacketArena arena;
+    BoundedQueue q(arena, 2);
     EXPECT_TRUE(q.reserve());
     EXPECT_TRUE(q.reserve());
     EXPECT_TRUE(q.full());
@@ -45,7 +50,8 @@ TEST(BoundedQueue, ReservationsCountAgainstCapacity)
 
 TEST(BoundedQueue, OnDataFires)
 {
-    BoundedQueue q(2);
+    PacketArena arena;
+    BoundedQueue q(arena, 2);
     int fired = 0;
     q.onData([&] { ++fired; });
     q.push(mkPkt(1));
@@ -57,7 +63,8 @@ TEST(BoundedQueue, OnDataFires)
 
 TEST(BoundedQueue, OnSpaceFiresOnPopAndCancel)
 {
-    BoundedQueue q(1);
+    PacketArena arena;
+    BoundedQueue q(arena, 1);
     int fired = 0;
     q.onSpace([&] { ++fired; });
     q.push(mkPkt(1));
@@ -70,7 +77,8 @@ TEST(BoundedQueue, OnSpaceFiresOnPopAndCancel)
 
 TEST(BoundedQueue, MultipleListenersAllFire)
 {
-    BoundedQueue q(2);
+    PacketArena arena;
+    BoundedQueue q(arena, 2);
     int a = 0, b = 0;
     q.onData([&] { ++a; });
     q.onData([&] { ++b; });
@@ -81,15 +89,104 @@ TEST(BoundedQueue, MultipleListenersAllFire)
 
 TEST(BoundedQueueDeathTest, OverflowPanics)
 {
-    BoundedQueue q(1);
+    PacketArena arena;
+    BoundedQueue q(arena, 1);
     q.push(mkPkt(1));
     EXPECT_DEATH(q.push(mkPkt(2)), "full");
 }
 
 TEST(BoundedQueueDeathTest, PopEmptyPanics)
 {
-    BoundedQueue q(1);
+    PacketArena arena;
+    BoundedQueue q(arena, 1);
     EXPECT_DEATH(q.pop(), "empty");
+}
+
+// ---------------------------------------------------------------------
+// Ring-buffer wraparound edge cases (fixed-capacity handle ring)
+// ---------------------------------------------------------------------
+
+TEST(ArenaQueueWrap, FifoOrderSurvivesManyWraps)
+{
+    PacketArena arena;
+    BoundedQueue q(arena, 3);
+    Word next_in = 0, next_out = 0;
+    // Keep the queue at mixed occupancy across > capacity cycles so the
+    // head/tail indices wrap dozens of times.
+    for (int round = 0; round < 50; ++round) {
+        while (!q.full())
+            q.push(mkPkt(next_in++));
+        q.pop(); // leave occupancy 2 so indices drift, not reset
+        EXPECT_EQ(q.pop().value, next_out + 1);
+        next_out += 2;
+        EXPECT_EQ(q.front().value, next_out);
+    }
+    while (!q.empty())
+        EXPECT_EQ(q.pop().value, next_out++);
+    EXPECT_EQ(next_in, next_out);
+}
+
+TEST(ArenaQueueWrap, ReserveCancelAcrossWrapBoundary)
+{
+    PacketArena arena;
+    BoundedQueue q(arena, 2);
+    // Drift the head to the last ring slot, then exercise reserve/
+    // cancel/pushReserved with the tail wrapped to slot 0.
+    q.push(mkPkt(1));
+    q.push(mkPkt(2));
+    EXPECT_EQ(q.pop().value, 1u); // head -> slot 1
+    ASSERT_TRUE(q.reserve());
+    EXPECT_TRUE(q.full());
+    q.cancelReservation();
+    ASSERT_TRUE(q.reserve());
+    q.pushReserved(mkPkt(3)); // lands in wrapped slot 0
+    EXPECT_EQ(q.pop().value, 2u);
+    EXPECT_EQ(q.pop().value, 3u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(ArenaQueueWrap, PushReservedInterleavedWithPopsWraps)
+{
+    PacketArena arena;
+    BoundedQueue q(arena, 2);
+    Word v = 10;
+    q.push(mkPkt(v++));
+    for (int i = 0; i < 7; ++i) {
+        ASSERT_TRUE(q.reserve());
+        q.pushReserved(mkPkt(v++));
+        EXPECT_TRUE(q.full());
+        EXPECT_EQ(q.pop().value, v - 2 + 0);
+    }
+    EXPECT_EQ(q.pop().value, v - 1);
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(q.full());
+}
+
+TEST(ArenaQueueWrap, HandlesRecycleThroughTheArena)
+{
+    PacketArena arena;
+    BoundedQueue q(arena, 2);
+    for (Word v = 0; v < 100; ++v) {
+        q.push(mkPkt(v));
+        EXPECT_EQ(q.pop().value, v);
+    }
+    // One chunk is enough for a single-occupancy cycle: the free list
+    // recycles the same slot, so the arena never grows past warm-up.
+    EXPECT_EQ(arena.chunkAllocs(), 1u);
+    EXPECT_EQ(arena.live(), 0u);
+    EXPECT_EQ(arena.highWater(), 1u);
+}
+
+TEST(ArenaQueueWrap, DestructorReleasesQueuedSlots)
+{
+    PacketArena arena;
+    {
+        BoundedQueue q(arena, 4);
+        q.push(mkPkt(1));
+        q.push(mkPkt(2));
+        EXPECT_EQ(arena.live(), 2u);
+    }
+    EXPECT_EQ(arena.live(), 0u);
 }
 
 } // namespace

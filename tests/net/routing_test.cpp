@@ -194,7 +194,7 @@ INSTANTIATE_TEST_SUITE_P(
 class StubEndpoint : public NodeEndpoint
 {
   public:
-    StubEndpoint() : _out(64), _in(64)
+    explicit StubEndpoint(PacketArena &arena) : _out(arena, 64), _in(arena, 64)
     {
         _in.onData([this] {
             while (!_in.empty()) {
@@ -222,7 +222,7 @@ runRandom(const TopologySpec &spec, std::uint64_t seed)
     Network net(sys, "net", spec);
     std::vector<std::unique_ptr<StubEndpoint>> eps;
     for (std::size_t n = 0; n < spec.nodes; ++n) {
-        eps.push_back(std::make_unique<StubEndpoint>());
+        eps.push_back(std::make_unique<StubEndpoint>(sys.arena()));
         net.attach(NodeId(n), *eps.back());
     }
 

@@ -28,7 +28,8 @@ mkPkt(NodeId dst, Word v, std::uint8_t vc = 0)
 TEST(MultiLaneChannel, RoundRobinSharesTheWire)
 {
     System sys{Config{}};
-    BoundedQueue up0(8), up1(8), down0(8), down1(8);
+    BoundedQueue up0(sys.arena(), 8), up1(sys.arena(), 8),
+        down0(sys.arena(), 8), down1(sys.arena(), 8);
     Channel ch(sys, "ch",
                {Channel::Lane{&up0, &down0}, Channel::Lane{&up1, &down1}},
                1.0, 0);
@@ -47,7 +48,8 @@ TEST(MultiLaneChannel, RoundRobinSharesTheWire)
 TEST(MultiLaneChannel, BlockedLaneDoesNotStallTheOther)
 {
     System sys{Config{}};
-    BoundedQueue up0(8), up1(8), down0(1), down1(8);
+    BoundedQueue up0(sys.arena(), 8), up1(sys.arena(), 8),
+        down0(sys.arena(), 1), down1(sys.arena(), 8);
     Channel ch(sys, "ch",
                {Channel::Lane{&up0, &down0}, Channel::Lane{&up1, &down1}},
                1.0, 0);
@@ -74,7 +76,7 @@ TEST(SwitchVc, VcMapBumpsPacketsToEscapeLane)
     System sys{Config{}};
     Switch sw(sys, "sw", 2, /*vcs=*/2);
     sw.setRoute(1, 1);
-    sw.setVcMap([](const Packet &, std::size_t, std::size_t out_port,
+    sw.setVcMap([](const PacketHot &, std::size_t, std::size_t out_port,
                    std::uint8_t vc) {
         return out_port == 1 ? std::uint8_t(1) : vc;
     });
@@ -111,7 +113,7 @@ TEST(SwitchVcDeathTest, VcMapOutOfRangePanics)
     System sys{Config{}};
     Switch sw(sys, "sw", 2, 2);
     sw.setRoute(1, 1);
-    sw.setVcMap([](const Packet &, std::size_t, std::size_t, std::uint8_t) {
+    sw.setVcMap([](const PacketHot &, std::size_t, std::size_t, std::uint8_t) {
         return std::uint8_t(7);
     });
     EXPECT_DEATH(

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * tglint fixture: per-element-allocating containers in a hot-path
+ * namespace (tg::net).  Every push on a deque/list is a heap allocation
+ * on the packet path; the arena + ring-buffer storage discipline
+ * (DESIGN.md section 14) exists precisely to remove those.
+ */
+
+#include <deque>
+#include <list>
+
+namespace tg::net {
+
+struct Port
+{
+    std::deque<int> queue;                    // hot-path-heap-alloc
+    std::list<long> retired;                  // hot-path-heap-alloc
+
+    std::deque<int> slow; // tglint: allow(hot-path-heap-alloc)
+};
+
+} // namespace tg::net

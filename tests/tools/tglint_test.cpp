@@ -99,6 +99,29 @@ TEST(TglintTest, HotStdFunctionFixtureFires)
     EXPECT_EQ(fs.size(), 2u);
 }
 
+TEST(TglintTest, HotHeapAllocFixtureFires)
+{
+    auto fs = lintFixture("hot_heap_alloc.cpp");
+    EXPECT_EQ(rulesOf(fs), std::set<std::string>{"hot-path-heap-alloc"});
+    // deque + list members fire; the allow()-ed member is suppressed.
+    EXPECT_EQ(fs.size(), 2u);
+}
+
+TEST(TglintTest, HotHeapAllocIgnoresColdNamespaces)
+{
+    // Setup/OS layers may keep node-based containers: they are not on
+    // the per-packet path.
+    std::vector<Finding> out;
+    tglint::lintSource("src/os/os_kernel.hpp",
+                       "/** @file os */\n"
+                       "#include <deque>\n"
+                       "namespace tg::os {\n"
+                       "struct Q { std::deque<int> waiters; };\n"
+                       "}\n",
+                       Options{}, out);
+    EXPECT_TRUE(out.empty());
+}
+
 TEST(TglintTest, HotStdFunctionIgnoresColdNamespaces)
 {
     // The OS / api layers may keep std::function: faults and setup are

@@ -31,6 +31,7 @@ const char *kTickFloat = "tick-float";
 const char *kRawNew = "raw-new";
 const char *kFileDoc = "file-doc";
 const char *kHotStdFunction = "hot-path-std-function";
+const char *kHotHeapAlloc = "hot-path-heap-alloc";
 const char *kGlobalMutable = "global-mutable-state";
 const char *kPointerKeyed = "pointer-keyed-order";
 const char *kIncludeCycle = "include-cycle";
@@ -396,6 +397,37 @@ ruleHotStdFunction(FileCtx &ctx)
 }
 
 // ---------------------------------------------------------------------
+// hot-path-heap-alloc
+// ---------------------------------------------------------------------
+
+/** Node-based standard containers that heap-allocate per element.  On
+ *  the packet/event hot path they defeat the arena + ring-buffer storage
+ *  discipline (DESIGN.md section 14): every push is a malloc, every pop
+ *  a free, and the allocator becomes the bottleneck the PacketArena /
+ *  BoundedQueue overhaul removed. */
+const std::set<std::string> kPerElementContainers = {"deque", "list",
+                                                     "forward_list"};
+
+void
+ruleHotHeapAlloc(FileCtx &ctx)
+{
+    if (!inNamespaces(ctx, kHotPathNamespaces))
+        return;
+    const std::vector<Token> &t = ctx.tokens();
+    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+        if (t[i].kind == TokKind::Ident && t[i].is("std") &&
+            t[i + 1].is("::") && t[i + 2].kind == TokKind::Ident &&
+            kPerElementContainers.count(t[i + 2].text)) {
+            ctx.emit(t[i].line, kHotHeapAlloc,
+                     "std::" + t[i + 2].text +
+                         " on a packet/event hot path heap-allocates per "
+                         "element; use net::BoundedQueue, net::PacketArena "
+                         "or a vector-backed ring (DESIGN.md section 14)");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // global-mutable-state
 // ---------------------------------------------------------------------
 
@@ -655,7 +687,8 @@ allRules()
     static const std::vector<std::string> rules = {
         kBannedApi,      kUnorderedIter, kTickFloat,
         kRawNew,         kFileDoc,       kHotStdFunction,
-        kGlobalMutable,  kPointerKeyed,  kIncludeCycle,
+        kHotHeapAlloc,   kGlobalMutable, kPointerKeyed,
+        kIncludeCycle,
     };
     return rules;
 }
@@ -673,6 +706,9 @@ ruleDescription(const std::string &rule)
         {kFileDoc, "missing leading @file documentation header"},
         {kHotStdFunction,
          "std::function on a scheduling hot path heap-allocates"},
+        {kHotHeapAlloc,
+         "per-element-allocating container (deque/list) on a packet/event "
+         "hot path"},
         {kGlobalMutable,
          "mutable namespace-scope/static state in a shard namespace"},
         {kPointerKeyed,
@@ -696,6 +732,7 @@ runRules(const ProjectIndex &index, const Options &opts,
         ruleTickFloat(ctx);
         ruleRawNew(ctx);
         ruleHotStdFunction(ctx);
+        ruleHotHeapAlloc(ctx);
         ruleGlobalMutableState(ctx, annotations);
         rulePointerKeyedOrder(ctx);
     }
