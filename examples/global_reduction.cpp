@@ -4,9 +4,11 @@
  *
  * Each node holds a slice of two vectors in private (cacheable) memory,
  * computes its partial dot product locally, and combines the partials
- * with an all-reduce built on remote fetch&add + eager-update broadcast
- * — the kind of kernel the paper's introduction targets ("high
- * performance scientific computing").
+ * with one all-reduce.  The same program runs on both collective
+ * backends (ClusterSpec::collectives): host-driven software trees over
+ * remote fetch&add + eager-update broadcast, then the NIC-offloaded
+ * engine where the host writes one descriptor and blocks on a single
+ * register read while the combine tree runs NIC-to-NIC.
  */
 
 #include <cstdio>
@@ -18,18 +20,22 @@
 
 using namespace tg;
 
-int
-main()
-{
-    constexpr std::size_t kNodes = 4;
-    constexpr std::size_t kSlice = 256; // elements per node
+namespace {
 
-    ClusterSpec spec = ClusterSpec::star(kNodes);
+constexpr std::size_t kNodes = 4;
+constexpr std::size_t kSlice = 256; // elements per node
+
+/** Run the dot product on @p backend; returns the finish time in us,
+ *  or a negative value on a wrong result. */
+double
+runDotProduct(CollectiveBackend backend)
+{
+    ClusterSpec spec = ClusterSpec::star(kNodes).collectives(backend);
     Cluster cluster(spec);
-    Communicator comm(cluster, "comm", {0, 1, 2, 3});
+    Communicator &comm = cluster.communicator("comm", {0, 1, 2, 3});
 
     std::vector<Word> results(kNodes, 0);
-    std::vector<Tick> done(kNodes, 0);
+    bool all_ok = true;
 
     for (NodeId n = 0; n < kNodes; ++n) {
         const VAddr x = cluster.allocPrivate(n, kSlice * 8);
@@ -53,26 +59,43 @@ main()
                 co_await ctx.compute(20); // multiply-accumulate
             }
 
-            // Global combine: one all-reduce.
-            results[n] = co_await comm.allReduceSum(ctx, partial);
-            done[n] = ctx.now();
+            // Global combine: one all-reduce, delivery-checked.
+            const Result<Word> sum =
+                co_await comm.allReduceSum(ctx, partial);
+            if (!sum.ok())
+                all_ok = false;
+            results[n] = sum;
         });
     }
-    cluster.run(8'000'000'000'000ULL);
+    const Tick end = cluster.run(8'000'000'000'000ULL);
 
     const Word total_elems = kNodes * kSlice;
     const Word expected = total_elems * (total_elems + 1); // 2*sum(i+1)
-    std::printf("distributed dot product over %zu nodes x %zu elements\n",
-                kNodes, kSlice);
-    for (NodeId n = 0; n < kNodes; ++n)
-        std::printf("  node %u: result %llu at %.0f us\n", unsigned(n),
-                    (unsigned long long)results[n], toUs(done[n]));
-    std::printf("expected %llu -> %s\n", (unsigned long long)expected,
-                results[0] == expected ? "OK" : "MISMATCH");
-
     for (NodeId n = 0; n < kNodes; ++n) {
         if (results[n] != expected)
-            return 1;
+            all_ok = false;
     }
-    return 0;
+    return all_ok ? toUs(end) : -1.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("distributed dot product over %zu nodes x %zu elements\n\n",
+                kNodes, kSlice);
+
+    const double host_us = runDotProduct(CollectiveBackend::Host);
+    const double nic_us = runDotProduct(CollectiveBackend::Nic);
+
+    ResultTable table({"backend", "finish (us)"});
+    table.addRow({"host", ResultTable::num(host_us, 0)});
+    table.addRow({"nic", ResultTable::num(nic_us, 0)});
+    table.print();
+    std::printf("\n(same program, same results; the NIC backend replaces "
+                "the CPU's poll loops with one descriptor + one blocking "
+                "register read per collective)\n");
+
+    return (host_us < 0 || nic_us < 0) ? 1 : 0;
 }

@@ -7,6 +7,7 @@
 
 #include "api/cluster.hpp"
 
+#include "api/collectives.hpp"
 #include "api/context.hpp"
 #include "api/segment.hpp"
 #include "coherence/galactica_ring.hpp"
@@ -148,6 +149,13 @@ ClusterSpec::protocol(coherence::ProtocolKind kind)
 }
 
 ClusterSpec &
+ClusterSpec::collectives(CollectiveBackend b)
+{
+    defaultCollectives = b;
+    return *this;
+}
+
+ClusterSpec &
 ClusterSpec::trace(bool on)
 {
     config.tracePackets = on;
@@ -198,7 +206,8 @@ Cluster::build(const ClusterSpec &spec)
 }
 
 Cluster::Cluster(const ClusterSpec &spec)
-    : _defaultProtocol(spec.defaultProtocol)
+    : _defaultProtocol(spec.defaultProtocol),
+      _collBackend(spec.defaultCollectives)
 {
     _sys = std::make_unique<System>(spec.config);
     _dir = std::make_unique<coherence::Directory>(*_sys, "dir");
@@ -251,6 +260,10 @@ Cluster::wireFailure(net::Packet &&pkt)
       case net::PacketType::CopyData:
       case net::PacketType::InvAck:
       case net::PacketType::PageData:
+      // Collective tree traffic: the receiving NIC synthesizes the lost
+      // arrival/release so every member still completes (coll_engine).
+      case net::PacketType::CollUp:
+      case net::PacketType::CollDown:
         victim = pkt.dst;
         break;
       case net::PacketType::Update:
@@ -325,6 +338,16 @@ Cluster::allocPrivate(NodeId n, std::size_t bytes)
     pte.mode = PageMode::Private;
     node(n).defaultAddressSpace().mapRange(va, pages, pte);
     return va;
+}
+
+Communicator &
+Cluster::communicator(const std::string &name, std::vector<NodeId> members,
+                      std::size_t max_words)
+{
+    _comms.push_back(std::make_unique<Communicator>(
+        Communicator::BuildKey{}, *this, name, std::move(members),
+        _collBackend, _nextGroupId++, max_words));
+    return *_comms.back();
 }
 
 Segment *
@@ -597,6 +620,12 @@ Cluster::statsReport(std::ostream &os)
            << "\n";
         os << "  hib.key_violations        "
            << hib.specialOps().keyViolations() << "\n";
+        const auto &coll = hib.collectives();
+        os << "  hib.coll_barriers         " << coll.barriers() << "\n";
+        os << "  hib.coll_bcast_msgs       " << coll.bcastMsgs() << "\n";
+        os << "  hib.coll_combines         " << coll.combines() << "\n";
+        os << "  hib.coll_desc_peak        " << coll.descPeak() << "\n";
+        os << "  hib.coll_errors           " << coll.errors() << "\n";
         os << "  hib.wire_failures         " << hib.wireFailures() << "\n";
         os << "  hib.outstanding.lost      " << hib.outstanding().lost()
            << "\n";

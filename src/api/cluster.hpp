@@ -43,8 +43,26 @@
 
 namespace tg {
 
+class Communicator;
 class Ctx;
 class Segment;
+
+/**
+ * Where collective operations execute (DESIGN.md section 15).
+ *
+ * Host: software trees over the paper's primitives — eager-update
+ * broadcast pages, remote fetch&add reductions, sense-reversing
+ * barriers.  The CPU drives every step.
+ *
+ * Nic: the HIB's collective engine — the host writes one descriptor and
+ * blocks on a single register read while CollUp/CollDown packets run the
+ * combine/fan-out tree NIC-to-NIC.
+ */
+enum class CollectiveBackend
+{
+    Host,
+    Nic,
+};
 
 /**
  * Everything needed to build a cluster.
@@ -69,6 +87,8 @@ struct ClusterSpec
     /** Replication protocol newly allocated segments default to. */
     coherence::ProtocolKind defaultProtocol =
         coherence::ProtocolKind::OwnerCounter;
+    /** Backend Cluster::communicator() builds collectives on. */
+    CollectiveBackend defaultCollectives = CollectiveBackend::Host;
 
     /** The interconnect description the builders assembled. */
     const net::TopologySpec &topology() const { return _topology; }
@@ -122,6 +142,9 @@ struct ClusterSpec
 
     /** Default replication protocol for shared segments. */
     ClusterSpec &protocol(coherence::ProtocolKind kind);
+
+    /** Backend for Communicator collective operations. */
+    ClusterSpec &collectives(CollectiveBackend b);
 
     /** Record packet-lifecycle spans (latency breakdowns, p50/p99). */
     ClusterSpec &trace(bool on = true);
@@ -218,6 +241,16 @@ class Cluster : public coherence::Fabric
 
     /** Allocate private (cacheable, node-local) memory on @p n. */
     VAddr allocPrivate(NodeId n, std::size_t bytes);
+
+    /**
+     * Build a communicator over @p members on the spec's collective
+     * backend (ClusterSpec::collectives).  This is the only construction
+     * path: group ids, NIC engine registration and host scratch memory
+     * are cluster-managed.  @p max_words is the widest broadcast payload.
+     */
+    Communicator &communicator(const std::string &name,
+                               std::vector<NodeId> members,
+                               std::size_t max_words = 64);
 
     /** Reserve @p pages of virtual address space (no mapping installed);
      *  used by software layers like the VSM baseline. */
@@ -389,9 +422,12 @@ class Cluster : public coherence::Fabric
     std::vector<std::unique_ptr<coherence::Protocol>> _protocols;
     std::vector<std::unique_ptr<Segment>> _segments;
     std::vector<std::unique_ptr<Ctx>> _ctxs;
+    std::vector<std::unique_ptr<Communicator>> _comms;
 
     coherence::ProtocolKind _defaultProtocol =
         coherence::ProtocolKind::OwnerCounter;
+    CollectiveBackend _collBackend = CollectiveBackend::Host;
+    std::uint32_t _nextGroupId = 1;
     VAddr _vaNext = 0x2000'0000;
     std::vector<std::uint32_t> _nextCtxIdx; // per node
     /** Telegraphos context index of each thread, per node (PID hook). */

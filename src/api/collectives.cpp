@@ -1,7 +1,7 @@
 /**
  * @file
- * Collective operations (barrier, broadcast, reduction)
- * built from Telegraphos special ops.
+ * Communicator implementation: the software (Host) collective
+ * algorithms and the thin descriptor path onto the NIC engine.
  */
 
 #include "api/collectives.hpp"
@@ -14,13 +14,39 @@ namespace {
 constexpr Tick kPoll = 600;
 } // namespace
 
-Communicator::Communicator(Cluster &cluster, const std::string &name,
+Tick
+Communicator::pollGap() const
+{
+    // Completion polls back off proportionally to the group size: with
+    // hundreds of members spinning remote reads at one home node, a
+    // fixed gap buries the home (and the simulator) under poll traffic
+    // that only adds queueing ahead of the arrivals it waits for.
+    return kPoll * Tick(_members.size());
+}
+
+Communicator::Communicator(BuildKey, Cluster &cluster,
+                           const std::string &name,
                            std::vector<NodeId> members,
-                           std::size_t max_words)
-    : _cluster(cluster), _members(std::move(members)), _maxWords(max_words)
+                           CollectiveBackend backend,
+                           std::uint32_t group_id, std::size_t max_words)
+    : _cluster(cluster), _members(std::move(members)), _backend(backend),
+      _groupId(group_id), _maxWords(max_words)
 {
     if (_members.size() < 2)
         fatal("Communicator %s: needs at least 2 members", name.c_str());
+    _traceComp = cluster.tracer().registerComponent("comm." + name);
+
+    if (_backend == CollectiveBackend::Nic) {
+        // One shared group object registered with every member's engine:
+        // all members see the same reduction/multicast tree bit-for-bit,
+        // and no host scratch memory exists at all.
+        auto group = std::make_shared<hib::CollGroup>(
+            group_id, _members, cluster.network().spec(),
+            cluster.config().collFanout);
+        for (NodeId m : _members)
+            cluster.hibOf(m).collectives().registerGroup(group);
+        return;
+    }
 
     for (std::size_t r = 0; r < _members.size(); ++r) {
         Segment &seg = cluster.allocShared(
@@ -50,44 +76,128 @@ Communicator::rankOf(NodeId n) const
     return std::size_t(it - _members.begin());
 }
 
-Task<void>
-Communicator::barrier(Ctx &ctx)
+std::uint64_t
+Communicator::faultsNow(Ctx &ctx) const
 {
-    co_await ctx.barrier(barCountVa(), barGenVa(), Word(_members.size()));
+    // Failures visible to this member: losses charged to its node, plus
+    // (NIC backend) collectives its engine completed with the error flag
+    // — a loss elsewhere in the tree rides down to it in-band.
+    std::uint64_t n = ctx.wireFailures();
+    if (_backend == CollectiveBackend::Nic)
+        n += _cluster.hibOf(ctx.self()).collectives().errors();
+    return n;
 }
 
-Task<void>
+OpError
+Communicator::errorSince(Ctx &ctx, std::uint64_t before) const
+{
+    return faultsNow(ctx) > before ? OpError::LinkFailure : OpError::None;
+}
+
+std::uint64_t
+Communicator::hostTraceBegin(trace::OpKind kind)
+{
+    const std::uint64_t id = _cluster.tracer().beginOp(kind);
+    _cluster.tracer().record(id, trace::Span::CpuIssue, _cluster.now(),
+                             _traceComp);
+    return id;
+}
+
+void
+Communicator::hostTraceEnd(std::uint64_t id)
+{
+    _cluster.tracer().record(id, trace::Span::Completion, _cluster.now(),
+                             _traceComp);
+}
+
+Task<Result<void>>
+Communicator::barrier(Ctx &ctx)
+{
+    const std::uint64_t before = faultsNow(ctx);
+
+    if (_backend == CollectiveBackend::Nic) {
+        co_await ctx.collLaunch(_groupId, hib::CollOp::Barrier, 0, 0);
+        co_return Result<void>(errorSince(ctx, before));
+    }
+
+    const std::uint64_t op = hostTraceBegin(trace::OpKind::CollBarrier);
+    co_await ctx.barrier(barCountVa(), barGenVa(), Word(_members.size()),
+                         pollGap());
+    hostTraceEnd(op);
+    co_return Result<void>(errorSince(ctx, before));
+}
+
+Task<Result<void>>
 Communicator::broadcast(Ctx &ctx, std::vector<Word> &io, NodeId root)
+{
+    const std::size_t root_rank = rankOf(root);
+    if (ctx.self() == root && io.size() > _maxWords)
+        fatal("Communicator: broadcast of %zu words exceeds max %zu",
+              io.size(), _maxWords);
+    const std::uint64_t before = faultsNow(ctx);
+
+    if (_backend == CollectiveBackend::Nic) {
+        // Stage the payload buffer against this thread's context, then
+        // launch: the engine reads it at the root and DMAs the delivered
+        // words into it everywhere else.
+        _cluster.hibOf(ctx.self()).collectives().stage(ctx.ctxIndex(),
+                                                       &io);
+        co_await ctx.collLaunch(_groupId, hib::CollOp::Bcast,
+                                std::uint32_t(root_rank), 0);
+        co_return Result<void>(errorSince(ctx, before));
+    }
+
+    co_return co_await hostBroadcast(ctx, io, root, before);
+}
+
+Task<Result<void>>
+Communicator::hostBroadcast(Ctx &ctx, std::vector<Word> &io, NodeId root,
+                            std::uint64_t before)
 {
     const std::size_t root_rank = rankOf(root);
     std::uint64_t &seen = _bcastSeen[ctx.self()][root_rank];
     const std::uint64_t gen = ++seen;
+    const std::uint64_t op = hostTraceBegin(trace::OpKind::CollBcast);
 
     if (ctx.self() == root) {
-        if (io.size() > _maxWords)
-            fatal("Communicator: broadcast of %zu words exceeds max %zu",
-                  io.size(), _maxWords);
         // Local stores into the eagerly-mapped page: the HIB multicasts
         // them to every member's receive copy (section 2.2.7).
         for (std::size_t w = 0; w < io.size(); ++w)
             co_await ctx.write(bcastWordVa(root_rank, w), io[w]);
+        co_await ctx.write(bcastCountVa(root_rank), Word(io.size()));
         co_await ctx.fence(); // payload before the generation bump
         co_await ctx.write(bcastGenVa(root_rank), Word(gen));
         co_await ctx.fence();
-        co_return;
+        hostTraceEnd(op);
+        co_return Result<void>(errorSince(ctx, before));
     }
 
     // Members poll their *local* copy of the root's generation word.
     while (co_await ctx.read(bcastGenVa(root_rank)) < Word(gen))
-        co_await ctx.compute(kPoll);
-    io.resize(_maxWords);
-    for (std::size_t w = 0; w < _maxWords; ++w)
+        co_await ctx.compute(pollGap());
+    const Word count = co_await ctx.read(bcastCountVa(root_rank));
+    io.resize(std::size_t(count));
+    for (std::size_t w = 0; w < io.size(); ++w)
         io[w] = co_await ctx.read(bcastWordVa(root_rank, w));
+    hostTraceEnd(op);
+    co_return Result<void>(errorSince(ctx, before));
 }
 
-Task<Word>
+Task<Result<ReduceOut>>
 Communicator::reduceSum(Ctx &ctx, Word contribution, NodeId root)
 {
+    const std::size_t root_rank = rankOf(root);
+    const std::uint64_t before = faultsNow(ctx);
+
+    if (_backend == CollectiveBackend::Nic) {
+        const Word sum = co_await ctx.collLaunch(
+            _groupId, hib::CollOp::Reduce, std::uint32_t(root_rank),
+            contribution);
+        co_return Result<ReduceOut>(ReduceOut{ctx.self() == root, sum},
+                                    errorSince(ctx, before));
+    }
+
+    const std::uint64_t op = hostTraceBegin(trace::OpKind::CollReduce);
     const std::uint64_t round = _reduceRound[ctx.self()]++;
     const std::size_t slot = round % kRounds;
     const Word parties = Word(_members.size());
@@ -100,7 +210,7 @@ Communicator::reduceSum(Ctx &ctx, Word contribution, NodeId root)
     Word result = 0;
     if (ctx.self() == root) {
         while (co_await ctx.read(arrVa(slot)) < parties)
-            co_await ctx.compute(kPoll);
+            co_await ctx.compute(pollGap());
         result = co_await ctx.read(accVa(slot));
         // Reset the slot for its reuse kRounds from now; everyone has
         // arrived, so no contribution can race the reset.
@@ -111,21 +221,32 @@ Communicator::reduceSum(Ctx &ctx, Word contribution, NodeId root)
         // Non-roots must not run ahead into the same slot before the
         // root drained it: wait for the reset.
         while (co_await ctx.read(arrVa(slot)) != 0)
-            co_await ctx.compute(kPoll);
+            co_await ctx.compute(pollGap());
     }
-    co_return result;
+    hostTraceEnd(op);
+    co_return Result<ReduceOut>(ReduceOut{ctx.self() == root, result},
+                                errorSince(ctx, before));
 }
 
-Task<Word>
+Task<Result<Word>>
 Communicator::allReduceSum(Ctx &ctx, Word contribution)
 {
+    const std::uint64_t before = faultsNow(ctx);
+
+    if (_backend == CollectiveBackend::Nic) {
+        const Word sum = co_await ctx.collLaunch(
+            _groupId, hib::CollOp::AllReduce, 0, contribution);
+        co_return Result<Word>(sum, errorSince(ctx, before));
+    }
+
     const NodeId root = _members[0];
-    const Word partial = co_await reduceSum(ctx, contribution, root);
+    const ReduceOut part = co_await reduceSum(ctx, contribution, root);
     std::vector<Word> io;
     if (ctx.self() == root)
-        io.push_back(partial);
+        io.push_back(part.value);
     co_await broadcast(ctx, io, root);
-    co_return io[0];
+    co_return Result<Word>(io.empty() ? 0 : io[0],
+                           errorSince(ctx, before));
 }
 
 } // namespace tg

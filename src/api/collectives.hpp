@@ -1,18 +1,32 @@
 /**
  * @file
- * Collective operations over Telegraphos primitives.
+ * Communicator: backend-selectable collective operations.
  *
- * The paper's mechanisms compose directly into the collectives parallel
- * programs need:
+ * A Communicator is a group of nodes with a unified collective API —
+ * barrier, broadcast, sum-reduce, all-reduce — executed on one of two
+ * backends chosen at cluster construction (ClusterSpec::collectives):
  *
- *  - broadcast: the root's data page is eagerly mapped out to every
- *    member (section 2.2.7), so a broadcast is a few local stores plus
- *    one fence — members read their local receive copies;
- *  - reduce: members combine contributions with remote fetch&add at the
- *    root (section 2.2.3);
- *  - barrier: sense-reversing, over remote atomics (embedding the
- *    MEMORY_BARRIER per section 2.3.5);
- *  - all-reduce: reduce followed by broadcast of the result.
+ *  - CollectiveBackend::Host composes the paper's primitives in
+ *    software: broadcast through eagerly-mapped pages (section 2.2.7),
+ *    reduce through remote fetch&add at a scratch home (2.2.3), barrier
+ *    through sense-reversing atomics with the MEMORY_BARRIER embedded
+ *    (2.3.5).  The CPU drives every step and polls for completion.
+ *
+ *  - CollectiveBackend::Nic offloads the whole collective to the HIB's
+ *    collective engine (hib::CollEngine, DESIGN.md section 15): the host
+ *    writes one descriptor into its Telegraphos context and blocks on a
+ *    single register read while the combine/fan-out tree runs
+ *    NIC-to-NIC.
+ *
+ * Both backends implement identical semantics — same values delivered,
+ * same completion rules — so they are differentially testable; only the
+ * cost model differs.  Every operation yields Result<...>: a wire
+ * failure that touched the collective (a lost contribution, release or
+ * payload) surfaces as OpError::LinkFailure on the members it affected,
+ * never as silently wrong data.
+ *
+ * Communicators are built exclusively through Cluster::communicator();
+ * there is no public constructor.
  */
 
 #ifndef TELEGRAPHOS_API_COLLECTIVES_HPP
@@ -24,76 +38,124 @@
 
 #include "api/cluster.hpp"
 #include "api/context.hpp"
+#include "api/result.hpp"
 #include "api/segment.hpp"
+#include "hib/coll_engine.hpp"
+#include "sim/trace.hpp"
 
 namespace tg {
 
-/** A group of nodes with preallocated collective scratch memory. */
+/**
+ * Outcome of a rooted reduction.  The sum only materializes at the
+ * root; atRoot tells the caller whether value is meaningful (the old
+ * API returned a bare Word where non-roots read a bogus 0).
+ */
+struct ReduceOut
+{
+    bool atRoot = false; ///< this member is the root
+    Word value = 0;      ///< the sum (valid only when atRoot)
+};
+
+/** A group of nodes with a backend-selectable collective API. */
 class Communicator
 {
   public:
-    /**
-     * Build a communicator over @p members.  Allocates, per member, a
-     * broadcast segment eagerly mapped to all other members, plus a
-     * reduce/barrier scratch segment homed on the first member.
-     * @param max_words widest broadcast payload supported
-     */
-    Communicator(Cluster &cluster, const std::string &name,
-                 std::vector<NodeId> members, std::size_t max_words = 64);
+    /** Construction passkey: only Cluster::communicator() can mint one,
+     *  making that factory the single construction path. */
+    class BuildKey
+    {
+        friend class Cluster;
+        BuildKey() = default;
+    };
+
+    Communicator(BuildKey, Cluster &cluster, const std::string &name,
+                 std::vector<NodeId> members, CollectiveBackend backend,
+                 std::uint32_t group_id, std::size_t max_words);
 
     std::size_t size() const { return _members.size(); }
     const std::vector<NodeId> &members() const { return _members; }
+    CollectiveBackend backend() const { return _backend; }
 
     /** Block until every member arrived (reusable). */
-    Task<void> barrier(Ctx &ctx);
+    Task<Result<void>> barrier(Ctx &ctx);
 
     /**
      * Broadcast @p io from @p root: the root sends io's contents, every
-     * member (root included) returns with io holding them.
+     * member (root included) returns with io holding exactly the root's
+     * words.
      */
-    Task<void> broadcast(Ctx &ctx, std::vector<Word> &io, NodeId root);
+    Task<Result<void>> broadcast(Ctx &ctx, std::vector<Word> &io,
+                                 NodeId root);
 
-    /** Sum-reduce @p contribution at @p root; only the root's return
-     *  value holds the sum (others return 0). */
-    Task<Word> reduceSum(Ctx &ctx, Word contribution, NodeId root);
+    /** Sum-reduce @p contribution at @p root.  Only the root's
+     *  ReduceOut carries the sum (atRoot distinguishes it). */
+    Task<Result<ReduceOut>> reduceSum(Ctx &ctx, Word contribution,
+                                      NodeId root);
 
-    /** Sum-reduce and distribute: every member returns the sum. */
-    Task<Word> allReduceSum(Ctx &ctx, Word contribution);
+    /** Sum-reduce and distribute: every member receives the sum. */
+    Task<Result<Word>> allReduceSum(Ctx &ctx, Word contribution);
 
   private:
-    static constexpr std::size_t kRounds = 4; ///< rotation depth
+    static constexpr std::size_t kRounds = 4; ///< host reduce rotation
 
     std::size_t rankOf(NodeId n) const;
 
-    // Broadcast segment layout (per member m, homed at m, eager-mapped
-    // to all other members):
+    /** Host-backend completion-poll gap, proportional to group size so
+     *  large groups don't bury the scratch home under poll reads. */
+    Tick pollGap() const;
+
+    /** Faults visible to @p ctx's member so far: the node's wire-failure
+     *  count plus (NIC backend) its engine's error-completion count. */
+    std::uint64_t faultsNow(Ctx &ctx) const;
+    OpError errorSince(Ctx &ctx, std::uint64_t before) const;
+
+    /** Host-backend lifecycle op (the NIC backend's ops are opened by
+     *  the engine itself): begin + CpuIssue record. */
+    std::uint64_t hostTraceBegin(trace::OpKind kind);
+    void hostTraceEnd(std::uint64_t id);
+
+    // Host broadcast segment layout (per member m, homed at m,
+    // eager-mapped to all other members):
     //   word 0:            generation counter
+    //   word 1:            payload word count
     //   words 8..8+max:    payload
     VAddr bcastGenVa(std::size_t rank) const
     {
         return _bcast[rank]->word(0);
+    }
+    VAddr bcastCountVa(std::size_t rank) const
+    {
+        return _bcast[rank]->word(1);
     }
     VAddr bcastWordVa(std::size_t rank, std::size_t w) const
     {
         return _bcast[rank]->word(8 + w);
     }
 
-    // Reduce scratch (homed at members[0]), rotated over kRounds slots:
-    //   slot s accumulator: word(s); slot s arrivals: word(kRounds + s)
+    // Host reduce scratch (homed at members[0]), rotated over kRounds
+    // slots: slot s accumulator at word(s), arrivals at word(kRounds+s).
     VAddr accVa(std::size_t slot) const { return _scratch->word(slot); }
     VAddr arrVa(std::size_t slot) const
     {
         return _scratch->word(kRounds + slot);
     }
-    // Barrier words: count at word(2*kRounds), generation at +1.
+    // Host barrier words: count at word(2*kRounds), generation at +1.
     VAddr barCountVa() const { return _scratch->word(2 * kRounds); }
     VAddr barGenVa() const { return _scratch->word(2 * kRounds + 1); }
 
+    Task<Result<void>> hostBroadcast(Ctx &ctx, std::vector<Word> &io,
+                                     NodeId root, std::uint64_t before);
+
     Cluster &_cluster;
     std::vector<NodeId> _members;
+    CollectiveBackend _backend;
+    std::uint32_t _groupId;
     std::size_t _maxWords;
+    std::uint16_t _traceComp = 0;
+
+    // Host-backend state (empty/null on the NIC backend).
     std::vector<Segment *> _bcast; ///< one per member (owner = member)
-    Segment *_scratch;
+    Segment *_scratch = nullptr;
 
     /** Host-side per-node cursors (each node's private progress). */
     std::map<NodeId, std::vector<std::uint64_t>> _bcastSeen;

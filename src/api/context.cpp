@@ -191,4 +191,20 @@ Ctx::copy(VAddr from, VAddr to, std::uint32_t bytes)
     co_await launch(hib::SpecialOp::Copy, from, to, bytes, 0);
 }
 
+Task<Word>
+Ctx::collLaunch(std::uint32_t group, hib::CollOp op, std::uint32_t root,
+                Word datum)
+{
+    // Same shape as launchContexts: uncached descriptor writes into the
+    // per-thread context page, then one blocking GO read.  The CPU
+    // releases the TurboChannel before the read stalls (hib::Hib::regRead),
+    // so the bus stays free while the tree protocol runs NIC-to-NIC.
+    co_await write(ctxReg(node::kCtxCollOp), static_cast<Word>(op));
+    co_await write(ctxReg(node::kCtxCollGroup), group);
+    co_await write(ctxReg(node::kCtxCollRoot), root);
+    co_await write(ctxReg(node::kCtxCollDatum), datum);
+    const Word result = co_await read(ctxReg(node::kCtxCollGo));
+    co_return result;
+}
+
 } // namespace tg

@@ -152,6 +152,24 @@ class Ctx
     Task<void> copy(VAddr from, VAddr to, std::uint32_t bytes);
 
     // ------------------------------------------------------------------
+    // NIC collectives (DESIGN.md section 15; used by Communicator)
+    // ------------------------------------------------------------------
+
+    /** Index of this thread's Telegraphos context on its node — the
+     *  descriptor slot the HIB collective engine stages payloads for. */
+    std::uint32_t ctxIndex() const { return _ctxIdx; }
+
+    /**
+     * NIC collective launch sequence: four uncached writes assemble the
+     * descriptor in this thread's context (kCtxCollOp/Group/Root/Datum),
+     * then one blocking read of kCtxCollGo arms the engine and stalls
+     * until the collective completes locally.  Yields the result word
+     * (reduced total where the op defines one, 0 otherwise).
+     */
+    Task<Word> collLaunch(std::uint32_t group, hib::CollOp op,
+                          std::uint32_t root, Word datum);
+
+    // ------------------------------------------------------------------
     // Synchronization (implemented in sync.cpp; FENCE embedded, 2.3.5)
     // ------------------------------------------------------------------
 
@@ -163,9 +181,12 @@ class Ctx
 
     /**
      * Sense-reversing barrier over (count, generation) words homed on
-     * one node; @p parties programs must call it.
+     * one node; @p parties programs must call it.  @p backoff is the
+     * compute gap between generation polls — large groups should back
+     * off proportionally so the home node is not buried under polls.
      */
-    Task<void> barrier(VAddr count_va, VAddr gen_va, Word parties);
+    Task<void> barrier(VAddr count_va, VAddr gen_va, Word parties,
+                       Tick backoff = 400);
 
   private:
     /** The Telegraphos II context / shadow-addressing launch sequence

@@ -43,6 +43,9 @@ template <typename T>
 class Result
 {
   public:
+    /** Value-free default (ok, zero value): Task<Result<T>> promise slot. */
+    Result() = default;
+
     Result(T value, OpError error) : _value(value), _error(error) {}
 
     /** True when every packet of the operation was delivered. */
@@ -56,8 +59,8 @@ class Result
     operator T() const { return _value; }
 
   private:
-    T _value;
-    OpError _error;
+    T _value{};
+    OpError _error = OpError::None;
 };
 
 /** Outcome of a remote operation with no value (write, fence). */

@@ -45,7 +45,7 @@ Ctx::unlock(VAddr lock_va)
 }
 
 Task<void>
-Ctx::barrier(VAddr count_va, VAddr gen_va, Word parties)
+Ctx::barrier(VAddr count_va, VAddr gen_va, Word parties, Tick backoff)
 {
     co_await fence();
     const Word gen = co_await read(gen_va);
@@ -56,7 +56,7 @@ Ctx::barrier(VAddr count_va, VAddr gen_va, Word parties)
         co_await fence();
     } else {
         while (co_await read(gen_va) == gen)
-            co_await compute(kBackoff);
+            co_await compute(backoff);
     }
 }
 

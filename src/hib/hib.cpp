@@ -57,6 +57,10 @@ opKindOf(net::PacketType t)
     case net::PacketType::PageData:
     case net::PacketType::Message:
         return trace::OpKind::Software;
+    case net::PacketType::CollUp:
+        return trace::OpKind::CollReduce;
+    case net::PacketType::CollDown:
+        return trace::OpKind::CollBcast;
     }
     return trace::OpKind::Other;
 }
@@ -84,7 +88,8 @@ Hib::Hib(System &sys, const std::string &name, NodeId node,
                         ? sys.config().counterCacheEntries
                         : 0),
       _specialOps(sys, name + ".special"),
-      _outstanding(sys, name + ".outstanding")
+      _outstanding(sys, name + ".outstanding"),
+      _collEngine(sys, name, *this)
 {
     _egress.onSpace([this] { pumpEgressBacklog(); });
     _ingress.onData([this] { pumpIngress(); });
@@ -291,6 +296,17 @@ Hib::regRead(PAddr offset, OnWord done)
         schedule(config().hibLatch,
                  [this, args, done = std::move(done)]() mutable {
                      launch(args, std::move(done));
+                 });
+        return;
+    }
+    if (_specialOps.isCollGo(offset, ctx)) {
+        // Arm the NIC collective state machine; the read stalls (the TC
+        // itself is already released, exactly like kRegSpecialResult)
+        // until the collective completes locally.
+        const CollArgs cargs = _specialOps.collArgs(ctx);
+        schedule(config().hibLatch,
+                 [this, ctx, cargs, done = std::move(done)]() mutable {
+                     _collEngine.issue(ctx, cargs, std::move(done));
                  });
         return;
     }
@@ -654,6 +670,13 @@ Hib::onWireFailure(const Packet &pkt)
         // Software-layer traffic: no hardware counters to restore; the
         // software layers see the failure through the stats.
         return;
+
+      case PacketType::CollUp:
+      case PacketType::CollDown:
+        // The engine synthesizes the lost arrival/release (error flag
+        // set) so every member of the collective still completes.
+        _collEngine.onWireFailure(pkt);
+        return;
     }
 }
 
@@ -888,6 +911,11 @@ Hib::handlePacket(Packet &&pkt, OnDone finished)
         finished();
         return;
       }
+
+      case PacketType::CollUp:
+      case PacketType::CollDown:
+        _collEngine.handlePacket(std::move(pkt), std::move(finished));
+        return;
     }
     panic("%s: unhandled packet type", _name.c_str());
 }

@@ -30,6 +30,7 @@
 #include <map>
 
 #include "hib/atomic_unit.hpp"
+#include "hib/coll_engine.hpp"
 #include "hib/counter_cache.hpp"
 #include "hib/multicast_unit.hpp"
 #include "hib/outstanding.hpp"
@@ -160,6 +161,7 @@ class Hib : public SimObject, public net::NodeEndpoint
     AtomicUnit &atomicUnit() { return _atomicUnit; }
     SpecialOpsUnit &specialOps() { return _specialOps; }
     Outstanding &outstanding() { return _outstanding; }
+    CollEngine &collectives() { return _collEngine; }
     node::MainMemory &storage() { return _storage; }
 
     /**
@@ -262,6 +264,7 @@ class Hib : public SimObject, public net::NodeEndpoint
     CounterCache _counterCache;
     SpecialOpsUnit _specialOps;
     Outstanding _outstanding;
+    CollEngine _collEngine;
 
     coherence::Directory *_dir = nullptr;
     Fn<void(PAddr, bool)> _alarmHandler;

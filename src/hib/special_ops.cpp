@@ -9,6 +9,11 @@
 namespace tg::hib {
 
 using node::kContextStride;
+using node::kCtxCollDatum;
+using node::kCtxCollGo;
+using node::kCtxCollGroup;
+using node::kCtxCollOp;
+using node::kCtxCollRoot;
 using node::kCtxDatum;
 using node::kCtxDatum2;
 using node::kCtxDstPa;
@@ -60,6 +65,18 @@ SpecialOpsUnit::ctxWrite(PAddr reg_offset, Word value)
         a.dstPa = value;
         a.dstValid = true;
         return true;
+      case kCtxCollOp:
+        _contexts[idx].coll.op = static_cast<CollOp>(value);
+        return true;
+      case kCtxCollGroup:
+        _contexts[idx].coll.group = std::uint32_t(value);
+        return true;
+      case kCtxCollRoot:
+        _contexts[idx].coll.root = std::uint32_t(value);
+        return true;
+      case kCtxCollDatum:
+        _contexts[idx].coll.datum = value;
+        return true;
       default:
         return false;
     }
@@ -76,6 +93,27 @@ SpecialOpsUnit::isGo(PAddr reg_offset, std::uint32_t &ctx_out) const
         return false;
     ctx_out = idx;
     return true;
+}
+
+bool
+SpecialOpsUnit::isCollGo(PAddr reg_offset, std::uint32_t &ctx_out) const
+{
+    if (reg_offset < kRegContextBase)
+        return false;
+    const PAddr rel = reg_offset - kRegContextBase;
+    const std::uint32_t idx = std::uint32_t(rel / kContextStride);
+    if (idx >= _contexts.size() || rel % kContextStride != kCtxCollGo)
+        return false;
+    ctx_out = idx;
+    return true;
+}
+
+CollArgs
+SpecialOpsUnit::collArgs(std::uint32_t idx) const
+{
+    if (idx >= _contexts.size())
+        panic("%s: collArgs of context %u out of range", _name.c_str(), idx);
+    return _contexts[idx].coll;
 }
 
 bool

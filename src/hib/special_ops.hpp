@@ -40,6 +40,25 @@ enum class SpecialOp : Word
     Copy = 4,
 };
 
+/** Collective opcodes written to kCtxCollOp (DESIGN.md section 15). */
+enum class CollOp : Word
+{
+    None = 0,
+    Barrier = 1,
+    Bcast = 2,
+    Reduce = 3,
+    AllReduce = 4,
+};
+
+/** Snapshot of a collective descriptor assembled in a context. */
+struct CollArgs
+{
+    CollOp op = CollOp::None;
+    std::uint32_t group = 0; ///< communicator group id
+    std::uint32_t root = 0;  ///< root rank within the group
+    Word datum = 0;          ///< contribution word (reduce/all-reduce)
+};
+
 /** Snapshot of launch arguments assembled in a context / special regs. */
 struct LaunchArgs
 {
@@ -113,6 +132,13 @@ class SpecialOpsUnit : public SimObject
     /** True when @p reg_offset is the GO register of some context. */
     bool isGo(PAddr reg_offset, std::uint32_t &ctx_out) const;
 
+    /** True when @p reg_offset is the collective-GO register of some
+     *  context (reading it launches the assembled collective). */
+    bool isCollGo(PAddr reg_offset, std::uint32_t &ctx_out) const;
+
+    /** Collective descriptor currently assembled in context @p idx. */
+    CollArgs collArgs(std::uint32_t idx) const;
+
     /**
      * Capture a physical address arriving through shadow space.
      * Validates the key; on mismatch the store is dropped and counted
@@ -168,6 +194,7 @@ class SpecialOpsUnit : public SimObject
     {
         std::uint32_t key = 0;
         LaunchArgs args;
+        CollArgs coll;
     };
 
     std::vector<Context> _contexts;

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Greedy deterministic construction of topology-aware collective trees.
+ */
+
+#include "net/coll_tree.hpp"
+
+#include <algorithm>
+
+#include "sim/invariant.hpp"
+#include "sim/log.hpp"
+
+namespace tg::net {
+
+namespace {
+
+/** Nodes a complete @p fanout-ary tree of height @p h can hold. */
+std::size_t
+karyCapacity(std::size_t fanout, std::size_t h)
+{
+    std::size_t cap = 0;
+    std::size_t level = 1;
+    for (std::size_t d = 0; d <= h; ++d) {
+        cap += level;
+        level *= fanout;
+    }
+    return cap;
+}
+
+/** Minimal height of a @p fanout-ary tree holding @p m nodes. */
+std::size_t
+minKaryHeight(std::size_t fanout, std::size_t m)
+{
+    std::size_t h = 0;
+    while (karyCapacity(fanout, h) < m)
+        ++h;
+    return h;
+}
+
+} // namespace
+
+std::size_t
+CollTree::depth() const
+{
+    std::size_t deepest = 0;
+    for (std::size_t r = 0; r < parent.size(); ++r) {
+        std::size_t d = 0;
+        for (std::size_t at = r; at != rootRank; at = parent[at])
+            ++d;
+        deepest = std::max(deepest, d);
+    }
+    return deepest;
+}
+
+CollTree
+buildCollTree(const TopologySpec &spec, const std::vector<NodeId> &members,
+              std::size_t root_rank, std::size_t fanout)
+{
+    const std::size_t m = members.size();
+    TG_AUDIT(m >= 1 && root_rank < m, "buildCollTree: bad root rank");
+    TG_AUDIT(fanout >= 1, "buildCollTree: fanout must be >= 1");
+
+    CollTree tree;
+    tree.rootRank = root_rank;
+    tree.parent.assign(m, root_rank);
+    tree.children.assign(m, {});
+    if (m == 1)
+        return tree;
+
+    const TopologyModel &model = spec.model();
+
+    // Attach ranks in (hops-from-root, rank) order: near members become
+    // interior nodes serving the members behind them.
+    std::vector<std::size_t> order;
+    order.reserve(m - 1);
+    for (std::size_t r = 0; r < m; ++r)
+        if (r != root_rank)
+            order.push_back(r);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         const std::size_t ha =
+                             model.hops(spec, members[root_rank], members[a]);
+                         const std::size_t hb =
+                             model.hops(spec, members[root_rank], members[b]);
+                         if (ha != hb)
+                             return ha < hb;
+                         return a < b;
+                     });
+
+    // Greedy attach: the nearest (by fabric hops) already-placed rank
+    // with a free child slot, ties broken by placement order.  A pure
+    // nearest-neighbour attach would trace the fabric's diameter
+    // (O(sqrt N) depth on a torus), so candidates are restricted to
+    // depths below the minimal k-ary height for m members — locality
+    // shapes the tree, the cap keeps its height O(log_k m).  The cap
+    // never strands a rank: if every sub-cap node were full the placed
+    // set would already be a complete tree holding >= m ranks.
+    const std::size_t maxDepth = minKaryHeight(fanout, m);
+    std::vector<std::size_t> depthOf(m, 0);
+    std::vector<std::size_t> placed;
+    placed.reserve(m);
+    placed.push_back(root_rank);
+    for (const std::size_t r : order) {
+        std::size_t best = root_rank;
+        std::size_t bestHops = ~std::size_t(0);
+        for (const std::size_t cand : placed) {
+            if (tree.children[cand].size() >= fanout)
+                continue;
+            if (depthOf[cand] + 1 > maxDepth)
+                continue;
+            const std::size_t h =
+                model.hops(spec, members[cand], members[r]);
+            if (h < bestHops) {
+                bestHops = h;
+                best = cand;
+            }
+        }
+        TG_AUDIT(bestHops != ~std::size_t(0),
+                 "buildCollTree: no eligible parent (fanout %zu, %zu members)",
+                 fanout, m);
+        tree.parent[r] = best;
+        tree.children[best].push_back(r);
+        depthOf[r] = depthOf[best] + 1;
+        placed.push_back(r);
+    }
+    return tree;
+}
+
+} // namespace tg::net

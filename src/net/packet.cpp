@@ -31,6 +31,8 @@ packetTypeName(PacketType t)
       case PacketType::PageReq: return "PageReq";
       case PacketType::PageData: return "PageData";
       case PacketType::Message: return "Message";
+      case PacketType::CollUp: return "CollUp";
+      case PacketType::CollDown: return "CollDown";
     }
     return "?";
 }

@@ -47,6 +47,12 @@ enum class PacketType : std::uint8_t
     PageReq,      ///< request a page copy (VSM fault service)
     PageData,     ///< full-page data transfer
     Message,      ///< socket-style message payload
+
+    // NIC-resident collectives (hib::CollEngine; DESIGN.md section 15).
+    // addr = group id, seq = per-group collective sequence number,
+    // value = partial sum / release value, value2 = op opcode + flags.
+    CollUp,       ///< upward combine/arrival towards the tree root
+    CollDown,     ///< downward release / broadcast payload (bulk)
 };
 
 /** Remote atomic operation selector (paper section 2.2.3). */

@@ -122,6 +122,14 @@ constexpr PAddr kCtxDatum = 0x08;  ///< first operand
 constexpr PAddr kCtxDatum2 = 0x10; ///< second operand (CAS new value)
 constexpr PAddr kCtxDstPa = 0x18;  ///< destination PA (copy ops)
 constexpr PAddr kCtxGo = 0x20;     ///< read to launch + fetch result
+/** NIC collective descriptor registers (DESIGN.md section 15): the host
+ *  writes op/group/root/datum, then reads kCtxCollGo, which arms the
+ *  local CollEngine state machine and stalls until it completes. */
+constexpr PAddr kCtxCollOp = 0x28;    ///< collective opcode
+constexpr PAddr kCtxCollGroup = 0x30; ///< communicator group id
+constexpr PAddr kCtxCollRoot = 0x38;  ///< root *rank* within the group
+constexpr PAddr kCtxCollDatum = 0x40; ///< contribution word (reduce)
+constexpr PAddr kCtxCollGo = 0x48;    ///< read to launch + fetch result
 
 } // namespace tg::node
 

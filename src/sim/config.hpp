@@ -219,6 +219,9 @@ struct Config
     Tick counterOp = 40;
     /** Number of Telegraphos contexts in the HIB register file. */
     std::uint32_t hibContexts = 64;
+    /** Fan-out (max children per node) of the NIC collective engine's
+     *  k-ary reduction/multicast trees (DESIGN.md section 15). */
+    std::uint32_t collFanout = 4;
     /** Max outstanding remote reads per node (paper footnote: one). */
     std::uint32_t maxOutstandingReads = 1;
 

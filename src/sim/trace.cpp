@@ -81,6 +81,9 @@ opKindName(OpKind k)
     case OpKind::Fence: return "fence";
     case OpKind::Coherence: return "coherence";
     case OpKind::Software: return "software";
+    case OpKind::CollBarrier: return "coll_barrier";
+    case OpKind::CollBcast: return "coll_bcast";
+    case OpKind::CollReduce: return "coll_reduce";
     case OpKind::Other: return "other";
     }
     return "?";

@@ -92,11 +92,14 @@ enum class OpKind : std::uint8_t
     Fence,
     Coherence,
     Software,
+    CollBarrier,  ///< NIC-resident barrier (hib::CollEngine)
+    CollBcast,    ///< NIC-resident broadcast
+    CollReduce,   ///< NIC-resident reduce / all-reduce
     Other,
 };
 
 /** Number of OpKind enumerators (sizes the streaming aggregates). */
-inline constexpr std::size_t kNumKinds = 8;
+inline constexpr std::size_t kNumKinds = 11;
 
 /** Short mnemonic for an op kind. */
 const char *opKindName(OpKind k);

@@ -10,10 +10,10 @@
 namespace tg::workload {
 
 Cluster::Body
-stencilWorker(std::vector<Segment *> blocks, Segment &sync, NodeId self,
-              Word parties, StencilConfig cfg)
+stencilWorker(std::vector<Segment *> blocks, Communicator &comm,
+              NodeId self, StencilConfig cfg)
 {
-    return [blocks, &sync, self, parties, cfg](Ctx &ctx) -> Task<void> {
+    return [blocks, &comm, self, cfg](Ctx &ctx) -> Task<void> {
         Segment &mine = *blocks[self];
         const std::size_t n = cfg.cellsPerNode;
         const std::size_t left = (self + blocks.size() - 1) % blocks.size();
@@ -22,7 +22,7 @@ stencilWorker(std::vector<Segment *> blocks, Segment &sync, NodeId self,
         // Initialise our block: cell value = node id * 100.
         for (std::size_t i = 0; i < n; ++i)
             co_await ctx.write(mine.word(i), Word(self) * 100);
-        co_await ctx.barrier(sync.word(0), sync.word(1), parties);
+        co_await comm.barrier(ctx);
 
         for (int it = 0; it < cfg.iterations; ++it) {
             // Boundary cells come from the neighbours (remote reads
@@ -42,7 +42,7 @@ stencilWorker(std::vector<Segment *> blocks, Segment &sync, NodeId self,
                 prev = cur;
                 co_await ctx.compute(cfg.computePerCell);
             }
-            co_await ctx.barrier(sync.word(0), sync.word(1), parties);
+            co_await comm.barrier(ctx);
         }
         co_await ctx.fence();
     };

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "api/cluster.hpp"
+#include "api/collectives.hpp"
 #include "api/segment.hpp"
 
 namespace tg::workload {
@@ -26,12 +27,14 @@ struct StencilConfig
 };
 
 /**
- * Worker for node @p self of @p parties.  @p blocks[i] is node i's cell
- * block (cells + one ghost word at index cellsPerNode used as generation
- * tag); @p sync holds the barrier words (count at 0, generation at 1).
+ * Worker for node @p self.  @p blocks[i] is node i's cell block (cells +
+ * one ghost word at index cellsPerNode used as generation tag); the
+ * iteration barrier runs on @p comm (Cluster::communicator — host or
+ * NIC backend per the spec), which replaces the old raw sync segment.
  */
-Cluster::Body stencilWorker(std::vector<Segment *> blocks, Segment &sync,
-                            NodeId self, Word parties, StencilConfig cfg);
+Cluster::Body stencilWorker(std::vector<Segment *> blocks,
+                            Communicator &comm, NodeId self,
+                            StencilConfig cfg);
 
 } // namespace tg::workload
 

@@ -134,6 +134,39 @@ def main():
         rc, out = run_compare(tmp, gb_doc({}), gb_doc({}))
         check("no comparable metrics errors", rc == 2, out)
 
+        # --metric-filter: a candidate that ran only one tier of the
+        # baseline sweep (e.g. bench_collectives --nodes=64) passes when
+        # the other tiers are filtered out of both sides...
+        tcoll = tg_doc(
+            "coll",
+            [
+                ("torus2d.n64.barrier.nic_us", 30.0, "us"),
+                ("torus2d.n1024.barrier.nic_us", 90.0, "us"),
+            ],
+        )
+        tcoll_64 = tg_doc(
+            "coll", [("torus2d.n64.barrier.nic_us", 31.0, "us")]
+        )
+        rc, out = run_compare(tmp, tcoll, tcoll_64)
+        check("subset tier without filter fails", rc == 1 and "n1024" in out, out)
+        rc, out = run_compare(tmp, tcoll, tcoll_64, "--metric-filter=.n64.")
+        check("metric filter passes subset tier", rc == 0, out)
+
+        # ...but a regression inside the filtered window still fails.
+        tcoll_bad = tg_doc(
+            "coll", [("torus2d.n64.barrier.nic_us", 300.0, "us")]
+        )
+        rc, out = run_compare(
+            tmp, tcoll, tcoll_bad, "--metric-filter=.n64."
+        )
+        check("metric filter still gates", rc == 1, out)
+
+        # A filter matching nothing is an input error, not a silent pass.
+        rc, out = run_compare(
+            tmp, tcoll, tcoll_64, "--metric-filter=nonesuch"
+        )
+        check("vacuous filter errors", rc == 2, out)
+
         # Threshold flag is honored (40% drop passes at --threshold=0.5).
         half = gb_doc(
             {

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "api/cluster.hpp"
+#include "api/collectives.hpp"
 #include "api/context.hpp"
 #include "api/segment.hpp"
 #include <set>
@@ -68,13 +69,13 @@ TEST(Workloads, StencilConvergesTowardsMean)
     std::vector<Segment *> blocks;
     for (NodeId n = 0; n < 3; ++n)
         blocks.push_back(&c.allocShared("b" + std::to_string(n), 8192, n));
-    Segment &sync = c.allocShared("sync", 8192, 0);
+    Communicator &comm = c.communicator("sync", {0, 1, 2});
 
     workload::StencilConfig cfg;
     cfg.cellsPerNode = 8;
     cfg.iterations = 12;
     for (NodeId n = 0; n < 3; ++n)
-        c.spawn(n, workload::stencilWorker(blocks, sync, n, 3, cfg));
+        c.spawn(n, workload::stencilWorker(blocks, comm, n, cfg));
     c.run(8'000'000'000'000ULL);
     ASSERT_TRUE(c.allDone());
 

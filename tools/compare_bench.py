@@ -25,6 +25,12 @@ gated counter must fail the gate, not slip through it.  Improvements
 and new benchmarks never fail; re-baseline by committing a fresh JSON
 (see DESIGN.md section 9).
 
+`--metric-filter=SUBSTR` restricts the comparison to metrics whose
+name contains SUBSTR on both sides.  CI smoke jobs use it when the
+candidate ran a subset of the committed sweep (e.g. bench_collectives
+--nodes=64 against the full BENCH_collectives.json: filter `.n64.`),
+so the baseline's other tiers don't count as missing.
+
 The gate is deliberately loose: CI machines are noisy, and the job's
 purpose is catching order-of-magnitude scheduler regressions, not 5%
 drift.
@@ -81,6 +87,16 @@ def load_metrics(path):
     return out
 
 
+def _filter_metrics(benches, substr):
+    """Keep only metrics whose name contains substr; drop empty benches."""
+    out = {}
+    for name, metrics in benches.items():
+        kept = {m: v for m, v in metrics.items() if substr in m}
+        if kept:
+            out[name] = kept
+    return out
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed baseline JSON")
@@ -91,10 +107,18 @@ def main():
         default=0.25,
         help="maximum tolerated fractional regression (default 0.25)",
     )
+    parser.add_argument(
+        "--metric-filter",
+        default="",
+        help="only gate metrics whose name contains this substring",
+    )
     args = parser.parse_args()
 
     base = load_metrics(args.baseline)
     cand = load_metrics(args.candidate)
+    if args.metric_filter:
+        base = _filter_metrics(base, args.metric_filter)
+        cand = _filter_metrics(cand, args.metric_filter)
 
     failures = []
     missing = []
